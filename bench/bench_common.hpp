@@ -1,0 +1,38 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every binary prints the paper-style table/series to stdout and writes a
+// CSV (named ufc_<experiment>.csv) into the current working directory so
+// plots can be regenerated offline.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "traces/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ufc::bench {
+
+/// The paper's evaluation scenario (§IV-A defaults, seed 42).
+inline traces::Scenario paper_scenario() {
+  return traces::Scenario::generate(traces::ScenarioConfig{});
+}
+
+/// Paper-scale solver settings (tolerance chosen so the Fig. 11 iteration
+/// distribution lands in the paper's band; see DESIGN.md).
+inline sim::SimulatorOptions paper_options() { return {}; }
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "Paper reference: " << paper << "\n\n";
+}
+
+inline void note_csv(const CsvWriter& csv) {
+  std::cout << "\nSeries written to " << csv.path() << " ("
+            << csv.rows_written() << " rows)\n";
+}
+
+}  // namespace ufc::bench

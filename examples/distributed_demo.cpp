@@ -1,0 +1,67 @@
+// Distributed execution demo: runs the same UFC slot through (a) the
+// monolithic ADM-G solver and (b) the message-passing runtime — ten
+// front-end agents and four datacenter agents exchanging only the paper's
+// Fig. 2 messages over a lossy bus — and shows that the iterates are
+// identical while reporting the WAN traffic the protocol costs.
+//
+//   $ ./example_distributed_demo [loss_rate]
+#include <cstdlib>
+#include <iostream>
+
+#include "admm/admg.hpp"
+#include "net/runtime.hpp"
+#include "traces/scenario.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ufc;
+
+  const double loss_rate = argc > 1 ? std::atof(argv[1]) : 0.15;
+  const auto scenario = traces::Scenario::generate({});
+  const auto problem = scenario.problem_at(64);  // a Wednesday peak hour
+
+  admm::AdmgOptions options;
+  options.tolerance = 3e-3;
+  options.max_iterations = 800;
+  options.record_trace = false;
+
+  std::cout << "Solving one peak slot (M = " << problem.num_front_ends()
+            << " front-ends, N = " << problem.num_datacenters()
+            << " datacenters)...\n\n";
+
+  const auto mono = admm::solve_admg(problem, options);
+
+  net::DistributedOptions dist;
+  dist.admg = options;
+  dist.loss_rate = loss_rate;
+  net::DistributedAdmgRuntime runtime(problem, dist);
+  const auto report = runtime.run();
+
+  TablePrinter table({"Solver", "iterations", "UFC $", "max |lambda diff|"});
+  table.add_row("monolithic ADM-G",
+                {static_cast<double>(mono.iterations), mono.breakdown.ufc, 0.0},
+                3);
+  table.add_row("message-passing agents",
+                {static_cast<double>(report.iterations), report.breakdown.ufc,
+                 max_abs_diff(report.solution.lambda, mono.solution.lambda)},
+                3);
+  table.print();
+
+  const auto& net_stats = report.network;
+  std::cout << "\nNetwork totals at " << fixed(100.0 * loss_rate, 0)
+            << "% simulated per-attempt loss:\n";
+  std::cout << "  messages delivered : " << net_stats.messages << "\n";
+  std::cout << "  retransmissions    : " << net_stats.retransmissions << "\n";
+  std::cout << "  bytes on the wire  : " << net_stats.bytes << " ("
+            << fixed(static_cast<double>(net_stats.bytes) / 1024.0, 1)
+            << " KiB)\n";
+  std::cout << "  per iteration      : "
+            << net_stats.messages / static_cast<std::uint64_t>(report.iterations)
+            << " messages\n";
+
+  std::cout << "\nEach front-end only ever saw its own (A_i, L_i., a_i., "
+               "varphi_i.); each datacenter only its own (alpha, beta, S_j, "
+               "p_j, C_j, mu_max) plus the messages above —\nthe "
+               "decomposition of paper Fig. 2.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Policy study: at what fuel-cell price, or what carbon-tax rate, do fuel
+// cells become the dominant power source for a geo-distributed cloud?
+// Reproduces the question behind the paper's Figs. 9 and 10 on a reduced
+// grid of parameters.
+//
+//   $ ./example_policy_study
+#include <array>
+#include <iostream>
+
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ufc;
+
+  traces::ScenarioConfig config;
+  config.hours = 72;  // three days keeps the study quick
+  sim::SimulatorOptions options;
+  options.stride = 2;
+
+  std::cout << "Sweeping the fuel-cell price p0 (carbon tax fixed at $"
+            << config.carbon_tax << "/ton)...\n";
+  const std::array<double, 5> prices = {20.0, 40.0, 60.0, 80.0, 100.0};
+  const auto price_points = sim::sweep_fuel_cell_price(config, prices, options);
+
+  TablePrinter price_table(
+      {"p0 ($/MWh)", "UFC improvement %", "utilization %"});
+  for (const auto& point : price_points)
+    price_table.add_row(fixed(point.parameter, 0),
+                        {point.avg_improvement_pct,
+                         100.0 * point.avg_utilization},
+                        1);
+  price_table.print();
+
+  std::cout << "\nSweeping the carbon tax (fuel-cell price fixed at $"
+            << config.fuel_cell_price << "/MWh)...\n";
+  const std::array<double, 5> taxes = {0.0, 25.0, 60.0, 120.0, 180.0};
+  const auto tax_points = sim::sweep_carbon_tax(config, taxes, options);
+
+  TablePrinter tax_table({"tax ($/ton)", "UFC improvement %", "utilization %"});
+  for (const auto& point : tax_points)
+    tax_table.add_row(fixed(point.parameter, 0),
+                      {point.avg_improvement_pct,
+                       100.0 * point.avg_utilization},
+                      1);
+  tax_table.print();
+
+  // A crude "policy recommendation": the first sweep point where fuel cells
+  // carry the majority of the load.
+  for (const auto& point : price_points) {
+    if (point.avg_utilization > 0.5) {
+      std::cout << "\nFuel cells carry most of the load once p0 <= $"
+                << fixed(point.parameter, 0) << "/MWh.\n";
+      break;
+    }
+  }
+  for (const auto& point : tax_points) {
+    if (point.avg_utilization > 0.5) {
+      std::cout << "At p0 = $80/MWh, a carbon tax of ~$"
+                << fixed(point.parameter, 0)
+                << "/ton achieves majority fuel-cell power.\n";
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// ufc_cli — configuration-driven driver for the UFC library.
+//
+//   ./example_ufc_cli <command> [config.ini]
+//
+// Commands:
+//   solve       solve one slot and print the full breakdown per strategy
+//   simulate    run the whole scenario horizon and print the comparison
+//   sweep-price reproduce the Fig. 9 style p0 sweep
+//   sweep-tax   reproduce the Fig. 10 style carbon-tax sweep
+//   traces      dump the generated traces to CSV
+//
+// All parameters default to the paper's setup and can be overridden from an
+// INI file, e.g.:
+//
+//   [scenario]
+//   seed = 7
+//   hours = 72
+//   fuel_cell_price = 60   ; $/MWh
+//   carbon_tax = 40        ; $/ton
+//   [solver]
+//   rho = 10
+//   tolerance = 3e-3
+//   [simulate]
+//   slot = 64
+//   stride = 2
+#include <iostream>
+#include <string>
+
+#include "model/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ufc;
+
+traces::ScenarioConfig scenario_from(const Config& config) {
+  return traces::scenario_config_from(config);
+}
+
+sim::SimulatorOptions simulator_from(const Config& config) {
+  return sim::simulator_options_from(config);
+}
+
+int cmd_solve(const Config& config) {
+  const auto scenario = traces::Scenario::generate(scenario_from(config));
+  const int slot = config.get_int("simulate.slot", 64);
+  const auto problem = scenario.problem_at(slot);
+  const auto options = simulator_from(config);
+
+  std::cout << "Slot " << slot << " (" << problem.num_front_ends()
+            << " front-ends, " << problem.num_datacenters()
+            << " datacenters, total arrivals "
+            << fixed(problem.total_arrivals(), 0) << " servers)\n\n";
+
+  TablePrinter table({"Strategy", "UFC $", "energy $", "carbon $",
+                      "latency ms", "fuel cell %", "CUE kg/kWh", "iters"});
+  for (const auto strategy : admm::kAllStrategies) {
+    const auto report = admm::solve_strategy(problem, strategy, options.admg);
+    const auto& b = report.breakdown;
+    const auto idx = complementary_indexes(problem, report.solution.lambda,
+                                           report.solution.mu);
+    table.add_row(admm::to_string(strategy),
+                  {b.ufc, b.energy_cost, b.carbon_cost, b.avg_latency_ms,
+                   100.0 * b.utilization, idx.cue_kg_per_kwh,
+                   static_cast<double>(report.iterations)},
+                  2);
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_simulate(const Config& config) {
+  const auto scenario = traces::Scenario::generate(scenario_from(config));
+  const auto options = simulator_from(config);
+  std::cout << "Simulating " << scenario.hours() << " hours (stride "
+            << options.stride << ") x 3 strategies...\n\n";
+  const auto cmp = sim::compare_strategies(scenario, options);
+
+  TablePrinter table({"Strategy", "total UFC $", "energy $", "carbon t",
+                      "latency ms", "fuel cell %"});
+  for (const auto* week : {&cmp.grid, &cmp.fuel_cell, &cmp.hybrid}) {
+    table.add_row(admm::to_string(week->strategy),
+                  {week->total_ufc(), week->total_energy_cost(),
+                   week->total_carbon_tons(), week->average_latency_ms(),
+                   100.0 * week->average_utilization()},
+                  1);
+  }
+  table.print();
+  std::cout << "\nI_hg avg " << fixed(cmp.average_improvement_hg(), 1)
+            << "%  I_hf avg " << fixed(cmp.average_improvement_hf(), 1)
+            << "%  I_fg avg " << fixed(cmp.average_improvement_fg(), 1)
+            << "%\n";
+
+  const std::string csv_path =
+      config.get_string("output.csv", "ufc_simulate.csv");
+  CsvWriter csv(csv_path, {"hour", "ufc_grid", "ufc_fuel_cell", "ufc_hybrid"});
+  for (std::size_t t = 0; t < cmp.grid.slots.size(); ++t)
+    csv.row({static_cast<double>(cmp.grid.slots[t].slot),
+             cmp.grid.slots[t].breakdown.ufc,
+             cmp.fuel_cell.slots[t].breakdown.ufc,
+             cmp.hybrid.slots[t].breakdown.ufc});
+  std::cout << "Per-slot series: " << csv.path() << "\n";
+  return 0;
+}
+
+int cmd_sweep(const Config& config, bool price_sweep) {
+  const auto base = scenario_from(config);
+  auto options = simulator_from(config);
+  if (!config.has("simulate.stride")) options.stride = 2;
+
+  const double lo = config.get_double("sweep.min", price_sweep ? 10.0 : 0.0);
+  const double hi = config.get_double("sweep.max", price_sweep ? 130.0 : 200.0);
+  const int steps = config.get_int("sweep.steps", 7);
+  std::vector<double> params;
+  for (int k = 0; k < steps; ++k)
+    params.push_back(lo + (hi - lo) * k / std::max(1, steps - 1));
+
+  const auto points = price_sweep
+                          ? sim::sweep_fuel_cell_price(base, params, options)
+                          : sim::sweep_carbon_tax(base, params, options);
+  TablePrinter table({price_sweep ? "p0 ($/MWh)" : "tax ($/ton)",
+                      "UFC improvement %", "utilization %"});
+  for (const auto& point : points)
+    table.add_row(fixed(point.parameter, 0),
+                  {point.avg_improvement_pct, 100.0 * point.avg_utilization},
+                  1);
+  table.print();
+  return 0;
+}
+
+int cmd_traces(const Config& config) {
+  const auto scenario = traces::Scenario::generate(scenario_from(config));
+  const std::string csv_path = config.get_string("output.csv", "ufc_traces.csv");
+  CsvWriter csv(csv_path,
+                {"hour", "workload", "price_calgary", "price_san_jose",
+                 "price_dallas", "price_pittsburgh", "carbon_calgary",
+                 "carbon_san_jose", "carbon_dallas", "carbon_pittsburgh"});
+  for (int t = 0; t < scenario.hours(); ++t) {
+    const auto slot = static_cast<std::size_t>(t);
+    csv.row({static_cast<double>(t), scenario.total_workload()[slot],
+             scenario.prices()(slot, 0), scenario.prices()(slot, 1),
+             scenario.prices()(slot, 2), scenario.prices()(slot, 3),
+             scenario.carbon_rates()(slot, 0), scenario.carbon_rates()(slot, 1),
+             scenario.carbon_rates()(slot, 2),
+             scenario.carbon_rates()(slot, 3)});
+  }
+  std::cout << "Wrote " << csv.rows_written() << " rows to " << csv.path()
+            << "\n";
+  return 0;
+}
+
+int usage() {
+  std::cout <<
+      "usage: ufc_cli <command> [config.ini]\n"
+      "  solve        solve one slot, print per-strategy breakdowns\n"
+      "  simulate     run the scenario horizon, compare strategies\n"
+      "  sweep-price  sweep the fuel-cell price p0 (Fig. 9 style)\n"
+      "  sweep-tax    sweep the carbon tax (Fig. 10 style)\n"
+      "  traces       dump generated traces to CSV\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Config config;
+  if (argc > 2) {
+    try {
+      config = Config::load(argv[2]);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 1;
+    }
+  }
+  try {
+    if (command == "solve") return cmd_solve(config);
+    if (command == "simulate") return cmd_simulate(config);
+    if (command == "sweep-price") return cmd_sweep(config, true);
+    if (command == "sweep-tax") return cmd_sweep(config, false);
+    if (command == "traces") return cmd_traces(config);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,57 @@
+# gnuplot script: renders the paper-style figures from the bench CSVs.
+# Run after scripts/run_benches.sh, from the directory holding the CSVs:
+#   gnuplot -c scripts/plot_figures.gp
+set datafile separator ','
+set terminal pngcairo size 900,540 font ',11'
+set key top left
+set grid
+
+set output 'fig4_ufc_improvement.png'
+set title 'Fig. 4 - UFC improvement under various strategies'
+set xlabel 'hour'; set ylabel 'improvement (%)'
+plot 'ufc_fig4.csv' using 1:2 with lines title 'I_{hg}', \
+     '' using 1:3 with lines title 'I_{hf}', \
+     '' using 1:4 with lines title 'I_{fg}'
+
+set output 'fig5_latency.png'
+set title 'Fig. 5 - average propagation latency'
+set xlabel 'hour'; set ylabel 'latency (ms)'
+plot 'ufc_fig5.csv' using 1:2 with lines title 'Grid', \
+     '' using 1:3 with lines title 'FuelCell', \
+     '' using 1:4 with lines title 'Hybrid'
+
+set output 'fig6_energy.png'
+set title 'Fig. 6 - energy cost'
+set xlabel 'hour'; set ylabel 'cost ($/h)'
+plot 'ufc_fig6.csv' using 1:2 with lines title 'Grid', \
+     '' using 1:3 with lines title 'FuelCell', \
+     '' using 1:4 with lines title 'Hybrid'
+
+set output 'fig7_carbon.png'
+set title 'Fig. 7 - carbon emission cost'
+set xlabel 'hour'; set ylabel 'cost ($/h)'
+plot 'ufc_fig7.csv' using 1:2 with lines title 'Grid', \
+     '' using 1:3 with lines title 'FuelCell', \
+     '' using 1:4 with lines title 'Hybrid'
+
+set output 'fig8_utilization.png'
+set title 'Fig. 8 - fuel cell utilization'
+set xlabel 'hour'; set ylabel 'utilization'
+plot 'ufc_fig8.csv' using 1:2 with lines notitle
+
+set output 'fig9_price_sweep.png'
+set title 'Fig. 9 - sweep of the fuel-cell price p0'
+set xlabel 'p0 ($/MWh)'; set ylabel '%'
+plot 'ufc_fig9.csv' using 1:2 with linespoints title 'avg UFC improvement', \
+     '' using 1:3 with linespoints title 'avg utilization'
+
+set output 'fig10_tax_sweep.png'
+set title 'Fig. 10 - sweep of the carbon tax'
+set xlabel 'tax ($/ton)'; set ylabel '%'
+plot 'ufc_fig10.csv' using 1:2 with linespoints title 'avg UFC improvement', \
+     '' using 1:3 with linespoints title 'avg utilization'
+
+set output 'fig11_convergence_cdf.png'
+set title 'Fig. 11 - CDF of iterations to convergence'
+set xlabel 'iterations'; set ylabel 'CDF'
+plot 'ufc_fig11.csv' using 1:2 with steps notitle

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the project and regenerates every table/figure of the paper plus
+# the ablation/extension benches. CSVs land in the directory this script is
+# run from; pass a directory argument to collect them elsewhere.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out_dir="${1:-$PWD}"
+
+cmake -B "$repo_root/build" -G Ninja -S "$repo_root"
+cmake --build "$repo_root/build"
+
+mkdir -p "$out_dir"
+cd "$out_dir"
+for bench in "$repo_root"/build/bench/*; do
+  if [[ -f "$bench" && -x "$bench" ]]; then
+    echo "### $(basename "$bench")"
+    "$bench"
+    echo
+  fi
+done
+
+echo "CSV series written to $out_dir:"
+ls -1 "$out_dir"/ufc_*.csv

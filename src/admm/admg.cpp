@@ -1,0 +1,326 @@
+#include "admm/admg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+#include "util/logging.hpp"
+
+namespace ufc::admm {
+
+double natural_workload_scale(const UfcProblem& problem) {
+  const double mean_arrival =
+      problem.total_arrivals() /
+      static_cast<double>(problem.num_front_ends());
+  return std::max(1.0, mean_arrival);
+}
+
+UfcProblem scale_workload_units(const UfcProblem& problem, double sigma) {
+  UFC_EXPECTS(sigma > 0.0);
+  UfcProblem scaled = problem;
+  scaled.power.idle_watts *= sigma;
+  scaled.power.peak_watts *= sigma;
+  scaled.latency_weight *= sigma;
+  for (auto& dc : scaled.datacenters) {
+    dc.servers /= sigma;
+    if (dc.power_override) {
+      dc.power_override->idle_watts *= sigma;
+      dc.power_override->peak_watts *= sigma;
+    }
+  }
+  for (auto& a : scaled.arrivals) a /= sigma;
+  return scaled;
+}
+
+AdmgSolver::AdmgSolver(const UfcProblem& problem, AdmgOptions options)
+    : original_(problem), options_(options) {
+  original_.validate();
+  UFC_EXPECTS(options_.rho > 0.0);
+  UFC_EXPECTS(options_.epsilon > 0.5 && options_.epsilon <= 1.0);
+  UFC_EXPECTS(options_.max_iterations > 0);
+  UFC_EXPECTS(options_.tolerance > 0.0);
+
+  sigma_ = options_.workload_scale > 0.0 ? options_.workload_scale
+                                         : natural_workload_scale(original_);
+  problem_ = scale_workload_units(original_, sigma_);
+
+  m_ = problem_.num_front_ends();
+  n_ = problem_.num_datacenters();
+
+  if (options_.pinning == BlockPinning::PinNu) {
+    // nu = 0 requires fuel cells able to carry the peak demand at every
+    // datacenter (the paper's "completely powered by fuel cells" premise).
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double peak = problem_.demand_mw(j, problem_.datacenters[j].servers);
+      UFC_EXPECTS(problem_.datacenters[j].fuel_cell_capacity_mw >=
+                  peak - 1e-9);
+    }
+  }
+
+  // Residual scales: copy residual lives in "servers routed" units, balance
+  // residual in MW. Normalize by the largest arrival / peak demand so the
+  // convergence test is dimensionless.
+  double max_arrival = 1.0;
+  for (double a : problem_.arrivals) max_arrival = std::max(max_arrival, a);
+  copy_scale_ = max_arrival;
+  double max_demand = 1.0;
+  for (std::size_t j = 0; j < n_; ++j)
+    max_demand = std::max(
+        max_demand, problem_.demand_mw(j, problem_.datacenters[j].servers));
+  balance_scale_ = max_demand;
+
+  reset();
+}
+
+void AdmgSolver::reset() {
+  // The paper's cold start: everything at zero.
+  lambda_ = Mat(m_, n_, 0.0);
+  a_ = Mat(m_, n_, 0.0);
+  varphi_ = Mat(m_, n_, 0.0);
+  mu_ = Vec(n_, 0.0);
+  nu_ = Vec(n_, 0.0);
+  phi_ = Vec(n_, 0.0);
+  last_change_ = 0.0;
+  stepped_ = false;
+}
+
+double AdmgSolver::balance_residual() const {
+  double r = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double balance = problem_.alpha_mw(j) +
+                           problem_.beta_mw(j) * a_.col_sum(j) - mu_[j] -
+                           nu_[j];
+    r = std::max(r, std::abs(balance));
+  }
+  return r;
+}
+
+double AdmgSolver::copy_residual() const { return max_abs_diff(a_, lambda_); }
+
+bool AdmgSolver::is_converged() const {
+  return stepped_ &&
+         balance_residual() / balance_scale_ < options_.tolerance &&
+         copy_residual() / copy_scale_ < options_.tolerance &&
+         last_change_ / copy_scale_ < options_.tolerance;
+}
+
+void AdmgSolver::step() {
+  const Mat a_before = a_;
+  const Vec mu_before = mu_;
+  const Vec nu_before = nu_;
+  const double rho = options_.rho;
+  const bool pin_mu = options_.pinning == BlockPinning::PinMu;
+  const bool pin_nu = options_.pinning == BlockPinning::PinNu;
+
+  // ---- Step 1: ADMM prediction pass, forward order. -----------------------
+
+  // 1.1 lambda-minimization, per front-end (uses a^k, varphi^k).
+  Mat lambda_tilde(m_, n_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    LambdaBlockInputs in;
+    in.arrival = problem_.arrivals[i];
+    in.latency_row = problem_.latency_s.row(i);
+    in.a_row = a_.row(i);
+    in.varphi_row = varphi_.row(i);
+    in.rho = rho;
+    in.latency_weight = problem_.latency_weight;
+    in.utility = problem_.utility.get();
+    lambda_tilde.set_row(
+        i, solve_lambda_block(in, lambda_.row(i), options_.inner));
+  }
+
+  // 1.2 mu-minimization, per datacenter (uses a^k, nu^k, phi^k).
+  Vec mu_tilde(n_, 0.0);
+  if (!pin_mu) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      MuBlockInputs in;
+      in.alpha = problem_.alpha_mw(j);
+      in.beta = problem_.beta_mw(j);
+      in.a_col_sum = a_.col_sum(j);
+      in.nu = nu_[j];
+      in.phi = phi_[j];
+      in.rho = rho;
+      in.fuel_cell_price = problem_.fuel_cell_price;
+      in.mu_max = problem_.datacenters[j].fuel_cell_capacity_mw;
+      mu_tilde[j] = solve_mu_block(in);
+    }
+  }
+
+  // 1.3 nu-minimization, per datacenter (uses a^k, mu~, phi^k).
+  Vec nu_tilde(n_, 0.0);
+  if (!pin_nu) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      NuBlockInputs in;
+      in.alpha = problem_.alpha_mw(j);
+      in.beta = problem_.beta_mw(j);
+      in.a_col_sum = a_.col_sum(j);
+      in.mu = mu_tilde[j];
+      in.phi = phi_[j];
+      in.rho = rho;
+      in.grid_price = problem_.datacenters[j].grid_price;
+      in.carbon_tons_per_mwh = problem_.datacenters[j].carbon_rate / 1000.0;
+      in.emission_cost = problem_.datacenters[j].emission_cost.get();
+      nu_tilde[j] = solve_nu_block(in);
+    }
+  }
+
+  // 1.4 a-minimization, per datacenter (uses lambda~, mu~, nu~, phi^k,
+  // varphi^k).
+  Mat a_tilde(m_, n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    ABlockInputs in;
+    in.alpha = problem_.alpha_mw(j);
+    in.beta = problem_.beta_mw(j);
+    in.mu = mu_tilde[j];
+    in.nu = nu_tilde[j];
+    in.phi = phi_[j];
+    in.varphi_col = varphi_.col(j);
+    in.lambda_col = lambda_tilde.col(j);
+    in.rho = rho;
+    in.capacity = problem_.datacenters[j].servers;
+    a_tilde.set_col(j, solve_a_block(in, a_.col(j), options_.inner));
+  }
+
+  // 1.5 dual updates (use a~, lambda~, mu~, nu~).
+  Vec phi_tilde(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    phi_tilde[j] = update_phi(phi_[j], rho, problem_.alpha_mw(j),
+                              problem_.beta_mw(j), a_tilde.col_sum(j),
+                              mu_tilde[j], nu_tilde[j]);
+  }
+  Mat varphi_tilde(m_, n_);
+  for (std::size_t i = 0; i < m_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      varphi_tilde(i, j) =
+          update_varphi(varphi_(i, j), rho, a_tilde(i, j), lambda_tilde(i, j));
+
+  // ---- Step 2: Gaussian back substitution, backward order. ----------------
+
+  const double eps =
+      options_.gaussian_back_substitution ? options_.epsilon : 1.0;
+
+  if (!options_.gaussian_back_substitution) {
+    // Plain multi-block ADMM (ablation): accept the prediction unchanged.
+    lambda_ = std::move(lambda_tilde);
+    mu_ = std::move(mu_tilde);
+    nu_ = std::move(nu_tilde);
+    a_ = std::move(a_tilde);
+    phi_ = std::move(phi_tilde);
+    varphi_ = std::move(varphi_tilde);
+    last_change_ = std::max({max_abs_diff(a_, a_before),
+                             max_abs_diff(mu_, mu_before),
+                             max_abs_diff(nu_, nu_before)});
+    stepped_ = true;
+    return;
+  }
+
+  // Duals first (identity row of G).
+  for (std::size_t j = 0; j < n_; ++j)
+    phi_[j] += eps * (phi_tilde[j] - phi_[j]);
+  for (std::size_t i = 0; i < m_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      varphi_(i, j) += eps * (varphi_tilde(i, j) - varphi_(i, j));
+
+  // a (last primal block; identity row of G).
+  Vec delta_a_col_sum(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    double delta_sum = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double delta = eps * (a_tilde(i, j) - a_(i, j));
+      a_(i, j) += delta;
+      delta_sum += delta;
+    }
+    delta_a_col_sum[j] = delta_sum;
+  }
+
+  // nu, then mu, with the cross-block correction terms derived from
+  // (K_i^T K_i)^{-1} K_i^T K_j for our constraint matrices (see DESIGN.md).
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double beta = problem_.beta_mw(j);
+    const double nu_old = nu_[j];
+    if (!pin_nu) {
+      nu_[j] += eps * (nu_tilde[j] - nu_[j]) + beta * delta_a_col_sum[j];
+    }
+    if (!pin_mu) {
+      double correction = eps * (mu_tilde[j] - mu_[j]);
+      if (!pin_nu) correction -= (nu_[j] - nu_old);
+      correction += beta * delta_a_col_sum[j];
+      mu_[j] += correction;
+    }
+  }
+
+  // lambda is the first block: accepted as predicted.
+  lambda_ = std::move(lambda_tilde);
+
+  last_change_ = std::max({max_abs_diff(a_, a_before),
+                           max_abs_diff(mu_, mu_before),
+                           max_abs_diff(nu_, nu_before)});
+  stepped_ = true;
+}
+
+void AdmgSolver::set_problem(const UfcProblem& problem) {
+  problem.validate();
+  UFC_EXPECTS(problem.num_front_ends() == m_);
+  UFC_EXPECTS(problem.num_datacenters() == n_);
+  original_ = problem;
+  problem_ = scale_workload_units(original_, sigma_);
+  // Residual scales track the new slot's magnitudes.
+  double max_arrival = 1.0;
+  for (double a : problem_.arrivals) max_arrival = std::max(max_arrival, a);
+  copy_scale_ = max_arrival;
+  double max_demand = 1.0;
+  for (std::size_t j = 0; j < n_; ++j)
+    max_demand = std::max(
+        max_demand, problem_.demand_mw(j, problem_.datacenters[j].servers));
+  balance_scale_ = max_demand;
+  stepped_ = false;  // convergence must be re-established on the new slot
+}
+
+AdmgReport AdmgSolver::solve() {
+  reset();
+  return solve_warm();
+}
+
+AdmgReport AdmgSolver::solve_warm() {
+  AdmgReport report;
+  for (int k = 0; k < options_.max_iterations; ++k) {
+    step();
+    report.iterations = k + 1;
+    if (options_.record_trace) {
+      report.trace.balance_residual.push_back(balance_residual());
+      report.trace.copy_residual.push_back(copy_residual());
+      report.trace.objective.push_back(ufc_objective(problem_, lambda_, mu_));
+    }
+    if (is_converged()) {
+      report.converged = true;
+      break;
+    }
+  }
+  report.balance_residual = balance_residual();
+  report.copy_residual = copy_residual();
+
+  // Rescale routing back to server units and evaluate on the original
+  // problem (the objective is invariant, but reported latencies/costs should
+  // reference the caller's units).
+  Mat lambda_servers = lambda_;
+  lambda_servers *= sigma_;
+  report.solution.lambda = std::move(lambda_servers);
+  report.solution.mu = mu_;
+  report.solution.nu =
+      grid_draw_mw(original_, report.solution.lambda, report.solution.mu);
+  report.breakdown = evaluate(original_, report.solution.lambda, mu_);
+
+  if (!report.converged) {
+    log::warn("ADM-G did not converge in ", report.iterations,
+              " iterations (balance residual ", report.balance_residual,
+              ", copy residual ", report.copy_residual, ")");
+  }
+  return report;
+}
+
+AdmgReport solve_admg(const UfcProblem& problem, const AdmgOptions& options) {
+  AdmgSolver solver(problem, options);
+  return solver.solve();
+}
+
+}  // namespace ufc::admm

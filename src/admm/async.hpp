@@ -1,0 +1,40 @@
+// Asynchronous-update extension of the distributed ADM-G.
+//
+// In a WAN deployment, front-end proxies straggle: some rounds a proxy's
+// fresh routing proposal does not arrive in time and the datacenters must
+// reuse its last one. We model this as randomized partial participation —
+// each front-end performs its lambda update in a given round only with
+// probability `participation` (its previous prediction lambda~_i and dual
+// are reused otherwise); datacenter blocks always run.
+//
+// This is an empirical-robustness extension (the paper's ADM-G analysis is
+// synchronous): tests verify participation = 1 reproduces the synchronous
+// solver bit-for-bit and that lower participation still reaches the same
+// objective, while the ablation bench quantifies the iteration inflation.
+#pragma once
+
+#include "admm/admg.hpp"
+#include "util/rng.hpp"
+
+namespace ufc::admm {
+
+struct AsyncOptions {
+  AdmgOptions admg;
+  /// Per-round probability that a front-end's lambda update runs.
+  double participation = 1.0;
+  std::uint64_t seed = 1;  ///< Straggler draw seed.
+};
+
+struct AsyncReport {
+  UfcSolution solution;
+  UfcBreakdown breakdown;
+  int iterations = 0;
+  bool converged = false;
+  std::uint64_t skipped_updates = 0;  ///< Total stragglers over the run.
+};
+
+/// Runs ADM-G with randomized front-end participation.
+AsyncReport solve_async_admg(const UfcProblem& problem,
+                             const AsyncOptions& options = {});
+
+}  // namespace ufc::admm

@@ -1,0 +1,132 @@
+// The four per-block sub-problems of the distributed 4-block ADM-G
+// (paper §III-C, steps 1.1-1.5).
+//
+// Each function consumes exactly the tuple of information the paper's Fig. 2
+// says the owning node has, so the monolithic solver (admm/admg.cpp) and the
+// message-passing runtime (net/runtime.cpp) share one implementation and
+// produce bit-identical iterates.
+//
+// Dual convention: we use the standard ascent  y <- y + rho * r  with
+// residuals r1_j = alpha_j + beta_j sum_i a_ij - mu_j - nu_j  and
+// r2_ij = a_ij - lambda_ij. (The paper prints the equivalent negated-dual
+// form; the iterates coincide under phi -> -phi.)
+#pragma once
+
+#include "math/vector.hpp"
+#include "model/emission.hpp"
+#include "model/utility.hpp"
+#include "opt/fista.hpp"
+
+namespace ufc::admm {
+
+/// How the lambda and a sub-problems are minimized.
+enum class InnerMethod {
+  Fista,              ///< Accelerated projected gradient (default).
+  ProjectedGradient,  ///< Plain PG (ablation baseline).
+  /// Exact identity-plus-rank-one QP solve (opt/rank_one_qp.hpp) — machine
+  /// precision, no iteration tuning. Applies to the a block always and to
+  /// the lambda block when the utility is the paper's quadratic; other
+  /// utility shapes fall back to FISTA.
+  Exact,
+};
+
+/// Inner-solver configuration shared by the lambda and a blocks.
+struct InnerSolverOptions {
+  FistaOptions fista;
+  InnerMethod method = InnerMethod::Fista;
+};
+
+// ---------------------------------------------------------------------------
+// Step 1.1 — lambda-minimization, one sub-problem per front-end i (eq. (17)):
+//
+//   min_{lambda_i in simplex(A_i)}  -w A_i u(l_i)
+//        - sum_j varphi_ij lambda_ij + (rho/2) sum_j (a_ij - lambda_ij)^2
+
+struct LambdaBlockInputs {
+  double arrival = 0.0;     ///< A_i.
+  Vec latency_row;          ///< L_i1..L_iN, seconds.
+  Vec a_row;                ///< a_i^k.
+  Vec varphi_row;           ///< varphi_i^k.
+  double rho = 0.3;
+  double latency_weight = 0.0;              ///< w.
+  const UtilityFunction* utility = nullptr; ///< non-owning, non-null.
+};
+
+/// Solves the per-front-end sub-problem; `warm_start` seeds the inner solver.
+Vec solve_lambda_block(const LambdaBlockInputs& in, const Vec& warm_start,
+                       const InnerSolverOptions& options);
+
+// ---------------------------------------------------------------------------
+// Step 1.2 — mu-minimization, one scalar per datacenter j (eq. (18));
+// closed form.
+
+struct MuBlockInputs {
+  double alpha = 0.0;             ///< alpha_j, MW.
+  double beta = 0.0;              ///< beta_j, MW per workload unit.
+  double a_col_sum = 0.0;         ///< sum_i a_ij^k.
+  double nu = 0.0;                ///< nu_j^k (0 when the nu block is pinned).
+  double phi = 0.0;               ///< phi_j^k.
+  double rho = 0.3;
+  double fuel_cell_price = 0.0;   ///< p_0.
+  double mu_max = 0.0;            ///< mu_j^max, MW.
+};
+
+double solve_mu_block(const MuBlockInputs& in);
+
+// ---------------------------------------------------------------------------
+// Step 1.3 — nu-minimization, one scalar per datacenter j (eq. (19)):
+//
+//   min_{nu >= 0}  V(kappa * nu) + (p_j - phi_j) nu + (rho/2)(c - nu)^2,
+//   c = alpha_j + beta_j sum_i a_ij^k - mu~_j.
+//
+// Solved by bisection on the monotone derivative, so any convex V works
+// (affine, capped, stepped, quadratic).
+
+struct NuBlockInputs {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double a_col_sum = 0.0;
+  double mu = 0.0;                ///< mu~_j (already updated this iteration).
+  double phi = 0.0;
+  double rho = 0.3;
+  double grid_price = 0.0;        ///< p_j.
+  double carbon_tons_per_mwh = 0.0;  ///< kappa_j = C_j / 1000.
+  const EmissionCostFunction* emission_cost = nullptr;  ///< non-null.
+};
+
+double solve_nu_block(const NuBlockInputs& in);
+
+// ---------------------------------------------------------------------------
+// Step 1.4 — a-minimization, one sub-problem per datacenter j (eq. (20)):
+//
+//   min_{a_j >= 0, sum_i a_ij <= S_j}
+//     phi_j beta_j sum_i a_ij + sum_i varphi_ij a_ij
+//     + (rho/2)(alpha_j + beta_j sum_i a_ij - mu~_j - nu~_j)^2
+//     + (rho/2) sum_i (a_ij - lambda~_ij)^2
+
+struct ABlockInputs {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double mu = 0.0;            ///< mu~_j.
+  double nu = 0.0;            ///< nu~_j.
+  double phi = 0.0;           ///< phi_j^k.
+  Vec varphi_col;             ///< varphi_1j..varphi_Mj (^k).
+  Vec lambda_col;             ///< lambda~_1j..lambda~_Mj.
+  double rho = 0.3;
+  double capacity = 0.0;      ///< S_j, servers.
+};
+
+Vec solve_a_block(const ABlockInputs& in, const Vec& warm_start,
+                  const InnerSolverOptions& options);
+
+// ---------------------------------------------------------------------------
+// Step 1.5 — dual updates.
+
+/// phi~_j = phi_j + rho * (alpha_j + beta_j sum_i a~_ij - mu~_j - nu~_j).
+double update_phi(double phi, double rho, double alpha, double beta,
+                  double a_col_sum, double mu, double nu);
+
+/// varphi~_ij = varphi_ij + rho * (a~_ij - lambda~_ij).
+double update_varphi(double varphi, double rho, double a, double lambda);
+
+}  // namespace ufc::admm

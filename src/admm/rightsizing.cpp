@@ -1,0 +1,84 @@
+#include "admm/rightsizing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+
+Vec right_size_servers(const UfcProblem& problem, const Mat& lambda,
+                       const RightSizingOptions& options) {
+  UFC_EXPECTS(options.min_active_fraction >= 0.0 &&
+              options.min_active_fraction <= 1.0);
+  UFC_EXPECTS(options.headroom >= 1.0);
+  UFC_EXPECTS(lambda.rows() == problem.num_front_ends());
+  UFC_EXPECTS(lambda.cols() == problem.num_datacenters());
+
+  Vec active(problem.num_datacenters());
+  for (std::size_t j = 0; j < active.size(); ++j) {
+    const double fleet = problem.datacenters[j].servers;
+    const double floor_servers = options.min_active_fraction * fleet;
+    const double needed = options.headroom * lambda.col_sum(j);
+    active[j] = std::clamp(std::max(needed, floor_servers), 0.0, fleet);
+  }
+  return active;
+}
+
+UfcProblem with_active_servers(const UfcProblem& problem, const Vec& active) {
+  UFC_EXPECTS(active.size() == problem.num_datacenters());
+  UfcProblem sized = problem;
+  for (std::size_t j = 0; j < active.size(); ++j) {
+    UFC_EXPECTS(active[j] >= 0.0);
+    UFC_EXPECTS(active[j] <= problem.datacenters[j].servers + 1e-9);
+    auto& dc = sized.datacenters[j];
+    const double ratio = active[j] / dc.servers;
+    dc.servers = active[j];
+    // The paper sizes fuel cells to the fleet's peak power; shrink the cap
+    // proportionally so the PinNu feasibility precondition keeps holding.
+    dc.fuel_cell_capacity_mw *= ratio;
+  }
+  return sized;
+}
+
+RightSizedReport solve_right_sized(const UfcProblem& problem,
+                                   Strategy strategy,
+                                   AdmgOptions admg_options,
+                                   const RightSizingOptions& options) {
+  problem.validate();
+  UFC_EXPECTS(options.max_rounds > 0);
+  UFC_EXPECTS(options.relative_tolerance >= 0.0);
+
+  RightSizedReport result;
+  result.active_servers = Vec(problem.num_datacenters());
+  for (std::size_t j = 0; j < result.active_servers.size(); ++j)
+    result.active_servers[j] = problem.datacenters[j].servers;
+
+  UfcProblem current = problem;
+  double previous_ufc = -std::numeric_limits<double>::infinity();
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const auto report = solve_strategy(current, strategy, admg_options);
+    result.rounds = round + 1;
+    result.ufc_per_round.push_back(report.breakdown.ufc);
+    result.final_report = report;
+
+    const double ufc = report.breakdown.ufc;
+    if (std::abs(ufc - previous_ufc) <=
+        options.relative_tolerance * std::max(1.0, std::abs(ufc))) {
+      result.converged = true;
+      break;
+    }
+    previous_ufc = ufc;
+
+    // Right-size against the *original* fleets (the floor and cap refer to
+    // the physically installed servers).
+    result.active_servers =
+        right_size_servers(problem, report.solution.lambda, options);
+    current = with_active_servers(problem, result.active_servers);
+  }
+  return result;
+}
+
+}  // namespace ufc::admm

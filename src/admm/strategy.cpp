@@ -1,0 +1,31 @@
+#include "admm/strategy.hpp"
+
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+
+std::string to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::Grid:     return "Grid";
+    case Strategy::FuelCell: return "FuelCell";
+    case Strategy::Hybrid:   return "Hybrid";
+  }
+  return "?";
+}
+
+BlockPinning pinning_for(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::Grid:     return BlockPinning::PinMu;
+    case Strategy::FuelCell: return BlockPinning::PinNu;
+    case Strategy::Hybrid:   return BlockPinning::None;
+  }
+  return BlockPinning::None;
+}
+
+AdmgReport solve_strategy(const UfcProblem& problem, Strategy strategy,
+                          AdmgOptions options) {
+  options.pinning = pinning_for(strategy);
+  return solve_admg(problem, options);
+}
+
+}  // namespace ufc::admm

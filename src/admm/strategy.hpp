@@ -1,0 +1,32 @@
+// The three operating strategies evaluated throughout the paper's §IV:
+//
+//   Grid     — power only from the electricity grid (mu_j = 0),
+//   FuelCell — power only from fuel cells (nu_j = 0),
+//   Hybrid   — the full joint optimization (the paper's contribution).
+//
+// Each is problem (12) with the corresponding block pinned, so all three
+// run through the same ADM-G solver and are directly comparable.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "admm/admg.hpp"
+
+namespace ufc::admm {
+
+enum class Strategy { Grid, FuelCell, Hybrid };
+
+inline constexpr std::array<Strategy, 3> kAllStrategies = {
+    Strategy::Grid, Strategy::FuelCell, Strategy::Hybrid};
+
+std::string to_string(Strategy strategy);
+
+/// Maps the strategy to its block pinning.
+BlockPinning pinning_for(Strategy strategy);
+
+/// Solves one slot under `strategy` with otherwise-identical options.
+AdmgReport solve_strategy(const UfcProblem& problem, Strategy strategy,
+                          AdmgOptions options = {});
+
+}  // namespace ufc::admm

@@ -1,0 +1,46 @@
+#include "math/dykstra.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+DykstraResult dykstra_project(
+    const Vec& v, const std::vector<std::function<Vec(const Vec&)>>& projectors,
+    const DykstraOptions& options) {
+  UFC_EXPECTS(!projectors.empty());
+  UFC_EXPECTS(options.max_sweeps > 0);
+
+  Vec x = v;
+  // One correction (increment) vector per set, all zero-initialized.
+  std::vector<Vec> corrections(projectors.size(), Vec(v.size(), 0.0));
+
+  DykstraResult result;
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    const Vec x_before = x;
+    // Track correction movement too: early sweeps can leave x unchanged
+    // while corrections are still building (e.g. when one set's projection
+    // keeps undoing the other's), so x-change alone stops too early.
+    double correction_change = 0.0;
+    for (std::size_t s = 0; s < projectors.size(); ++s) {
+      Vec y = x + corrections[s];
+      Vec projected = projectors[s](y);
+      Vec updated = y - projected;
+      correction_change =
+          std::max(correction_change, max_abs_diff(updated, corrections[s]));
+      corrections[s] = std::move(updated);
+      x = std::move(projected);
+    }
+    result.sweeps = sweep + 1;
+    if (max_abs_diff(x, x_before) < options.tolerance &&
+        correction_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.point = std::move(x);
+  return result;
+}
+
+}  // namespace ufc

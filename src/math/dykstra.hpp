@@ -1,0 +1,40 @@
+// Dykstra's alternating projection algorithm.
+//
+// Computes the Euclidean projection of a point onto the intersection of
+// finitely many closed convex sets, each given by its individual projector.
+// Unlike plain alternating projections, Dykstra's correction terms make the
+// limit the true nearest point of the intersection.
+//
+// Used by the centralized reference solver to project routing matrices onto
+// the transportation polytope
+//   { lambda >= 0, row sums = A_i, column sums <= S_j },
+// which has no closed-form projection.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "math/vector.hpp"
+
+namespace ufc {
+
+struct DykstraOptions {
+  int max_sweeps = 500;     ///< Max passes over all sets.
+  double tolerance = 1e-10; ///< Stop when the sweep changes x by less than this (inf-norm).
+};
+
+struct DykstraResult {
+  Vec point;       ///< Approximate projection onto the intersection.
+  int sweeps = 0;  ///< Sweeps performed.
+  bool converged = false;
+};
+
+/// Projects `v` onto the intersection of the given convex sets.
+/// Each projector must return the exact Euclidean projection onto its set.
+/// Requires at least one projector; the intersection must be nonempty for
+/// convergence (otherwise the iterates approach the "closest pair" cycle).
+DykstraResult dykstra_project(
+    const Vec& v, const std::vector<std::function<Vec(const Vec&)>>& projectors,
+    const DykstraOptions& options = {});
+
+}  // namespace ufc

@@ -1,0 +1,104 @@
+#include "math/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+Mat::Mat(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Mat::operator()(std::size_t r, std::size_t c) {
+  UFC_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Mat::operator()(std::size_t r, std::size_t c) const {
+  UFC_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Vec Mat::row(std::size_t r) const {
+  UFC_EXPECTS(r < rows_);
+  Vec out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = data_[r * cols_ + c];
+  return out;
+}
+
+Vec Mat::col(std::size_t c) const {
+  UFC_EXPECTS(c < cols_);
+  Vec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Mat::set_row(std::size_t r, const Vec& values) {
+  UFC_EXPECTS(r < rows_);
+  UFC_EXPECTS(values.size() == cols_);
+  for (std::size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
+}
+
+void Mat::set_col(std::size_t c, const Vec& values) {
+  UFC_EXPECTS(c < cols_);
+  UFC_EXPECTS(values.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];
+}
+
+double Mat::row_sum(std::size_t r) const {
+  UFC_EXPECTS(r < rows_);
+  double total = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) total += data_[r * cols_ + c];
+  return total;
+}
+
+double Mat::col_sum(std::size_t c) const {
+  UFC_EXPECTS(c < cols_);
+  double total = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) total += data_[r * cols_ + c];
+  return total;
+}
+
+void Mat::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Mat& Mat::operator+=(const Mat& other) {
+  UFC_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Mat& Mat::operator-=(const Mat& other) {
+  UFC_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Mat& Mat::operator*=(double scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+double max_abs_diff(const Mat& a, const Mat& b) {
+  UFC_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    m = std::max(m, std::abs(a.raw()[i] - b.raw()[i]));
+  return m;
+}
+
+double frobenius_norm(const Mat& m) {
+  double total = 0.0;
+  for (double x : m.raw()) total += x * x;
+  return std::sqrt(total);
+}
+
+double sum(const Mat& m) {
+  double total = 0.0;
+  for (double x : m.raw()) total += x;
+  return total;
+}
+
+}  // namespace ufc

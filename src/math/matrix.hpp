@@ -1,0 +1,57 @@
+// Dense row-major matrix, used for M x N routing variables (lambda, a),
+// per-pair latencies L_ij and dual variables phi_ij.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/vector.hpp"
+
+namespace ufc {
+
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Row r as a copy.
+  Vec row(std::size_t r) const;
+  /// Column c as a copy.
+  Vec col(std::size_t c) const;
+  /// Overwrites row r.
+  void set_row(std::size_t r, const Vec& values);
+  /// Overwrites column c.
+  void set_col(std::size_t c, const Vec& values);
+
+  double row_sum(std::size_t r) const;
+  double col_sum(std::size_t c) const;
+
+  void fill(double value);
+
+  Mat& operator+=(const Mat& other);
+  Mat& operator-=(const Mat& other);
+  Mat& operator*=(double scalar);
+
+  const std::vector<double>& raw() const { return data_; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Frobenius norm of the element-wise difference.
+double max_abs_diff(const Mat& a, const Mat& b);
+double frobenius_norm(const Mat& m);
+double sum(const Mat& m);
+
+}  // namespace ufc

@@ -1,0 +1,77 @@
+#include "math/projections.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+Vec project_box(Vec v, double lo, double hi) {
+  UFC_EXPECTS(lo <= hi);
+  for (auto& x : v) x = std::clamp(x, lo, hi);
+  return v;
+}
+
+Vec project_simplex(const Vec& v, double total) {
+  UFC_EXPECTS(total >= 0.0);
+  UFC_EXPECTS(!v.empty());
+  if (total == 0.0) return Vec(v.size(), 0.0);
+  // Sort descending, find the threshold tau with
+  //   tau = (prefix_sum(k) - total) / k
+  // for the largest k such that sorted[k-1] > tau.
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double prefix = 0.0;
+  double tau = 0.0;
+  std::size_t support = 0;
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    prefix += sorted[k];
+    const double candidate = (prefix - total) / static_cast<double>(k + 1);
+    if (sorted[k] - candidate > 0.0) {
+      tau = candidate;
+      support = k + 1;
+    } else {
+      break;
+    }
+  }
+  UFC_ENSURES(support > 0);
+  Vec out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out[i] = std::max(v[i] - tau, 0.0);
+  return out;
+}
+
+Vec project_capped_simplex(const Vec& v, double cap) {
+  UFC_EXPECTS(cap >= 0.0);
+  Vec clipped = project_nonnegative(v);
+  if (sum(clipped) <= cap) return clipped;
+  // Projection onto the intersection equals the simplex projection when the
+  // inequality is active (standard KKT argument: the multiplier of the sum
+  // constraint is positive, so the constraint binds).
+  return project_simplex(v, cap);
+}
+
+Vec project_affine_sum(Vec v, double total) {
+  UFC_EXPECTS(!v.empty());
+  const double shift = (total - sum(v)) / static_cast<double>(v.size());
+  for (auto& x : v) x += shift;
+  return v;
+}
+
+Vec project_halfspace(Vec v, const Vec& a, double b) {
+  UFC_EXPECTS(v.size() == a.size());
+  const double aa = dot(a, a);
+  UFC_EXPECTS(aa > 0.0);
+  const double violation = dot(a, v) - b;
+  if (violation <= 0.0) return v;
+  axpy(-violation / aa, a, v);
+  return v;
+}
+
+Vec project_nonnegative(Vec v) {
+  for (auto& x : v) x = std::max(x, 0.0);
+  return v;
+}
+
+}  // namespace ufc

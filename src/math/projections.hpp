@@ -1,0 +1,36 @@
+// Euclidean projections onto the feasible sets of the UFC program.
+//
+//  - box            [lo, hi]^n                       (mu blocks)
+//  - simplex        {x >= 0, sum x  = total}         (lambda rows, eq. (4))
+//  - capped simplex {x >= 0, sum x <= cap}           (a columns, eq. (14))
+//  - affine sum     {x : sum x = total}              (Dykstra component)
+//  - halfspace      {x : <a, x> <= b}                (Dykstra component)
+//
+// The simplex projection is the classic O(n log n) sort-and-threshold
+// algorithm (Held/Wolfe/Crowder): find tau such that sum max(v_i - tau, 0)
+// = total.
+#pragma once
+
+#include "math/vector.hpp"
+
+namespace ufc {
+
+/// Clamps each entry of v into [lo, hi]. Requires lo <= hi.
+Vec project_box(Vec v, double lo, double hi);
+
+/// Projects v onto {x >= 0, sum x = total}. Requires total >= 0.
+Vec project_simplex(const Vec& v, double total);
+
+/// Projects v onto {x >= 0, sum x <= cap}. Requires cap >= 0.
+Vec project_capped_simplex(const Vec& v, double cap);
+
+/// Projects v onto the affine set {x : sum x = total}.
+Vec project_affine_sum(Vec v, double total);
+
+/// Projects v onto the halfspace {x : dot(a, x) <= b}. Requires a != 0.
+Vec project_halfspace(Vec v, const Vec& a, double b);
+
+/// Returns max(0, x) element-wise (projection onto the nonnegative orthant).
+Vec project_nonnegative(Vec v);
+
+}  // namespace ufc

@@ -1,0 +1,40 @@
+#include "model/battery.hpp"
+
+#include <algorithm>
+
+namespace ufc {
+
+Battery::Battery(const BatterySpec& spec) : spec_(spec) {
+  UFC_EXPECTS(spec.capacity_mwh >= 0.0);
+  UFC_EXPECTS(spec.max_charge_mw >= 0.0);
+  UFC_EXPECTS(spec.max_discharge_mw >= 0.0);
+  UFC_EXPECTS(spec.round_trip_efficiency > 0.0 &&
+              spec.round_trip_efficiency <= 1.0);
+}
+
+double Battery::available_discharge_mw() const {
+  return std::min(spec_.max_discharge_mw, charge_mwh_);
+}
+
+double Battery::available_charge_mw() const {
+  const double room = spec_.capacity_mwh - charge_mwh_;
+  return std::min(spec_.max_charge_mw,
+                  room / spec_.round_trip_efficiency);
+}
+
+double Battery::charge_from_grid(double grid_mw) {
+  UFC_EXPECTS(grid_mw >= 0.0);
+  const double accepted = std::min(grid_mw, available_charge_mw());
+  const double stored = accepted * spec_.round_trip_efficiency;
+  charge_mwh_ = std::min(spec_.capacity_mwh, charge_mwh_ + stored);
+  return stored;
+}
+
+double Battery::discharge(double requested_mw) {
+  UFC_EXPECTS(requested_mw >= 0.0);
+  const double delivered = std::min(requested_mw, available_discharge_mw());
+  charge_mwh_ -= delivered;
+  return delivered;
+}
+
+}  // namespace ufc

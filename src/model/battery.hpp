@@ -1,0 +1,51 @@
+// Battery storage model for the temporal peak-shaving extension.
+//
+// The paper restricts decisions to one slot (interactive load is
+// non-deferrable), explicitly leaving temporal levers to related work
+// (peak shaving [19], GreenSwitch-style storage [26]). A datacenter battery
+// is the minimal such lever: it couples slots through its state of charge
+// and lets the operator buy cheap off-peak grid energy to displace
+// expensive peak energy. sim/storage.hpp layers a threshold policy for it
+// on top of the per-slot UFC optimization.
+#pragma once
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+/// Static battery parameters (per datacenter).
+struct BatterySpec {
+  double capacity_mwh = 0.0;       ///< Usable energy content.
+  double max_charge_mw = 0.0;      ///< Grid -> battery rate limit.
+  double max_discharge_mw = 0.0;   ///< Battery -> load rate limit.
+  /// Round-trip efficiency in (0, 1]; losses are charged on the way in
+  /// (storing 1 MWh of dischargeable energy draws 1/eff MWh from the grid).
+  double round_trip_efficiency = 0.85;
+};
+
+/// Mutable battery state with enforced physical limits.
+class Battery {
+ public:
+  explicit Battery(const BatterySpec& spec);
+
+  const BatterySpec& spec() const { return spec_; }
+  double charge_mwh() const { return charge_mwh_; }
+  /// Dischargeable headroom this slot, MW (1-hour slots).
+  double available_discharge_mw() const;
+  /// Chargeable headroom this slot, MW, measured at the battery terminals.
+  double available_charge_mw() const;
+
+  /// Draws `grid_mw` from the grid for one hour; stores grid_mw * eff.
+  /// Returns the energy actually stored (MWh). Clamps to limits.
+  double charge_from_grid(double grid_mw);
+
+  /// Discharges up to `requested_mw` for one hour; returns the power
+  /// actually delivered (MW). Clamps to limits.
+  double discharge(double requested_mw);
+
+ private:
+  BatterySpec spec_;
+  double charge_mwh_ = 0.0;
+};
+
+}  // namespace ufc

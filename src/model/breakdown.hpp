@@ -1,0 +1,48 @@
+// UFC evaluation: decomposes an operating point (lambda, mu) into the three
+// components of the index — workload utility, energy cost and carbon cost —
+// plus the derived metrics every figure of the paper reports (average
+// latency, fuel-cell utilization, emissions).
+#pragma once
+
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+#include "model/problem.hpp"
+
+namespace ufc {
+
+/// All UFC components for one slot at one operating point.
+struct UfcBreakdown {
+  double utility = 0.0;           ///< w * sum_i U(lambda_i), $ (non-positive).
+  double energy_cost = 0.0;       ///< sum_j p_j nu_j + p0 mu_j, $.
+  double grid_cost = 0.0;         ///< sum_j p_j nu_j, $.
+  double fuel_cell_cost = 0.0;    ///< sum_j p0 mu_j, $.
+  double carbon_cost = 0.0;       ///< sum_j V_j(E_j), $.
+  double carbon_tons = 0.0;       ///< sum_j E_j, metric tons.
+  double ufc = 0.0;               ///< utility - energy_cost - carbon_cost.
+  double avg_latency_ms = 0.0;    ///< request-weighted over all front-ends.
+  double demand_mwh = 0.0;        ///< total power demand this slot.
+  double fuel_cell_mwh = 0.0;     ///< total fuel-cell generation.
+  double grid_mwh = 0.0;          ///< total grid draw.
+  double utilization = 0.0;       ///< fuel_cell_mwh / demand_mwh in [0, 1].
+};
+
+/// Evaluates all UFC components at (lambda, mu). The point need not be
+/// exactly feasible (solvers call this on slightly-infeasible iterates);
+/// nu is computed from the power balance and clamped at 0 for costing.
+UfcBreakdown evaluate(const UfcProblem& problem, const Mat& lambda,
+                      const Vec& mu);
+
+/// The scalar UFC objective (paper problem (3)) at (lambda, mu).
+double ufc_objective(const UfcProblem& problem, const Mat& lambda,
+                     const Vec& mu);
+
+/// The equivalent minimization objective of the ADMM form (problem (13)):
+/// energy + carbon - utility, with nu given explicitly.
+double min_objective(const UfcProblem& problem, const Mat& lambda,
+                     const Vec& mu, const Vec& nu);
+
+/// Relative improvement of strategy x over strategy y as the paper's
+/// I indexes: (UFC_x - UFC_y) / |UFC_y|, in percent.
+double improvement_percent(double ufc_x, double ufc_y);
+
+}  // namespace ufc

@@ -1,0 +1,130 @@
+#include "model/emission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+AffineCarbonTax::AffineCarbonTax(double rate_per_ton) : rate_(rate_per_ton) {
+  UFC_EXPECTS(rate_per_ton >= 0.0);
+}
+
+double AffineCarbonTax::value(double tons) const { return rate_ * tons; }
+
+double AffineCarbonTax::derivative(double /*tons*/) const { return rate_; }
+
+std::unique_ptr<EmissionCostFunction> AffineCarbonTax::clone() const {
+  return std::make_unique<AffineCarbonTax>(*this);
+}
+
+CapAndTradeCost::CapAndTradeCost(double cap_tons, double permit_price_per_ton)
+    : cap_(cap_tons), permit_price_(permit_price_per_ton) {
+  UFC_EXPECTS(cap_tons >= 0.0);
+  UFC_EXPECTS(permit_price_per_ton >= 0.0);
+}
+
+double CapAndTradeCost::value(double tons) const {
+  return permit_price_ * std::max(0.0, tons - cap_);
+}
+
+double CapAndTradeCost::derivative(double tons) const {
+  // Right-derivative selection at the kink keeps the map monotone.
+  return tons >= cap_ ? permit_price_ : 0.0;
+}
+
+std::unique_ptr<EmissionCostFunction> CapAndTradeCost::clone() const {
+  return std::make_unique<CapAndTradeCost>(*this);
+}
+
+SteppedCarbonTax::SteppedCarbonTax(std::vector<double> thresholds,
+                                   std::vector<double> rates)
+    : thresholds_(std::move(thresholds)), rates_(std::move(rates)) {
+  UFC_EXPECTS(!rates_.empty());
+  UFC_EXPECTS(thresholds_.size() + 1 == rates_.size());
+  UFC_EXPECTS(std::is_sorted(thresholds_.begin(), thresholds_.end()));
+  for (std::size_t k = 0; k < thresholds_.size(); ++k) {
+    UFC_EXPECTS(thresholds_[k] >= 0.0);
+    if (k + 1 < thresholds_.size())
+      UFC_EXPECTS(thresholds_[k] < thresholds_[k + 1]);
+  }
+  // Non-decreasing marginal rates => convexity.
+  UFC_EXPECTS(std::is_sorted(rates_.begin(), rates_.end()));
+  UFC_EXPECTS(rates_.front() >= 0.0);
+}
+
+double SteppedCarbonTax::value(double tons) const {
+  if (tons <= 0.0) return 0.0;
+  double total = 0.0;
+  double lower = 0.0;
+  for (std::size_t k = 0; k < rates_.size(); ++k) {
+    const double upper =
+        (k < thresholds_.size()) ? thresholds_[k]
+                                 : std::numeric_limits<double>::infinity();
+    const double span = std::min(tons, upper) - lower;
+    if (span <= 0.0) break;
+    total += rates_[k] * span;
+    lower = upper;
+  }
+  return total;
+}
+
+double SteppedCarbonTax::derivative(double tons) const {
+  for (std::size_t k = 0; k < thresholds_.size(); ++k) {
+    if (tons < thresholds_[k]) return rates_[k];
+  }
+  return rates_.back();
+}
+
+std::unique_ptr<EmissionCostFunction> SteppedCarbonTax::clone() const {
+  return std::make_unique<SteppedCarbonTax>(*this);
+}
+
+QuadraticEmissionCost::QuadraticEmissionCost(double linear_per_ton,
+                                             double quadratic_per_ton2)
+    : linear_(linear_per_ton), quadratic_(quadratic_per_ton2) {
+  UFC_EXPECTS(linear_per_ton >= 0.0);
+  UFC_EXPECTS(quadratic_per_ton2 >= 0.0);
+}
+
+double QuadraticEmissionCost::value(double tons) const {
+  return linear_ * tons + quadratic_ * tons * tons;
+}
+
+double QuadraticEmissionCost::derivative(double tons) const {
+  return linear_ + 2.0 * quadratic_ * tons;
+}
+
+std::unique_ptr<EmissionCostFunction> QuadraticEmissionCost::clone() const {
+  return std::make_unique<QuadraticEmissionCost>(*this);
+}
+
+double fuel_carbon_factor(FuelType type) {
+  // Paper Table III (g CO2 / kWh); solar from common LCA estimates.
+  switch (type) {
+    case FuelType::Nuclear: return 15.0;
+    case FuelType::Coal:    return 968.0;
+    case FuelType::Gas:     return 440.0;
+    case FuelType::Oil:     return 890.0;
+    case FuelType::Hydro:   return 13.5;
+    case FuelType::Wind:    return 22.5;
+    case FuelType::Solar:   return 45.0;
+  }
+  return 0.0;
+}
+
+double carbon_rate_kg_per_mwh(const FuelMix& mix) {
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::size_t k = 0; k < kFuelTypeCount; ++k) {
+    UFC_EXPECTS(mix[k] >= 0.0);
+    total += mix[k];
+    weighted += mix[k] * fuel_carbon_factor(static_cast<FuelType>(k));
+  }
+  UFC_EXPECTS(total > 0.0);
+  return weighted / total;  // g/kWh == kg/MWh
+}
+
+}  // namespace ufc

@@ -1,0 +1,120 @@
+// Carbon-emission cost functions V_j(E) (paper §II-B2) and the electricity
+// carbon-rate computation of eq. (1).
+//
+// E is the grid-side carbon emission in metric tons per slot; V_j maps it to
+// a monetary cost. The paper only requires V_j to be non-decreasing and
+// convex — and explicitly studies non-strongly-convex policies (affine
+// carbon taxes, linear cap-and-trade, stepped taxes), which is why its
+// solver is ADM-G rather than plain multi-block ADMM.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ufc {
+
+/// Convex non-decreasing monetary emission cost V(E), E in tons.
+class EmissionCostFunction {
+ public:
+  virtual ~EmissionCostFunction() = default;
+
+  /// V(E) in dollars. Must be convex and non-decreasing for E >= 0.
+  virtual double value(double tons) const = 0;
+
+  /// A subgradient selection dV/dE (monotone non-decreasing in E).
+  virtual double derivative(double tons) const = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<EmissionCostFunction> clone() const = 0;
+};
+
+/// Flat carbon tax: V(E) = rate * E  (e.g. Australia's $23AUD/ton scheme).
+class AffineCarbonTax final : public EmissionCostFunction {
+ public:
+  explicit AffineCarbonTax(double rate_per_ton);
+  double value(double tons) const override;
+  double derivative(double tons) const override;
+  std::string name() const override { return "affine-tax"; }
+  std::unique_ptr<EmissionCostFunction> clone() const override;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Cap-and-trade: free up to the cap, permits at `permit_price` beyond it:
+/// V(E) = permit_price * max(0, E - cap). Convex piecewise linear.
+class CapAndTradeCost final : public EmissionCostFunction {
+ public:
+  CapAndTradeCost(double cap_tons, double permit_price_per_ton);
+  double value(double tons) const override;
+  double derivative(double tons) const override;
+  std::string name() const override { return "cap-and-trade"; }
+  std::unique_ptr<EmissionCostFunction> clone() const override;
+
+  double cap() const { return cap_; }
+  double permit_price() const { return permit_price_; }
+
+ private:
+  double cap_;
+  double permit_price_;
+};
+
+/// Stepped (progressive) tax: marginal rate rates[k] applies inside
+/// (thresholds[k-1], thresholds[k]]; rates must be non-decreasing so the
+/// total is convex. thresholds must be strictly increasing, the last
+/// bracket is unbounded.
+class SteppedCarbonTax final : public EmissionCostFunction {
+ public:
+  /// `thresholds` has one fewer entry than `rates`.
+  SteppedCarbonTax(std::vector<double> thresholds, std::vector<double> rates);
+  double value(double tons) const override;
+  double derivative(double tons) const override;
+  std::string name() const override { return "stepped-tax"; }
+  std::unique_ptr<EmissionCostFunction> clone() const override;
+
+ private:
+  std::vector<double> thresholds_;
+  std::vector<double> rates_;
+};
+
+/// Quadratic offset cost: V(E) = linear * E + quadratic * E^2, modelling
+/// offset projects whose marginal price rises with volume. Strongly convex
+/// when quadratic > 0.
+class QuadraticEmissionCost final : public EmissionCostFunction {
+ public:
+  QuadraticEmissionCost(double linear_per_ton, double quadratic_per_ton2);
+  double value(double tons) const override;
+  double derivative(double tons) const override;
+  std::string name() const override { return "quadratic"; }
+  std::unique_ptr<EmissionCostFunction> clone() const override;
+
+ private:
+  double linear_;
+  double quadratic_;
+};
+
+// ---------------------------------------------------------------------------
+// Electricity carbon rate (paper eq. (1) and Table III).
+
+/// Fuel types of the paper's Table III.
+enum class FuelType { Nuclear, Coal, Gas, Oil, Hydro, Wind, Solar };
+
+inline constexpr std::size_t kFuelTypeCount = 7;
+
+/// CO2 grams per kWh for each fuel type. Table III of the paper gives the
+/// first six; solar (not in the table) uses the commonly cited 45 g/kWh.
+double fuel_carbon_factor(FuelType type);
+
+/// One region-hour of generation, in MWh per fuel type.
+using FuelMix = std::array<double, kFuelTypeCount>;
+
+/// Paper eq. (1): weighted average carbon rate of a fuel mix, in kg/MWh
+/// (numerically equal to g/kWh). Requires a strictly positive total.
+double carbon_rate_kg_per_mwh(const FuelMix& mix);
+
+}  // namespace ufc

@@ -1,0 +1,32 @@
+// Complementary datacenter indexes (paper §II-B): PUE, CUE and ERP.
+//
+// The paper positions UFC against the established single-facility indexes —
+// PUE (Power Usage Effectiveness), CUE (Carbon Usage Effectiveness) and ERP
+// (Energy-Response-time Product) — arguing none of them captures the joint
+// cost/carbon/performance picture for a geo-distributed cloud. We implement
+// all three so experiments can show where the rankings disagree.
+#pragma once
+
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+#include "model/problem.hpp"
+
+namespace ufc {
+
+struct IndexMetrics {
+  /// Fleet-level PUE: total facility energy / IT-equipment energy.
+  double pue = 0.0;
+  /// CUE: grid-side CO2 (kg) per kWh of IT energy (The Green Grid metric).
+  double cue_kg_per_kwh = 0.0;
+  /// ERP: average power draw (kW) x request-weighted mean latency (s)
+  /// (Gandhi et al., Performance Evaluation 2010).
+  double erp_kws = 0.0;
+  /// Total IT-equipment energy this slot, MWh.
+  double it_energy_mwh = 0.0;
+};
+
+/// Computes PUE / CUE / ERP at an operating point (lambda, mu).
+IndexMetrics complementary_indexes(const UfcProblem& problem,
+                                   const Mat& lambda, const Vec& mu);
+
+}  // namespace ufc

@@ -1,0 +1,28 @@
+#include "model/power.hpp"
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+double power_alpha_mw(double servers, const ServerPowerModel& model,
+                      double pue) {
+  UFC_EXPECTS(servers >= 0.0);
+  UFC_EXPECTS(model.idle_watts >= 0.0);
+  UFC_EXPECTS(pue >= 1.0);
+  return servers * model.idle_watts * pue / kWattsPerMegawatt;
+}
+
+double power_beta_mw(const ServerPowerModel& model, double pue) {
+  UFC_EXPECTS(model.peak_watts >= model.idle_watts);
+  UFC_EXPECTS(pue >= 1.0);
+  return (model.peak_watts - model.idle_watts) * pue / kWattsPerMegawatt;
+}
+
+double power_demand_mw(double servers, const ServerPowerModel& model,
+                       double pue, double workload) {
+  UFC_EXPECTS(workload >= 0.0);
+  return power_alpha_mw(servers, model, pue) +
+         power_beta_mw(model, pue) * workload;
+}
+
+}  // namespace ufc

@@ -1,0 +1,34 @@
+// Datacenter power-demand model (paper §II-B1).
+//
+// The aggregate server power of S_j homogeneous active servers handling
+// workload sum_i lambda_ij ("servers required" units) is linear:
+//
+//     D_j = ( S_j * P_idle + (P_peak - P_idle) * sum_i lambda_ij ) * PUE_j
+//         = alpha_j + beta_j * sum_i lambda_ij           [watts]
+//
+// We work in megawatts throughout so that with 1-hour slots, energy in MWh
+// is numerically equal to power in MW and prices in $/MWh apply directly.
+#pragma once
+
+namespace ufc {
+
+/// Homogeneous-server power envelope, in watts.
+struct ServerPowerModel {
+  double idle_watts = 100.0;  ///< P_idle — the paper's setting.
+  double peak_watts = 200.0;  ///< P_peak — the paper's setting.
+};
+
+inline constexpr double kWattsPerMegawatt = 1e6;
+
+/// alpha_j = S_j * P_idle * PUE_j, in MW.
+double power_alpha_mw(double servers, const ServerPowerModel& model,
+                      double pue);
+
+/// beta_j = (P_peak - P_idle) * PUE_j, in MW per unit of workload.
+double power_beta_mw(const ServerPowerModel& model, double pue);
+
+/// Total demand alpha + beta * workload, in MW.
+double power_demand_mw(double servers, const ServerPowerModel& model,
+                       double pue, double workload);
+
+}  // namespace ufc

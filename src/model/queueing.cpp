@@ -1,0 +1,93 @@
+#include "model/queueing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+double erlang_c_wait_probability(double offered_load, double servers) {
+  UFC_EXPECTS(offered_load >= 0.0);
+  UFC_EXPECTS(servers > 0.0);
+  UFC_EXPECTS(offered_load < servers);
+  if (offered_load == 0.0) return 0.0;
+
+  // Stable recurrence for the Erlang-B blocking probability:
+  //   B(0) = 1;  B(k) = a B(k-1) / (k + a B(k-1)),
+  // then C = B / (1 - rho (1 - B)) with rho = a / c. Fractional server
+  // counts interpolate the recurrence's last step, which is standard
+  // practice for fluid fleets.
+  const double a = offered_load;
+  const auto whole = static_cast<std::size_t>(servers);
+  double blocking = 1.0;
+  for (std::size_t k = 1; k <= whole; ++k) {
+    blocking = a * blocking / (static_cast<double>(k) + a * blocking);
+  }
+  const double frac = servers - static_cast<double>(whole);
+  if (frac > 0.0) {
+    blocking = a * blocking / (static_cast<double>(whole) + frac + a * blocking);
+  }
+  const double rho = a / servers;
+  const double wait = blocking / (1.0 - rho * (1.0 - blocking));
+  return std::clamp(wait, 0.0, 1.0);
+}
+
+double mmc_mean_wait_s(double lambda_rate, double mu_rate, double servers) {
+  UFC_EXPECTS(lambda_rate >= 0.0);
+  UFC_EXPECTS(mu_rate > 0.0);
+  UFC_EXPECTS(servers > 0.0);
+  const double offered = lambda_rate / mu_rate;
+  if (offered >= servers) return std::numeric_limits<double>::infinity();
+  if (lambda_rate == 0.0) return 0.0;
+  const double wait_probability = erlang_c_wait_probability(offered, servers);
+  return wait_probability / (servers * mu_rate - lambda_rate);
+}
+
+QueueingAssessment assess_queueing(const UfcProblem& problem,
+                                   const Mat& lambda,
+                                   const QueueingModelParams& params) {
+  UFC_EXPECTS(lambda.rows() == problem.num_front_ends());
+  UFC_EXPECTS(lambda.cols() == problem.num_datacenters());
+  UFC_EXPECTS(params.service_rate_per_server > 0.0);
+  UFC_EXPECTS(params.utilization_cap > 0.0 && params.utilization_cap < 1.0);
+
+  QueueingAssessment out;
+
+  // Per-datacenter mean wait. One workload unit = one server's worth of
+  // offered load, so lambda_rate = load * service_rate.
+  std::vector<double> wait_s(problem.num_datacenters(), 0.0);
+  for (std::size_t j = 0; j < problem.num_datacenters(); ++j) {
+    const double servers = problem.datacenters[j].servers;
+    double load = lambda.col_sum(j);
+    const double cap = params.utilization_cap * servers;
+    if (load > cap) {
+      out.stable = false;
+      load = cap;
+    }
+    wait_s[j] = mmc_mean_wait_s(load * params.service_rate_per_server,
+                                params.service_rate_per_server, servers);
+  }
+
+  double weighted_propagation = 0.0;
+  double weighted_queueing = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < problem.num_front_ends(); ++i) {
+    for (std::size_t j = 0; j < problem.num_datacenters(); ++j) {
+      const double flow = std::max(0.0, lambda(i, j));
+      weighted_propagation += flow * problem.latency_s(i, j);
+      weighted_queueing += flow * wait_s[j];
+      total += flow;
+    }
+  }
+  if (total > 0.0) {
+    out.avg_propagation_ms = 1e3 * weighted_propagation / total;
+    out.avg_queueing_ms = 1e3 * weighted_queueing / total;
+  }
+  const double sum = out.avg_propagation_ms + out.avg_queueing_ms;
+  out.queueing_share = sum > 0.0 ? out.avg_queueing_ms / sum : 0.0;
+  return out;
+}
+
+}  // namespace ufc

@@ -1,0 +1,219 @@
+#include "net/agents.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace ufc::net {
+
+// --------------------------------------------------------------------------
+// FrontEndAgent
+
+FrontEndAgent::FrontEndAgent(FrontEndLocalConfig config)
+    : config_(std::move(config)) {
+  UFC_EXPECTS(config_.utility != nullptr);
+  UFC_EXPECTS(!config_.latency_row_s.empty());
+  n_ = config_.latency_row_s.size();
+  lambda_ = Vec(n_, 0.0);
+  lambda_tilde_ = Vec(n_, 0.0);
+  a_ = Vec(n_, 0.0);
+  varphi_ = Vec(n_, 0.0);
+}
+
+void FrontEndAgent::send_proposals(MessageBus& bus, int iteration) {
+  admm::LambdaBlockInputs in;
+  in.arrival = config_.arrival;
+  in.latency_row = config_.latency_row_s;
+  in.a_row = a_;
+  in.varphi_row = varphi_;
+  in.rho = config_.protocol.rho;
+  in.latency_weight = config_.latency_weight;
+  in.utility = config_.utility.get();
+  lambda_tilde_ = admm::solve_lambda_block(in, lambda_, config_.protocol.inner);
+
+  for (std::size_t j = 0; j < n_; ++j) {
+    Message msg;
+    msg.source = id();
+    msg.destination = datacenter_id(j);
+    msg.type = MessageType::RoutingProposal;
+    msg.iteration = iteration;
+    msg.payload = {lambda_tilde_[j], varphi_[j]};
+    bus.send(std::move(msg));
+  }
+}
+
+void FrontEndAgent::process_assignments(MessageBus& bus, int iteration) {
+  Vec a_tilde(n_, 0.0);
+  std::size_t received = 0;
+  for (auto& msg : bus.drain(id())) {
+    UFC_EXPECTS(msg.type == MessageType::RoutingAssignment);
+    UFC_EXPECTS(msg.iteration == iteration);
+    UFC_EXPECTS(msg.payload.size() == 1);
+    a_tilde[datacenter_index(msg.source)] = msg.payload[0];
+    ++received;
+  }
+  UFC_EXPECTS(received == n_);
+
+  const double rho = config_.protocol.rho;
+  const bool gbs = config_.protocol.gaussian_back_substitution;
+  const double eps = gbs ? config_.protocol.epsilon : 1.0;
+
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double varphi_tilde =
+        admm::update_varphi(varphi_[j], rho, a_tilde[j], lambda_tilde_[j]);
+    if (gbs) {
+      varphi_[j] += eps * (varphi_tilde - varphi_[j]);
+      a_[j] += eps * (a_tilde[j] - a_[j]);
+    } else {
+      varphi_[j] = varphi_tilde;
+      a_[j] = a_tilde[j];
+    }
+  }
+  lambda_ = lambda_tilde_;
+
+  last_copy_residual_ = 0.0;
+  for (std::size_t j = 0; j < n_; ++j)
+    last_copy_residual_ =
+        std::max(last_copy_residual_, std::abs(a_[j] - lambda_[j]));
+
+  Message report;
+  report.source = id();
+  report.destination = kCoordinatorId;
+  report.type = MessageType::ConvergenceReport;
+  report.iteration = iteration;
+  report.payload = {last_copy_residual_};
+  bus.send(std::move(report));
+}
+
+// --------------------------------------------------------------------------
+// DatacenterAgent
+
+DatacenterAgent::DatacenterAgent(DatacenterLocalConfig config)
+    : config_(std::move(config)) {
+  UFC_EXPECTS(config_.num_front_ends > 0);
+  UFC_EXPECTS(config_.emission_cost != nullptr);
+  UFC_EXPECTS(!(config_.protocol.pin_mu && config_.protocol.pin_nu));
+  a_ = Vec(config_.num_front_ends, 0.0);
+}
+
+void DatacenterAgent::process_proposals(MessageBus& bus, int iteration) {
+  const std::size_t m = config_.num_front_ends;
+  Vec lambda_tilde(m, 0.0);
+  Vec varphi(m, 0.0);
+  std::size_t received = 0;
+  for (auto& msg : bus.drain(id())) {
+    UFC_EXPECTS(msg.type == MessageType::RoutingProposal);
+    UFC_EXPECTS(msg.iteration == iteration);
+    UFC_EXPECTS(msg.payload.size() == 2);
+    const std::size_t i = front_end_index(msg.source);
+    lambda_tilde[i] = msg.payload[0];
+    varphi[i] = msg.payload[1];
+    ++received;
+  }
+  UFC_EXPECTS(received == m);
+
+  const auto& protocol = config_.protocol;
+  const double rho = protocol.rho;
+  const double a_col_sum_k = sum(a_);
+
+  // Procedure 2: mu block (uses a^k, nu^k, phi^k).
+  double mu_tilde = 0.0;
+  if (!protocol.pin_mu) {
+    admm::MuBlockInputs in;
+    in.alpha = config_.alpha_mw;
+    in.beta = config_.beta_mw;
+    in.a_col_sum = a_col_sum_k;
+    in.nu = nu_;
+    in.phi = phi_;
+    in.rho = rho;
+    in.fuel_cell_price = config_.fuel_cell_price;
+    in.mu_max = config_.fuel_cell_capacity_mw;
+    mu_tilde = admm::solve_mu_block(in);
+  }
+
+  // Procedure 3: nu block (uses a^k, mu~, phi^k).
+  double nu_tilde = 0.0;
+  if (!protocol.pin_nu) {
+    admm::NuBlockInputs in;
+    in.alpha = config_.alpha_mw;
+    in.beta = config_.beta_mw;
+    in.a_col_sum = a_col_sum_k;
+    in.mu = mu_tilde;
+    in.phi = phi_;
+    in.rho = rho;
+    in.grid_price = config_.grid_price;
+    in.carbon_tons_per_mwh = config_.carbon_tons_per_mwh;
+    in.emission_cost = config_.emission_cost.get();
+    nu_tilde = admm::solve_nu_block(in);
+  }
+
+  // Procedure 4: a block (uses lambda~, mu~, nu~, phi^k, varphi^k).
+  admm::ABlockInputs a_in;
+  a_in.alpha = config_.alpha_mw;
+  a_in.beta = config_.beta_mw;
+  a_in.mu = mu_tilde;
+  a_in.nu = nu_tilde;
+  a_in.phi = phi_;
+  a_in.varphi_col = varphi;
+  a_in.lambda_col = lambda_tilde;
+  a_in.rho = rho;
+  a_in.capacity = config_.capacity_servers;
+  const Vec a_tilde = admm::solve_a_block(a_in, a_, protocol.inner);
+
+  // Reply the assignments (procedure 4's second half).
+  for (std::size_t i = 0; i < m; ++i) {
+    Message msg;
+    msg.source = id();
+    msg.destination = front_end_id(i);
+    msg.type = MessageType::RoutingAssignment;
+    msg.iteration = iteration;
+    msg.payload = {a_tilde[i]};
+    bus.send(std::move(msg));
+  }
+
+  // Procedure 5: local dual update.
+  const double phi_tilde =
+      admm::update_phi(phi_, rho, config_.alpha_mw, config_.beta_mw,
+                       sum(a_tilde), mu_tilde, nu_tilde);
+
+  // Correction step (Gaussian back substitution), backward order.
+  const bool gbs = protocol.gaussian_back_substitution;
+  const double eps = gbs ? protocol.epsilon : 1.0;
+  if (gbs) {
+    phi_ += eps * (phi_tilde - phi_);
+    double delta_sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double delta = eps * (a_tilde[i] - a_[i]);
+      a_[i] += delta;
+      delta_sum += delta;
+    }
+    const double nu_old = nu_;
+    if (!protocol.pin_nu)
+      nu_ += eps * (nu_tilde - nu_) + config_.beta_mw * delta_sum;
+    if (!protocol.pin_mu) {
+      double correction = eps * (mu_tilde - mu_);
+      if (!protocol.pin_nu) correction -= (nu_ - nu_old);
+      correction += config_.beta_mw * delta_sum;
+      mu_ += correction;
+    }
+  } else {
+    phi_ = phi_tilde;
+    a_ = a_tilde;
+    nu_ = nu_tilde;
+    mu_ = mu_tilde;
+  }
+
+  last_balance_residual_ = std::abs(config_.alpha_mw +
+                                    config_.beta_mw * sum(a_) - mu_ - nu_);
+
+  Message report;
+  report.source = id();
+  report.destination = kCoordinatorId;
+  report.type = MessageType::ConvergenceReport;
+  report.iteration = iteration;
+  report.payload = {last_balance_residual_};
+  bus.send(std::move(report));
+}
+
+}  // namespace ufc::net

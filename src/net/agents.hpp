@@ -1,0 +1,110 @@
+// The two node types of the distributed ADM-G protocol (paper Fig. 2).
+//
+// Each agent owns exactly the paper's per-node state and parameters — a
+// front-end i never sees prices, capacities or other front-ends' duals; a
+// datacenter j never sees the utility function or arrivals — and all
+// coupling flows through RoutingProposal / RoutingAssignment messages on the
+// bus. The numerical block solvers are shared with the monolithic solver
+// (admm/blocks.hpp), so both produce bit-identical iterates; tests assert
+// this.
+#pragma once
+
+#include <memory>
+
+#include "admm/blocks.hpp"
+#include "net/bus.hpp"
+
+namespace ufc::net {
+
+/// Correction mode shared by both agent kinds.
+struct ProtocolConfig {
+  double rho = 0.3;
+  double epsilon = 1.0;
+  bool gaussian_back_substitution = true;
+  bool pin_mu = false;  ///< Grid strategy.
+  bool pin_nu = false;  ///< FuelCell strategy.
+  admm::InnerSolverOptions inner;
+};
+
+/// Everything front-end i knows locally.
+struct FrontEndLocalConfig {
+  std::size_t index = 0;
+  double arrival = 0.0;                     ///< A_i.
+  Vec latency_row_s;                        ///< L_i1..L_iN.
+  double latency_weight = 0.0;              ///< w.
+  std::shared_ptr<const UtilityFunction> utility;
+  ProtocolConfig protocol;
+};
+
+class FrontEndAgent {
+ public:
+  explicit FrontEndAgent(FrontEndLocalConfig config);
+
+  /// Procedure 1: solve the lambda block from local state and send
+  /// (lambda~_ij, varphi_ij^k) to every datacenter.
+  void send_proposals(MessageBus& bus, int iteration);
+
+  /// Procedures 4-5 + correction: consume the datacenters' a~_ij replies,
+  /// update the local dual, apply the back-substitution corrections, and
+  /// report the local copy residual max_j |a_ij - lambda_ij| to the
+  /// coordinator.
+  void process_assignments(MessageBus& bus, int iteration);
+
+  NodeId id() const { return front_end_id(config_.index); }
+  const Vec& lambda() const { return lambda_; }
+  const Vec& a_mirror() const { return a_; }
+  const Vec& varphi() const { return varphi_; }
+  double last_copy_residual() const { return last_copy_residual_; }
+
+ private:
+  FrontEndLocalConfig config_;
+  std::size_t n_ = 0;   ///< Number of datacenters (from the latency row).
+  Vec lambda_;          ///< lambda_i^k (post-correction).
+  Vec lambda_tilde_;    ///< This iteration's prediction.
+  Vec a_;               ///< Local mirror of a_i^k.
+  Vec varphi_;          ///< varphi_i^k (owned here).
+  double last_copy_residual_ = 0.0;
+};
+
+/// Everything datacenter j knows locally.
+struct DatacenterLocalConfig {
+  std::size_t index = 0;
+  std::size_t num_front_ends = 0;  ///< M (to size local vectors).
+  double alpha_mw = 0.0;
+  double beta_mw = 0.0;
+  double capacity_servers = 0.0;   ///< S_j.
+  double fuel_cell_capacity_mw = 0.0;
+  double fuel_cell_price = 0.0;    ///< p_0.
+  double grid_price = 0.0;         ///< p_j.
+  double carbon_tons_per_mwh = 0.0;  ///< kappa_j.
+  std::shared_ptr<const EmissionCostFunction> emission_cost;
+  ProtocolConfig protocol;
+};
+
+class DatacenterAgent {
+ public:
+  explicit DatacenterAgent(DatacenterLocalConfig config);
+
+  /// Procedures 2-5 + correction: consume this iteration's proposals,
+  /// solve the mu, nu and a blocks, reply a~_ij to every front-end, update
+  /// the local dual phi_j, apply the back-substitution corrections, and
+  /// report the local balance residual to the coordinator.
+  void process_proposals(MessageBus& bus, int iteration);
+
+  NodeId id() const { return datacenter_id(config_.index); }
+  double mu() const { return mu_; }
+  double nu() const { return nu_; }
+  double phi() const { return phi_; }
+  const Vec& a_col() const { return a_; }
+  double last_balance_residual() const { return last_balance_residual_; }
+
+ private:
+  DatacenterLocalConfig config_;
+  Vec a_;      ///< a_.j^k (owned here).
+  double mu_ = 0.0;
+  double nu_ = 0.0;
+  double phi_ = 0.0;
+  double last_balance_residual_ = 0.0;
+};
+
+}  // namespace ufc::net

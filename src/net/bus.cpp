@@ -1,0 +1,69 @@
+#include "net/bus.hpp"
+
+#include "util/contract.hpp"
+
+namespace ufc::net {
+
+MessageBus::MessageBus(double loss_rate, std::uint64_t seed)
+    : loss_rate_(loss_rate), rng_(seed) {
+  UFC_EXPECTS(loss_rate >= 0.0 && loss_rate < 1.0);
+}
+
+void MessageBus::send(Message message) {
+  const std::size_t size = wire_size(message);
+  auto& link = links_[{message.source, message.destination}];
+
+  // Simulate transmission attempts until one gets through. Serialization +
+  // deserialization exercises the wire codec on every delivery.
+  while (true) {
+    link.bytes += size;
+    total_.bytes += size;
+    if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
+      ++link.retransmissions;
+      ++total_.retransmissions;
+      continue;
+    }
+    break;
+  }
+  ++link.messages;
+  ++total_.messages;
+
+  const auto wire = serialize(message);
+  Message delivered = deserialize(wire);
+  queues_[delivered.destination].push_back(std::move(delivered));
+}
+
+std::optional<Message> MessageBus::receive(NodeId destination) {
+  auto it = queues_.find(destination);
+  if (it == queues_.end() || it->second.empty()) return std::nullopt;
+  Message message = std::move(it->second.front());
+  it->second.pop_front();
+  return message;
+}
+
+std::vector<Message> MessageBus::drain(NodeId destination) {
+  std::vector<Message> messages;
+  auto it = queues_.find(destination);
+  if (it == queues_.end()) return messages;
+  messages.assign(std::make_move_iterator(it->second.begin()),
+                  std::make_move_iterator(it->second.end()));
+  it->second.clear();
+  return messages;
+}
+
+std::size_t MessageBus::pending(NodeId destination) const {
+  auto it = queues_.find(destination);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+LinkStats MessageBus::link(NodeId source, NodeId destination) const {
+  auto it = links_.find({source, destination});
+  return it == links_.end() ? LinkStats{} : it->second;
+}
+
+void MessageBus::reset_stats() {
+  links_.clear();
+  total_ = LinkStats{};
+}
+
+}  // namespace ufc::net

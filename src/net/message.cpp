@@ -1,0 +1,89 @@
+#include "net/message.hpp"
+
+#include <cstring>
+
+#include "util/contract.hpp"
+
+namespace ufc::net {
+
+namespace {
+
+// Node-id layout: front-end i -> i, datacenter j -> kDatacenterBase + j.
+constexpr NodeId kDatacenterBase = 1 << 20;
+
+template <typename T>
+void append(std::vector<std::byte>& out, const T& value) {
+  const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T read(std::span<const std::byte> bytes, std::size_t& offset) {
+  UFC_EXPECTS(offset + sizeof(T) <= bytes.size());
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+NodeId front_end_id(std::size_t i) {
+  UFC_EXPECTS(i < static_cast<std::size_t>(kDatacenterBase));
+  return static_cast<NodeId>(i);
+}
+
+NodeId datacenter_id(std::size_t j) {
+  UFC_EXPECTS(j < static_cast<std::size_t>(kDatacenterBase));
+  return kDatacenterBase + static_cast<NodeId>(j);
+}
+
+bool is_front_end(NodeId id) { return id >= 0 && id < kDatacenterBase; }
+
+bool is_datacenter(NodeId id) { return id >= kDatacenterBase; }
+
+std::size_t front_end_index(NodeId id) {
+  UFC_EXPECTS(is_front_end(id));
+  return static_cast<std::size_t>(id);
+}
+
+std::size_t datacenter_index(NodeId id) {
+  UFC_EXPECTS(is_datacenter(id));
+  return static_cast<std::size_t>(id - kDatacenterBase);
+}
+
+std::size_t wire_size(const Message& message) {
+  return sizeof(NodeId) * 2 + sizeof(std::uint8_t) + sizeof(std::int32_t) +
+         sizeof(std::uint32_t) + message.payload.size() * sizeof(double);
+}
+
+std::vector<std::byte> serialize(const Message& message) {
+  std::vector<std::byte> out;
+  out.reserve(wire_size(message));
+  append(out, message.source);
+  append(out, message.destination);
+  append(out, static_cast<std::uint8_t>(message.type));
+  append(out, message.iteration);
+  append(out, static_cast<std::uint32_t>(message.payload.size()));
+  for (double v : message.payload) append(out, v);
+  return out;
+}
+
+Message deserialize(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  Message message;
+  message.source = read<NodeId>(bytes, offset);
+  message.destination = read<NodeId>(bytes, offset);
+  const auto type = read<std::uint8_t>(bytes, offset);
+  UFC_EXPECTS(type >= 1 && type <= 3);
+  message.type = static_cast<MessageType>(type);
+  message.iteration = read<std::int32_t>(bytes, offset);
+  const auto count = read<std::uint32_t>(bytes, offset);
+  UFC_EXPECTS(offset + count * sizeof(double) == bytes.size());
+  message.payload.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k)
+    message.payload.push_back(read<double>(bytes, offset));
+  return message;
+}
+
+}  // namespace ufc::net

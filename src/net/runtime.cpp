@@ -1,0 +1,162 @@
+#include "net/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace ufc::net {
+
+DistributedAdmgRuntime::DistributedAdmgRuntime(const UfcProblem& problem,
+                                               DistributedOptions options)
+    : original_(problem),
+      options_(options),
+      bus_(options.loss_rate, options.loss_seed) {
+  original_.validate();
+  const auto& admg = options_.admg;
+  UFC_EXPECTS(admg.rho > 0.0);
+
+  // Same workload normalization as AdmgSolver so iterates are bit-identical.
+  sigma_ = admg.workload_scale > 0.0 ? admg.workload_scale
+                                     : admm::natural_workload_scale(original_);
+  problem_ = admm::scale_workload_units(original_, sigma_);
+
+  ProtocolConfig protocol;
+  protocol.rho = admg.rho;
+  protocol.epsilon = admg.epsilon;
+  protocol.gaussian_back_substitution = admg.gaussian_back_substitution;
+  protocol.pin_mu = admg.pinning == admm::BlockPinning::PinMu;
+  protocol.pin_nu = admg.pinning == admm::BlockPinning::PinNu;
+  protocol.inner = admg.inner;
+
+  const std::size_t m = problem_.num_front_ends();
+  const std::size_t n = problem_.num_datacenters();
+
+  front_ends_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    FrontEndLocalConfig cfg;
+    cfg.index = i;
+    cfg.arrival = problem_.arrivals[i];
+    cfg.latency_row_s = problem_.latency_s.row(i);
+    cfg.latency_weight = problem_.latency_weight;
+    cfg.utility = problem_.utility;
+    cfg.protocol = protocol;
+    front_ends_.emplace_back(std::move(cfg));
+  }
+
+  datacenters_.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& dc = problem_.datacenters[j];
+    DatacenterLocalConfig cfg;
+    cfg.index = j;
+    cfg.num_front_ends = m;
+    cfg.alpha_mw = problem_.alpha_mw(j);
+    cfg.beta_mw = problem_.beta_mw(j);
+    cfg.capacity_servers = dc.servers;
+    cfg.fuel_cell_capacity_mw = dc.fuel_cell_capacity_mw;
+    cfg.fuel_cell_price = problem_.fuel_cell_price;
+    cfg.grid_price = dc.grid_price;
+    cfg.carbon_tons_per_mwh = dc.carbon_rate / 1000.0;
+    cfg.emission_cost = dc.emission_cost;
+    cfg.protocol = protocol;
+    datacenters_.emplace_back(std::move(cfg));
+  }
+
+  double max_arrival = 1.0;
+  for (double a : problem_.arrivals) max_arrival = std::max(max_arrival, a);
+  copy_scale_ = max_arrival;
+  double max_demand = 1.0;
+  for (std::size_t j = 0; j < n; ++j)
+    max_demand = std::max(
+        max_demand, problem_.demand_mw(j, problem_.datacenters[j].servers));
+  balance_scale_ = max_demand;
+}
+
+void DistributedAdmgRuntime::round(int iteration) {
+  for (auto& fe : front_ends_) fe.send_proposals(bus_, iteration);
+  for (auto& dc : datacenters_) dc.process_proposals(bus_, iteration);
+  for (auto& fe : front_ends_) fe.process_assignments(bus_, iteration);
+  // The coordinator consumes the residual reports (values are also exposed
+  // on the agents for tests).
+  for (auto& msg : bus_.drain(kCoordinatorId)) {
+    UFC_EXPECTS(msg.type == MessageType::ConvergenceReport);
+  }
+}
+
+Mat DistributedAdmgRuntime::lambda() const {
+  Mat out(front_ends_.size(), datacenters_.size());
+  for (std::size_t i = 0; i < front_ends_.size(); ++i)
+    out.set_row(i, front_ends_[i].lambda());
+  return out;
+}
+
+Vec DistributedAdmgRuntime::mu() const {
+  Vec out(datacenters_.size());
+  for (std::size_t j = 0; j < datacenters_.size(); ++j)
+    out[j] = datacenters_[j].mu();
+  return out;
+}
+
+Vec DistributedAdmgRuntime::nu() const {
+  Vec out(datacenters_.size());
+  for (std::size_t j = 0; j < datacenters_.size(); ++j)
+    out[j] = datacenters_[j].nu();
+  return out;
+}
+
+Mat DistributedAdmgRuntime::a() const {
+  Mat out(front_ends_.size(), datacenters_.size());
+  for (std::size_t j = 0; j < datacenters_.size(); ++j)
+    out.set_col(j, datacenters_[j].a_col());
+  return out;
+}
+
+double DistributedAdmgRuntime::balance_residual() const {
+  double r = 0.0;
+  for (const auto& dc : datacenters_)
+    r = std::max(r, dc.last_balance_residual());
+  return r;
+}
+
+double DistributedAdmgRuntime::copy_residual() const {
+  double r = 0.0;
+  for (const auto& fe : front_ends_) r = std::max(r, fe.last_copy_residual());
+  return r;
+}
+
+DistributedReport DistributedAdmgRuntime::run() {
+  DistributedReport report;
+  const auto& admg = options_.admg;
+  for (int k = 0; k < admg.max_iterations; ++k) {
+    const Mat a_before = a();
+    const Vec mu_before = mu();
+    const Vec nu_before = nu();
+    round(k);
+    report.iterations = k + 1;
+    // Same three-part criterion as AdmgSolver: primal residuals plus the
+    // successive-change (dual residual proxy).
+    const double change =
+        std::max({max_abs_diff(a(), a_before), max_abs_diff(mu(), mu_before),
+                  max_abs_diff(nu(), nu_before)});
+    if (balance_residual() / balance_scale_ < admg.tolerance &&
+        copy_residual() / copy_scale_ < admg.tolerance &&
+        change / copy_scale_ < admg.tolerance) {
+      report.converged = true;
+      break;
+    }
+  }
+  report.balance_residual = balance_residual();
+  report.copy_residual = copy_residual();
+  Mat lambda_servers = lambda();
+  lambda_servers *= sigma_;
+  report.solution.lambda = std::move(lambda_servers);
+  report.solution.mu = mu();
+  report.solution.nu = grid_draw_mw(original_, report.solution.lambda,
+                                    report.solution.mu);
+  report.breakdown =
+      evaluate(original_, report.solution.lambda, report.solution.mu);
+  report.network = bus_.total();
+  return report;
+}
+
+}  // namespace ufc::net

@@ -1,0 +1,61 @@
+#include "opt/fista.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+FistaResult fista_minimize(const Vec& x0,
+                           const std::function<Vec(const Vec&)>& gradient,
+                           const std::function<Vec(const Vec&)>& project,
+                           double lipschitz, const FistaOptions& options) {
+  UFC_EXPECTS(lipschitz > 0.0);
+  UFC_EXPECTS(options.max_iterations > 0);
+
+  const double step = 1.0 / lipschitz;
+  Vec x = project(x0);
+  Vec y = x;
+  double t = 1.0;
+
+  FistaResult result;
+  for (int k = 0; k < options.max_iterations; ++k) {
+    Vec grad = gradient(y);
+    Vec candidate = y;
+    axpy(-step, grad, candidate);
+    Vec x_next = project(candidate);
+
+    const double move = max_abs_diff(x_next, x);
+
+    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    Vec diff = x_next - x;
+
+    bool restart = false;
+    if (options.adaptive_restart) {
+      // Gradient-based restart: if the (projected) gradient direction
+      // opposes the momentum step, kill the momentum.
+      restart = dot(grad, diff) > 0.0;
+    }
+
+    if (restart) {
+      t = 1.0;
+      y = x_next;
+    } else {
+      const double momentum = (t - 1.0) / t_next;
+      y = x_next;
+      axpy(momentum, diff, y);
+      t = t_next;
+    }
+
+    x = std::move(x_next);
+    result.iterations = k + 1;
+    if (move < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace ufc

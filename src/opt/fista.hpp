@@ -1,0 +1,47 @@
+// FISTA: accelerated projected gradient for smooth convex minimization over
+// a simple convex set
+//
+//     min f(x)   s.t.  x in C,
+//
+// where f has an L-Lipschitz gradient and C admits an exact Euclidean
+// projection. This is the "standard convex optimization technique" we use
+// for the per-front-end sub-problem (17) and the per-datacenter sub-problem
+// (20) of the paper — both are QPs with identity-plus-rank-one Hessians, so
+// L is known exactly and FISTA converges at the optimal O(1/k^2) rate.
+//
+// We include the O'Donoghue-Candes adaptive restart (restart the momentum
+// whenever the gradient forms an acute angle with the last step), which in
+// practice gives linear convergence on strongly convex QPs.
+#pragma once
+
+#include <functional>
+
+#include "math/vector.hpp"
+
+namespace ufc {
+
+struct FistaOptions {
+  int max_iterations = 2000;
+  /// Stop when the projected-gradient step moves x by less than this (inf-norm).
+  double tolerance = 1e-10;
+  /// Enable adaptive restart of the momentum sequence.
+  bool adaptive_restart = true;
+};
+
+struct FistaResult {
+  Vec x;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes f over C starting from x0.
+///
+/// `gradient(x)` must return the gradient of f at x; `project(x)` must return
+/// the exact Euclidean projection of x onto C; `lipschitz` must be a valid
+/// (upper bound on the) Lipschitz constant of the gradient, > 0.
+FistaResult fista_minimize(const Vec& x0,
+                           const std::function<Vec(const Vec&)>& gradient,
+                           const std::function<Vec(const Vec&)>& project,
+                           double lipschitz, const FistaOptions& options = {});
+
+}  // namespace ufc

@@ -1,0 +1,25 @@
+#include "opt/kkt.hpp"
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+FirstOrderCheck check_first_order_optimality(
+    const Vec& x, const std::function<Vec(const Vec&)>& subgradient,
+    const std::function<Vec(const Vec&)>& project, double step,
+    double tolerance, double scale) {
+  UFC_EXPECTS(step > 0.0);
+  UFC_EXPECTS(tolerance > 0.0);
+  UFC_EXPECTS(scale > 0.0);
+
+  Vec moved = x;
+  axpy(-step, subgradient(x), moved);
+  const Vec projected = project(moved);
+
+  FirstOrderCheck check;
+  check.residual = max_abs_diff(projected, x) / scale;
+  check.passed = check.residual <= tolerance;
+  return check;
+}
+
+}  // namespace ufc

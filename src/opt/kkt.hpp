@@ -1,0 +1,32 @@
+// Generic first-order optimality verification for constrained convex
+// problems of the form  min F(x) s.t. x in C.
+//
+// x* is optimal iff it is a fixed point of the projected-(sub)gradient map:
+//     x* = Proj_C( x* - t * g ),   g in dF(x*),  for any t > 0.
+// This is the KKT system in fixed-point form and needs only the projector
+// and a subgradient — no explicit multipliers — so one checker covers every
+// sub-problem and the full UFC program. Tests use it as the optimality
+// oracle for ADM-G solutions and for each per-block minimizer.
+#pragma once
+
+#include <functional>
+
+#include "math/vector.hpp"
+
+namespace ufc {
+
+struct FirstOrderCheck {
+  /// max-norm of x - Proj(x - t g), normalized by `scale`.
+  double residual = 0.0;
+  bool passed = false;
+};
+
+/// Checks the fixed-point condition at `x` with step `t` and tolerance
+/// `tolerance` on the residual normalized by `scale` (pass the natural
+/// magnitude of x, e.g. the total workload).
+FirstOrderCheck check_first_order_optimality(
+    const Vec& x, const std::function<Vec(const Vec&)>& subgradient,
+    const std::function<Vec(const Vec&)>& project, double step = 1e-6,
+    double tolerance = 1e-6, double scale = 1.0);
+
+}  // namespace ufc

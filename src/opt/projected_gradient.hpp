@@ -1,0 +1,58 @@
+// Plain projected (sub)gradient descent.
+//
+// Two entry points:
+//  - projected_gradient: fixed step 1/L for smooth objectives; the baseline
+//    the FISTA ablation compares against.
+//  - projected_subgradient: diminishing-step subgradient method for convex
+//    nonsmooth objectives (used by the centralized reference solver, whose
+//    reduced objective is piecewise smooth because the inner fuel-cell
+//    dispatch is a pointwise minimum). Tracks the best iterate seen.
+#pragma once
+
+#include <functional>
+
+#include "math/vector.hpp"
+
+namespace ufc {
+
+struct PgOptions {
+  int max_iterations = 5000;
+  double tolerance = 1e-10;  ///< Stop when a step moves x by less (inf-norm).
+};
+
+struct PgResult {
+  Vec x;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fixed-step projected gradient (step = 1/lipschitz).
+PgResult projected_gradient(const Vec& x0,
+                            const std::function<Vec(const Vec&)>& gradient,
+                            const std::function<Vec(const Vec&)>& project,
+                            double lipschitz, const PgOptions& options = {});
+
+struct SubgradientOptions {
+  int max_iterations = 20000;
+  /// Step at iteration k is step0 / sqrt(k + 1).
+  double step0 = 1.0;
+  /// Evaluate the objective every `eval_stride` iterations to track the best
+  /// iterate (subgradient methods are not descent methods).
+  int eval_stride = 10;
+};
+
+struct SubgradientResult {
+  Vec best_x;
+  double best_value = 0.0;
+  int iterations = 0;
+};
+
+/// Diminishing-step projected subgradient; returns the best iterate found.
+/// `value` must evaluate the objective (used only for best-tracking).
+SubgradientResult projected_subgradient(
+    const Vec& x0, const std::function<Vec(const Vec&)>& subgradient,
+    const std::function<double(const Vec&)>& value,
+    const std::function<Vec(const Vec&)>& project,
+    const SubgradientOptions& options = {});
+
+}  // namespace ufc

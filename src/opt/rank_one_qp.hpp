@@ -1,0 +1,40 @@
+// Exact solver for identity-plus-rank-one quadratic programs over simplex
+// sets — the structure of both routing blocks of the UFC ADMM:
+//
+//     min  (c/2) (v . x)^2 + (rho/2) ||x||^2 + g . x
+//     s.t. x >= 0  and  sum x = total   (simplex)
+//       or x >= 0  and  sum x <= cap    (capped simplex)
+//
+// with c >= 0, rho > 0 and v >= 0 entrywise (v is a latency row or the ones
+// vector). KKT gives x_i = max(0, (theta - g_i - c s v_i) / rho) with two
+// scalars: the sum multiplier theta and the coupling s = v . x. For fixed s,
+// sum x is strictly increasing in theta (inner bisection); the consistency
+// gap  F(s) = v . x(s) - s  is strictly decreasing in s (outer bisection),
+// so a nested bisection finds the global optimum to machine precision —
+// no step sizes, no iteration limits to tune.
+//
+// Used as the "exact" inner method of the ADMM blocks (ablated against
+// FISTA) and as an independent oracle in the block tests.
+#pragma once
+
+#include "math/vector.hpp"
+
+namespace ufc {
+
+struct RankOneQp {
+  double curvature = 0.0;  ///< c >= 0.
+  Vec direction;           ///< v, entrywise >= 0.
+  double tikhonov = 1.0;   ///< rho > 0.
+  Vec linear;              ///< g, same size as direction.
+};
+
+/// Exact minimizer over {x >= 0, sum x = total}. Requires total >= 0.
+Vec solve_rank_one_qp_simplex(const RankOneQp& qp, double total);
+
+/// Exact minimizer over {x >= 0, sum x <= cap}. Requires cap >= 0.
+Vec solve_rank_one_qp_capped(const RankOneQp& qp, double cap);
+
+/// Objective value at x (for tests and verification).
+double rank_one_qp_value(const RankOneQp& qp, const Vec& x);
+
+}  // namespace ufc

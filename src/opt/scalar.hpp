@@ -1,0 +1,38 @@
+// One-dimensional convex minimization.
+//
+// The nu-minimization step (19) of the paper is a scalar convex problem
+//   min_{nu >= 0} V(C*nu) + c1*nu + (rho/2)(c0 - nu)^2 .
+// For affine V it has a closed form; for general convex V we locate the root
+// of the (monotone nondecreasing) derivative by bisection, handling
+// subdifferential jumps of piecewise V (e.g. stepped carbon taxes) by
+// converging onto the kink.
+#pragma once
+
+#include <functional>
+
+namespace ufc {
+
+struct ScalarMinimizeOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-12;  ///< Interval width at which to stop.
+};
+
+/// Minimizes a convex function on [lo, hi], given any selection `derivative`
+/// from its subdifferential (must be monotone nondecreasing in x).
+/// Returns the minimizer.
+double minimize_convex_scalar(const std::function<double(double)>& derivative,
+                              double lo, double hi,
+                              const ScalarMinimizeOptions& options = {});
+
+/// Golden-section search for a unimodal function on [lo, hi] when no
+/// derivative is available. Returns the approximate minimizer.
+double golden_section_minimize(const std::function<double(double)>& f,
+                               double lo, double hi,
+                               const ScalarMinimizeOptions& options = {});
+
+/// Bisection root of a monotone nondecreasing function on [lo, hi].
+/// If g(lo) >= 0 returns lo; if g(hi) <= 0 returns hi.
+double monotone_root(const std::function<double(double)>& g, double lo,
+                     double hi, const ScalarMinimizeOptions& options = {});
+
+}  // namespace ufc

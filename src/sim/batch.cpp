@@ -1,0 +1,159 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contract.hpp"
+
+namespace ufc::sim {
+
+namespace {
+
+struct SlotSite {
+  std::size_t run = 0;   ///< Index into the simulated-slot list.
+  std::size_t site = 0;
+  double unit_cost = 0.0;  ///< $ per server-hour of batch work.
+  double capacity = 0.0;   ///< Residual servers.
+};
+
+}  // namespace
+
+BatchWeekResult run_batch_week(const traces::Scenario& scenario,
+                               const BatchWorkloadOptions& options,
+                               const SimulatorOptions& sim_options) {
+  UFC_EXPECTS(options.batch_fraction >= 0.0);
+  UFC_EXPECTS(options.deadline_hours >= 0);
+
+  const std::size_t n = scenario.num_datacenters();
+  const double tax = scenario.config().carbon_tax;
+  const double p0 = scenario.config().fuel_cell_price;
+
+  // Interactive layer: the paper's hybrid solution defines what is left.
+  std::vector<int> slots_run;
+  std::vector<admm::AdmgReport> reports;
+  for (int t = 0; t < scenario.hours(); t += sim_options.stride) {
+    slots_run.push_back(t);
+    reports.push_back(admm::solve_strategy(scenario.problem_at(t),
+                                           admm::Strategy::Hybrid,
+                                           sim_options.admg));
+  }
+  const std::size_t horizon = slots_run.size();
+
+  // Residual capacity and marginal unit costs per (slot, site).
+  std::vector<SlotSite> pairs;
+  pairs.reserve(horizon * n);
+  std::vector<std::vector<double>> capacity(horizon, std::vector<double>(n));
+  std::vector<std::vector<double>> unit_cost(horizon, std::vector<double>(n));
+  for (std::size_t run = 0; run < horizon; ++run) {
+    const auto slot = static_cast<std::size_t>(slots_run[run]);
+    const auto problem = scenario.problem_at(slots_run[run]);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double eff =
+          scenario.prices()(slot, j) +
+          scenario.carbon_rates()(slot, j) / 1000.0 * tax;
+      const double marginal = std::min(eff, p0);
+      capacity[run][j] = std::max(
+          0.0, problem.datacenters[j].servers -
+                   reports[run].solution.lambda.col_sum(j));
+      unit_cost[run][j] = problem.beta_mw(j) * marginal;
+      pairs.push_back({run, j, unit_cost[run][j], capacity[run][j]});
+    }
+  }
+
+  // Batch arrivals, in server-hours.
+  std::vector<double> arrivals(horizon);
+  BatchWeekResult result;
+  for (std::size_t run = 0; run < horizon; ++run) {
+    arrivals[run] =
+        options.batch_fraction *
+        scenario.total_workload()[static_cast<std::size_t>(slots_run[run])];
+    result.total_batch_units += arrivals[run];
+  }
+
+  // Window length in simulated slots (deadlines are given in hours).
+  const std::size_t window =
+      static_cast<std::size_t>(options.deadline_hours / sim_options.stride);
+
+  // ---- Inline baseline: run on arrival, cheapest site first. -------------
+  auto worst_cost_at = [&](std::size_t run) {
+    double worst = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      worst = std::max(worst, unit_cost[run][j]);
+    return worst;
+  };
+  {
+    auto residual = capacity;
+    for (std::size_t run = 0; run < horizon; ++run) {
+      double remaining = arrivals[run];
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return unit_cost[run][a] < unit_cost[run][b];
+      });
+      for (const std::size_t j : order) {
+        const double placed = std::min(remaining, residual[run][j]);
+        result.inline_cost += placed * unit_cost[run][j];
+        residual[run][j] -= placed;
+        remaining -= placed;
+        if (remaining <= 0.0) break;
+      }
+      if (remaining > 1e-9) {
+        // No room in the arrival hour at all: book it at the hour's worst
+        // price (it would have to preempt or overflow in reality).
+        result.inline_cost += remaining * worst_cost_at(run);
+        result.all_scheduled = false;
+      }
+    }
+  }
+
+  // ---- Deadline-aware schedule: cheapest (slot, site) pairs first, -------
+  // earliest-deadline-first among the arrivals whose window covers them.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const SlotSite& a, const SlotSite& b) {
+              return a.unit_cost < b.unit_cost;
+            });
+  std::vector<double> remaining = arrivals;
+  result.scheduled_load.assign(horizon, 0.0);
+  double delay_weighted = 0.0;
+  double deferred = 0.0;
+  for (const auto& pair : pairs) {
+    double room = pair.capacity;
+    if (room <= 0.0) continue;
+    const std::size_t earliest =
+        pair.run >= window ? pair.run - window : 0u;
+    for (std::size_t arr = earliest; arr <= pair.run && room > 0.0; ++arr) {
+      if (remaining[arr] <= 0.0) continue;
+      const double placed = std::min(remaining[arr], room);
+      remaining[arr] -= placed;
+      room -= placed;
+      result.scheduled_cost += placed * pair.unit_cost;
+      result.scheduled_load[pair.run] += placed;
+      const double delay_hours =
+          static_cast<double>((pair.run - arr) *
+                              static_cast<std::size_t>(sim_options.stride));
+      delay_weighted += placed * delay_hours;
+      if (pair.run != arr) deferred += placed;
+    }
+  }
+  for (std::size_t arr = 0; arr < horizon; ++arr) {
+    if (remaining[arr] > 1e-9) {
+      result.scheduled_cost += remaining[arr] * worst_cost_at(arr);
+      result.unplaced_units += remaining[arr];
+      result.all_scheduled = false;
+    }
+  }
+
+  result.saving_pct =
+      result.inline_cost > 0.0
+          ? 100.0 * (result.inline_cost - result.scheduled_cost) /
+                result.inline_cost
+          : 0.0;
+  if (result.total_batch_units > 0.0) {
+    result.average_delay_hours = delay_weighted / result.total_batch_units;
+    result.deferred_fraction = deferred / result.total_batch_units;
+  }
+  return result;
+}
+
+}  // namespace ufc::sim

@@ -1,0 +1,49 @@
+// Deferrable (batch) workload extension.
+//
+// The paper restricts itself to interactive, non-deferrable requests
+// (§II-A); its related work (Goiri et al. [26]) shows the other half of the
+// story: batch jobs that tolerate deadlines can chase cheap energy in
+// *time* as well as space. This module overlays a batch stream on the
+// scenario — a fraction of each hour's load, location-free, deferrable up
+// to a deadline — and schedules it greedily into the cheapest (hour, site)
+// slots with spare server capacity, comparing against running it where and
+// when it arrives.
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ufc::sim {
+
+struct BatchWorkloadOptions {
+  /// Batch arrivals per hour, as a fraction of that hour's interactive load.
+  double batch_fraction = 0.2;
+  /// Each batch unit must be executed within this many hours of arrival
+  /// (0 = must run in its arrival hour).
+  int deadline_hours = 6;
+};
+
+struct BatchWeekResult {
+  double inline_cost = 0.0;     ///< Batch run on arrival, cheapest site, $.
+  double scheduled_cost = 0.0;  ///< Deadline-aware greedy schedule, $.
+  double saving_pct = 0.0;
+  double total_batch_units = 0.0;   ///< Server-hours of batch work.
+  double deferred_fraction = 0.0;   ///< Share of units moved off their arrival hour.
+  double average_delay_hours = 0.0;
+  /// Scheduled batch load per simulated slot (summed over sites).
+  std::vector<double> scheduled_load;
+  /// Server-hours the greedy pass could not fit inside window + residual
+  /// capacity (booked at the arrival hour's worst price). Greedy EDF is not
+  /// optimal; a small residue at high batch fractions is expected.
+  double unplaced_units = 0.0;
+  bool all_scheduled = true;  ///< unplaced_units == 0 and inline fit too.
+};
+
+/// Runs the interactive week under the Hybrid strategy (defining residual
+/// capacity and marginal energy prices), then schedules the batch overlay.
+BatchWeekResult run_batch_week(const traces::Scenario& scenario,
+                               const BatchWorkloadOptions& options,
+                               const SimulatorOptions& sim_options = {});
+
+}  // namespace ufc::sim

@@ -1,0 +1,99 @@
+#include "sim/forecast_study.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::sim {
+
+namespace {
+
+/// One-step-ahead forecasts for each front-end's arrival series.
+Mat forecast_arrivals(const traces::Scenario& scenario,
+                      const ForecastStudyOptions& options) {
+  const auto hours = static_cast<std::size_t>(scenario.hours());
+  const std::size_t m = scenario.num_front_ends();
+  Mat forecasts(hours, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Vec history = scenario.arrivals().col(i);
+    std::vector<double> predicted;
+    if (options.method == ForecastMethod::SeasonalNaive) {
+      predicted = traces::seasonal_naive_forecast(history.raw(), 24);
+    } else {
+      predicted =
+          traces::holt_winters_forecast(history.raw(), options.holt_winters);
+    }
+    for (std::size_t t = 0; t < hours; ++t)
+      forecasts(t, i) = std::max(predicted[t], 1e-6);
+  }
+  return forecasts;
+}
+
+}  // namespace
+
+ForecastStudyResult run_forecast_study(const traces::Scenario& scenario,
+                                       const ForecastStudyOptions& options) {
+  UFC_EXPECTS(options.skip_slots >= 0);
+  UFC_EXPECTS(options.skip_slots < scenario.hours());
+
+  const Mat forecasts = forecast_arrivals(scenario, options);
+
+  ForecastStudyResult result;
+
+  // Forecast quality on the total workload.
+  std::vector<double> actual_total(static_cast<std::size_t>(scenario.hours()));
+  std::vector<double> forecast_total(actual_total.size());
+  for (std::size_t t = 0; t < actual_total.size(); ++t) {
+    actual_total[t] = scenario.arrivals().row_sum(t);
+    forecast_total[t] = forecasts.row_sum(t);
+  }
+  result.workload_mape =
+      traces::mape(actual_total, forecast_total,
+                   static_cast<std::size_t>(options.skip_slots));
+
+  for (int t = options.skip_slots; t < scenario.hours(); ++t) {
+    const auto slot = static_cast<std::size_t>(t);
+    const UfcProblem actual_problem = scenario.problem_at(t);
+
+    // Plan on the forecast.
+    UfcProblem planned_problem = actual_problem;
+    for (std::size_t i = 0; i < planned_problem.arrivals.size(); ++i)
+      planned_problem.arrivals[i] = forecasts(slot, i);
+    const auto planned =
+        admm::solve_strategy(planned_problem, admm::Strategy::Hybrid,
+                             options.admg);
+
+    // Execute on the actuals: keep the planned routing proportions per
+    // front-end, keep the planned fuel-cell dispatch.
+    Mat realized_lambda = planned.solution.lambda;
+    for (std::size_t i = 0; i < actual_problem.arrivals.size(); ++i) {
+      const double planned_arrival = planned_problem.arrivals[i];
+      const double scale = planned_arrival > 0.0
+                               ? actual_problem.arrivals[i] / planned_arrival
+                               : 0.0;
+      for (std::size_t j = 0; j < actual_problem.num_datacenters(); ++j)
+        realized_lambda(i, j) *= scale;
+    }
+    const double realized =
+        ufc_objective(actual_problem, realized_lambda, planned.solution.mu);
+
+    // Clairvoyant benchmark.
+    const auto oracle = admm::solve_strategy(
+        actual_problem, admm::Strategy::Hybrid, options.admg);
+    const double clairvoyant = oracle.breakdown.ufc;
+
+    const double gap =
+        100.0 * (clairvoyant - realized) / std::max(1.0, std::abs(clairvoyant));
+    result.ufc_gap_pct.push_back(gap);
+    result.realized_ufc.push_back(realized);
+    result.clairvoyant_ufc.push_back(clairvoyant);
+  }
+
+  result.avg_ufc_gap_pct = mean(result.ufc_gap_pct);
+  result.max_ufc_gap_pct = max_value(result.ufc_gap_pct);
+  return result;
+}
+
+}  // namespace ufc::sim

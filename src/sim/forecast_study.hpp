@@ -1,0 +1,52 @@
+// Forecast-robustness experiment.
+//
+// The paper plans each slot against *predicted* arrivals (§II-A). This
+// experiment quantifies what that assumption costs: each slot is solved on
+// forecasted per-front-end arrivals, the resulting routing proportions and
+// fuel-cell dispatch are applied to the *actual* arrivals, and the realized
+// UFC is compared with the clairvoyant solution.
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "traces/forecast.hpp"
+
+namespace ufc::sim {
+
+enum class ForecastMethod {
+  SeasonalNaive,  ///< Same hour yesterday.
+  HoltWinters,    ///< Triple exponential smoothing, daily season.
+};
+
+struct ForecastStudyOptions {
+  ForecastMethod method = ForecastMethod::HoltWinters;
+  traces::HoltWintersParams holt_winters;
+  admm::AdmgOptions admg;
+  /// Skip this many warm-up slots when aggregating (forecast init window).
+  int skip_slots = 24;
+  ForecastStudyOptions() {
+    admg.tolerance = 3e-3;
+    admg.max_iterations = 800;
+    admg.record_trace = false;
+  }
+};
+
+struct ForecastStudyResult {
+  double workload_mape = 0.0;        ///< Forecast error on total workload.
+  double avg_ufc_gap_pct = 0.0;      ///< Mean realized-vs-clairvoyant gap.
+  double max_ufc_gap_pct = 0.0;
+  std::vector<double> ufc_gap_pct;   ///< Per evaluated slot.
+  std::vector<double> realized_ufc;
+  std::vector<double> clairvoyant_ufc;
+};
+
+/// Plans with forecasts, executes on actuals, reports the UFC gap.
+/// Routing is scaled per front-end to the actual arrivals (the natural
+/// dispatch rule: keep the planned proportions); planned fuel-cell output is
+/// kept, with the power balance clamping any excess.
+ForecastStudyResult run_forecast_study(
+    const traces::Scenario& scenario,
+    const ForecastStudyOptions& options = {});
+
+}  // namespace ufc::sim

@@ -1,0 +1,62 @@
+#include "sim/sweep.hpp"
+
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::sim {
+
+namespace {
+
+SweepPoint run_point(const traces::ScenarioConfig& config, double parameter,
+                     const SimulatorOptions& options) {
+  const auto scenario = traces::Scenario::generate(config);
+  const auto grid = run_strategy_week(scenario, admm::Strategy::Grid, options);
+  const auto hybrid =
+      run_strategy_week(scenario, admm::Strategy::Hybrid, options);
+
+  std::vector<double> improvements;
+  improvements.reserve(grid.slots.size());
+  for (std::size_t s = 0; s < grid.slots.size(); ++s)
+    improvements.push_back(improvement_percent(
+        hybrid.slots[s].breakdown.ufc, grid.slots[s].breakdown.ufc));
+
+  SweepPoint point;
+  point.parameter = parameter;
+  point.avg_improvement_pct = mean(improvements);
+  point.avg_utilization = hybrid.average_utilization();
+  return point;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> sweep_fuel_cell_price(
+    const traces::ScenarioConfig& base, std::span<const double> prices,
+    const SimulatorOptions& options) {
+  UFC_EXPECTS(!prices.empty());
+  std::vector<SweepPoint> points;
+  points.reserve(prices.size());
+  for (double p0 : prices) {
+    UFC_EXPECTS(p0 >= 0.0);
+    traces::ScenarioConfig config = base;
+    config.fuel_cell_price = p0;
+    points.push_back(run_point(config, p0, options));
+  }
+  return points;
+}
+
+std::vector<SweepPoint> sweep_carbon_tax(const traces::ScenarioConfig& base,
+                                         std::span<const double> taxes,
+                                         const SimulatorOptions& options) {
+  UFC_EXPECTS(!taxes.empty());
+  std::vector<SweepPoint> points;
+  points.reserve(taxes.size());
+  for (double tax : taxes) {
+    UFC_EXPECTS(tax >= 0.0);
+    traces::ScenarioConfig config = base;
+    config.carbon_tax = tax;
+    points.push_back(run_point(config, tax, options));
+  }
+  return points;
+}
+
+}  // namespace ufc::sim

@@ -1,0 +1,33 @@
+// Policy parameter sweeps (paper Figs. 9 and 10).
+//
+// Each sweep point re-runs the full week under the Hybrid and Grid
+// strategies with one policy knob changed — the fuel-cell price p0 (Fig. 9)
+// or the carbon-tax rate r (Fig. 10) — on identical traces (the scenario
+// seed fixes them), and reports the two series the paper plots: average UFC
+// improvement of Hybrid over Grid and average fuel-cell utilization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ufc::sim {
+
+struct SweepPoint {
+  double parameter = 0.0;            ///< p0 ($/MWh) or tax rate ($/ton).
+  double avg_improvement_pct = 0.0;  ///< Mean I_hg over slots.
+  double avg_utilization = 0.0;      ///< Mean fuel-cell utilization (Hybrid).
+};
+
+/// Sweeps the fuel-cell generation price p0 (Fig. 9).
+std::vector<SweepPoint> sweep_fuel_cell_price(
+    const traces::ScenarioConfig& base, std::span<const double> prices,
+    const SimulatorOptions& options = {});
+
+/// Sweeps the carbon tax rate r (Fig. 10).
+std::vector<SweepPoint> sweep_carbon_tax(const traces::ScenarioConfig& base,
+                                         std::span<const double> taxes,
+                                         const SimulatorOptions& options = {});
+
+}  // namespace ufc::sim

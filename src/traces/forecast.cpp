@@ -1,0 +1,94 @@
+#include "traces/forecast.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace ufc::traces {
+
+std::vector<double> seasonal_naive_forecast(std::span<const double> series,
+                                            int period) {
+  UFC_EXPECTS(!series.empty());
+  UFC_EXPECTS(period > 0);
+  std::vector<double> forecast(series.size());
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    forecast[t] = t >= static_cast<std::size_t>(period)
+                      ? series[t - static_cast<std::size_t>(period)]
+                      : series[0];
+  }
+  return forecast;
+}
+
+std::vector<double> holt_winters_forecast(std::span<const double> series,
+                                          const HoltWintersParams& params) {
+  const auto period = static_cast<std::size_t>(params.period);
+  UFC_EXPECTS(params.period > 0);
+  UFC_EXPECTS(series.size() >= 2 * period);
+  UFC_EXPECTS(params.alpha > 0.0 && params.alpha < 1.0);
+  UFC_EXPECTS(params.beta >= 0.0 && params.beta < 1.0);
+  UFC_EXPECTS(params.gamma >= 0.0 && params.gamma < 1.0);
+
+  // Initialization from the first two seasons (classic Holt-Winters):
+  // level = mean of season 1, trend = average per-step change between the
+  // two seasonal means, seasonal = deviation of season 1 from its mean.
+  double season1_mean = 0.0;
+  double season2_mean = 0.0;
+  for (std::size_t k = 0; k < period; ++k) {
+    season1_mean += series[k];
+    season2_mean += series[period + k];
+  }
+  season1_mean /= static_cast<double>(period);
+  season2_mean /= static_cast<double>(period);
+
+  double level = season1_mean;
+  double trend = (season2_mean - season1_mean) / static_cast<double>(period);
+  std::vector<double> seasonal(period);
+  for (std::size_t k = 0; k < period; ++k)
+    seasonal[k] = series[k] - season1_mean;
+
+  // Warm-up window reports seasonal-naive forecasts.
+  std::vector<double> forecast = seasonal_naive_forecast(series, params.period);
+
+  for (std::size_t t = period; t < series.size(); ++t) {
+    const std::size_t s = t % period;
+    forecast[t] = level + trend + seasonal[s];
+    const double y = series[t];
+    const double previous_level = level;
+    level = params.alpha * (y - seasonal[s]) +
+            (1.0 - params.alpha) * (level + trend);
+    trend = params.beta * (level - previous_level) +
+            (1.0 - params.beta) * trend;
+    seasonal[s] = params.gamma * (y - level) +
+                  (1.0 - params.gamma) * seasonal[s];
+  }
+  return forecast;
+}
+
+double mape(std::span<const double> actual, std::span<const double> forecast,
+            std::size_t skip) {
+  UFC_EXPECTS(actual.size() == forecast.size());
+  UFC_EXPECTS(skip < actual.size());
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = skip; t < actual.size(); ++t) {
+    if (actual[t] == 0.0) continue;
+    total += std::abs((forecast[t] - actual[t]) / actual[t]);
+    ++count;
+  }
+  UFC_EXPECTS(count > 0);
+  return total / static_cast<double>(count);
+}
+
+double rmse(std::span<const double> actual, std::span<const double> forecast,
+            std::size_t skip) {
+  UFC_EXPECTS(actual.size() == forecast.size());
+  UFC_EXPECTS(skip < actual.size());
+  double total = 0.0;
+  for (std::size_t t = skip; t < actual.size(); ++t) {
+    const double e = forecast[t] - actual[t];
+    total += e * e;
+  }
+  return std::sqrt(total / static_cast<double>(actual.size() - skip));
+}
+
+}  // namespace ufc::traces

@@ -1,0 +1,48 @@
+// Workload forecasting substrate.
+//
+// The paper's model plans each slot against *predicted* arrivals: "the
+// near-term request arrival at each front-end proxy server can be predicted
+// quite accurately, by employing techniques such as statistical machine
+// learning and time series analysis" (§II-A). This module supplies the two
+// standard baselines for diurnal series — seasonal-naive and additive
+// Holt-Winters triple exponential smoothing — plus the error metrics, so the
+// forecast-robustness experiment can quantify how much UFC is lost when
+// planning on predictions instead of actuals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ufc::traces {
+
+/// Predicts each value by the observation one season earlier
+/// (y_hat[t] = y[t - period]); the first `period` values fall back to the
+/// first observation. Returns one-step-ahead forecasts aligned with `series`.
+std::vector<double> seasonal_naive_forecast(std::span<const double> series,
+                                            int period = 24);
+
+/// Additive Holt-Winters (level + trend + seasonal) one-step-ahead smoother.
+struct HoltWintersParams {
+  int period = 24;      ///< Season length (24 h for diurnal workloads).
+  double alpha = 0.35;  ///< Level smoothing, in (0, 1).
+  double beta = 0.05;   ///< Trend smoothing, in [0, 1).
+  double gamma = 0.25;  ///< Seasonal smoothing, in [0, 1).
+};
+
+/// One-step-ahead Holt-Winters forecasts aligned with `series` (y_hat[t] is
+/// made knowing y[0..t-1]); the first two seasons are used to initialize
+/// level/trend/seasonals and fall back to seasonal-naive forecasts there.
+/// Requires series.size() >= 2 * period.
+std::vector<double> holt_winters_forecast(std::span<const double> series,
+                                          const HoltWintersParams& params = {});
+
+/// Mean absolute percentage error over entries with |actual| > 0, skipping
+/// the first `skip` values (the initialization window).
+double mape(std::span<const double> actual, std::span<const double> forecast,
+            std::size_t skip = 0);
+
+/// Root mean squared error, skipping the first `skip` values.
+double rmse(std::span<const double> actual, std::span<const double> forecast,
+            std::size_t skip = 0);
+
+}  // namespace ufc::traces

@@ -1,0 +1,128 @@
+#include "traces/fuelmix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/contract.hpp"
+
+namespace ufc::traces {
+
+namespace {
+
+double midday_shape(int hour_of_day) {
+  // Zero before 6am / after 6pm, peaking at noon.
+  const double h = static_cast<double>(hour_of_day);
+  if (h < 6.0 || h > 18.0) return 0.0;
+  return std::sin((h - 6.0) / 12.0 * std::numbers::pi);
+}
+
+double night_shape(int hour_of_day) {
+  // High at night (10pm - 8am), low midday.
+  const double phase =
+      2.0 * std::numbers::pi * (static_cast<double>(hour_of_day) - 3.0) / 24.0;
+  return 0.5 * (1.0 + std::cos(phase));
+}
+
+double evening_peak_shape(int hour_of_day) {
+  const double phase =
+      2.0 * std::numbers::pi * (static_cast<double>(hour_of_day) - 17.0) / 24.0;
+  return 0.5 * (1.0 + std::cos(phase));
+}
+
+std::size_t index(FuelType type) { return static_cast<std::size_t>(type); }
+
+}  // namespace
+
+std::vector<FuelMix> generate_fuel_mix(const FuelMixModelParams& params,
+                                       int hours, Rng& rng) {
+  UFC_EXPECTS(hours > 0);
+  double base_total = 0.0;
+  for (double s : params.base_shares) {
+    UFC_EXPECTS(s >= 0.0);
+    base_total += s;
+  }
+  UFC_EXPECTS(base_total > 0.0);
+
+  std::vector<FuelMix> mixes(static_cast<std::size_t>(hours));
+  for (int t = 0; t < hours; ++t) {
+    const int hour = t % 24;
+    FuelMix mix = params.base_shares;
+
+    mix[index(FuelType::Wind)] += params.wind_night_boost * night_shape(hour);
+    mix[index(FuelType::Solar)] += params.solar_day_share * midday_shape(hour);
+    mix[index(FuelType::Gas)] += params.gas_peak_boost * evening_peak_shape(hour);
+
+    double total = 0.0;
+    for (auto& s : mix) {
+      if (s > 0.0) s *= rng.log_normal(0.0, params.noise_sd);
+      total += s;
+    }
+    for (auto& s : mix) s /= total;
+    mixes[static_cast<std::size_t>(t)] = mix;
+  }
+  return mixes;
+}
+
+std::vector<double> carbon_rate_series(const std::vector<FuelMix>& mixes) {
+  std::vector<double> rates;
+  rates.reserve(mixes.size());
+  for (const auto& mix : mixes) rates.push_back(carbon_rate_kg_per_mwh(mix));
+  return rates;
+}
+
+FuelMixModelParams calgary_fuel_mix() {
+  FuelMixModelParams p;
+  p.region = "Calgary";
+  p.base_shares[index(FuelType::Coal)] = 0.62;
+  p.base_shares[index(FuelType::Gas)] = 0.28;
+  p.base_shares[index(FuelType::Wind)] = 0.05;
+  p.base_shares[index(FuelType::Hydro)] = 0.05;
+  p.wind_night_boost = 0.04;
+  p.gas_peak_boost = 0.06;
+  return p;
+}
+
+FuelMixModelParams san_jose_fuel_mix() {
+  FuelMixModelParams p;
+  p.region = "San Jose";
+  p.base_shares[index(FuelType::Gas)] = 0.45;
+  p.base_shares[index(FuelType::Hydro)] = 0.22;
+  p.base_shares[index(FuelType::Nuclear)] = 0.16;
+  p.base_shares[index(FuelType::Wind)] = 0.09;
+  p.base_shares[index(FuelType::Solar)] = 0.03;
+  p.solar_day_share = 0.08;
+  p.gas_peak_boost = 0.08;
+  return p;
+}
+
+FuelMixModelParams dallas_fuel_mix() {
+  FuelMixModelParams p;
+  p.region = "Dallas";
+  p.base_shares[index(FuelType::Gas)] = 0.46;
+  p.base_shares[index(FuelType::Coal)] = 0.31;
+  p.base_shares[index(FuelType::Wind)] = 0.12;
+  p.base_shares[index(FuelType::Nuclear)] = 0.11;
+  p.wind_night_boost = 0.20;
+  p.gas_peak_boost = 0.08;
+  return p;
+}
+
+FuelMixModelParams pittsburgh_fuel_mix() {
+  FuelMixModelParams p;
+  p.region = "Pittsburgh";
+  p.base_shares[index(FuelType::Coal)] = 0.45;
+  p.base_shares[index(FuelType::Nuclear)] = 0.34;
+  p.base_shares[index(FuelType::Gas)] = 0.14;
+  p.base_shares[index(FuelType::Hydro)] = 0.04;
+  p.base_shares[index(FuelType::Wind)] = 0.03;
+  p.gas_peak_boost = 0.05;
+  return p;
+}
+
+std::vector<FuelMixModelParams> datacenter_fuel_mix_models() {
+  return {calgary_fuel_mix(), san_jose_fuel_mix(), dallas_fuel_mix(),
+          pittsburgh_fuel_mix()};
+}
+
+}  // namespace ufc::traces

@@ -1,0 +1,45 @@
+// Synthetic hourly electricity fuel-mix traces per region and the resulting
+// carbon emission rates via the paper's eq. (1) with Table III factors
+// (substitution for the authors' RTO/ISO generation downloads; DESIGN.md §4).
+//
+// Each region has characteristic base shares (Alberta coal-heavy, PJM
+// coal+nuclear, ERCOT gas+wind, CAISO gas+hydro+solar) plus diurnal
+// modulation: wind blows at night in Texas, solar produces at midday in
+// California, dispatchable gas follows the daily load peak everywhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/emission.hpp"
+#include "util/rng.hpp"
+
+namespace ufc::traces {
+
+struct FuelMixModelParams {
+  std::string region;
+  /// Base share per fuel type (indexed by model::FuelType); need not sum to
+  /// one — shares are renormalized each hour after modulation.
+  FuelMix base_shares{};
+  double wind_night_boost = 0.0;   ///< Extra wind share at night.
+  double solar_day_share = 0.0;    ///< Peak midday solar share.
+  double gas_peak_boost = 0.0;     ///< Extra gas share at the demand peak.
+  double noise_sd = 0.05;          ///< Log-normal share jitter.
+};
+
+/// Generates `hours` hourly fuel mixes (shares, renormalized to sum to 1).
+std::vector<FuelMix> generate_fuel_mix(const FuelMixModelParams& params,
+                                       int hours, Rng& rng);
+
+/// Carbon rate series (kg/MWh) for a fuel-mix series via eq. (1).
+std::vector<double> carbon_rate_series(const std::vector<FuelMix>& mixes);
+
+/// Region presets in the paper's datacenter order.
+FuelMixModelParams calgary_fuel_mix();     ///< AESO: coal-heavy (~750 kg/MWh).
+FuelMixModelParams san_jose_fuel_mix();    ///< CAISO: gas+hydro+solar (~250).
+FuelMixModelParams dallas_fuel_mix();      ///< ERCOT: gas+coal+wind (~500).
+FuelMixModelParams pittsburgh_fuel_mix();  ///< PJM: coal+nuclear (~520).
+
+std::vector<FuelMixModelParams> datacenter_fuel_mix_models();
+
+}  // namespace ufc::traces

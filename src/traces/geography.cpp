@@ -1,0 +1,69 @@
+#include "traces/geography.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/contract.hpp"
+
+namespace ufc::traces {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kMsPerKm = 0.02;
+
+double deg_to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg_to_rad(a.latitude_deg);
+  const double lat2 = deg_to_rad(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.longitude_deg - a.longitude_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_latency_s(double distance_km) {
+  UFC_EXPECTS(distance_km >= 0.0);
+  return distance_km * kMsPerKm * 1e-3;
+}
+
+std::vector<GeoPoint> datacenter_sites() {
+  return {
+      {"Calgary", 51.045, -114.058},
+      {"San Jose", 37.335, -121.893},
+      {"Dallas", 32.777, -96.797},
+      {"Pittsburgh", 40.441, -79.996},
+  };
+}
+
+std::vector<GeoPoint> front_end_sites() {
+  return {
+      {"Seattle", 47.606, -122.333},
+      {"Los Angeles", 34.052, -118.244},
+      {"Phoenix", 33.448, -112.074},
+      {"Denver", 39.739, -104.990},
+      {"Houston", 29.760, -95.370},
+      {"Chicago", 41.878, -87.630},
+      {"Atlanta", 33.749, -84.388},
+      {"Miami", 25.762, -80.192},
+      {"New York", 40.713, -74.006},
+      {"Washington DC", 38.907, -77.037},
+  };
+}
+
+Mat latency_matrix_s(const std::vector<GeoPoint>& front_ends,
+                     const std::vector<GeoPoint>& datacenters) {
+  UFC_EXPECTS(!front_ends.empty());
+  UFC_EXPECTS(!datacenters.empty());
+  Mat latency(front_ends.size(), datacenters.size());
+  for (std::size_t i = 0; i < front_ends.size(); ++i)
+    for (std::size_t j = 0; j < datacenters.size(); ++j)
+      latency(i, j) =
+          propagation_latency_s(haversine_km(front_ends[i], datacenters[j]));
+  return latency;
+}
+
+}  // namespace ufc::traces

@@ -1,0 +1,40 @@
+// Geography substrate: real city coordinates, great-circle distances and the
+// paper's distance-to-latency law L_ij = 0.02 ms/km * d_ij (§II-B3).
+//
+// The paper reads distances off mapping applications; we compute haversine
+// distances from published city coordinates, which agree to within a few
+// percent — well inside the model's own approximation error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace ufc::traces {
+
+struct GeoPoint {
+  std::string name;
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+/// Great-circle distance in kilometers (haversine, mean Earth radius).
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// The paper's empirical law: 1 km of geographic distance adds ~0.02 ms of
+/// propagation latency. Returns seconds.
+double propagation_latency_s(double distance_km);
+
+/// The four datacenter sites of the paper's simulation setup.
+std::vector<GeoPoint> datacenter_sites();
+
+/// Ten front-end proxy locations scattered across the continental US
+/// (the paper places M = 10 front-ends "uniformly scattered").
+std::vector<GeoPoint> front_end_sites();
+
+/// Latency matrix in seconds: rows = front-ends, cols = datacenters.
+Mat latency_matrix_s(const std::vector<GeoPoint>& front_ends,
+                     const std::vector<GeoPoint>& datacenters);
+
+}  // namespace ufc::traces

@@ -1,0 +1,114 @@
+#include "traces/price.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/contract.hpp"
+
+namespace ufc::traces {
+
+namespace {
+
+double diurnal_shape(int hour_of_day, double peak_hour) {
+  const double phase =
+      2.0 * std::numbers::pi * (static_cast<double>(hour_of_day) - peak_hour) /
+      24.0;
+  return 0.5 * (1.0 + std::cos(phase));
+}
+
+bool is_weekend(int hour) { return ((hour / 24) % 7) >= 5; }
+
+}  // namespace
+
+std::vector<double> generate_prices(const PriceModelParams& params, int hours,
+                                    Rng& rng) {
+  UFC_EXPECTS(hours > 0);
+  UFC_EXPECTS(params.base > 0.0);
+  UFC_EXPECTS(params.noise_persistence >= 0.0 && params.noise_persistence < 1.0);
+
+  UFC_EXPECTS(params.peak_sharpness >= 1.0);
+  std::vector<double> prices(static_cast<std::size_t>(hours));
+  double noise = 0.0;  // AR(1) state, in fraction-of-level units.
+  for (int t = 0; t < hours; ++t) {
+    double level =
+        params.base +
+        params.diurnal_amplitude *
+            std::pow(diurnal_shape(t % 24, params.peak_hour),
+                     params.peak_sharpness);
+    if (is_weekend(t)) level *= params.weekend_factor;
+
+    noise = params.noise_persistence * noise +
+            rng.normal(0.0, params.noise_sd);
+    level *= (1.0 + noise);
+
+    if (params.spike_probability > 0.0 &&
+        rng.bernoulli(params.spike_probability)) {
+      level += rng.exponential(1.0 / std::max(1e-9, params.spike_scale));
+    }
+    prices[static_cast<std::size_t>(t)] = std::max(params.floor, level);
+  }
+  return prices;
+}
+
+PriceModelParams dallas_prices() {
+  PriceModelParams p;
+  p.region = "Dallas";
+  p.base = 15.0;
+  p.diurnal_amplitude = 13.0;
+  p.peak_hour = 16.0;
+  p.weekend_factor = 0.9;
+  p.noise_sd = 0.12;
+  p.noise_persistence = 0.6;
+  p.spike_probability = 0.015;  // ERCOT scarcity pricing.
+  p.spike_scale = 170.0;
+  return p;
+}
+
+PriceModelParams san_jose_prices() {
+  PriceModelParams p;
+  p.region = "San Jose";
+  p.base = 40.0;
+  p.diurnal_amplitude = 125.0;
+  p.peak_hour = 17.0;
+  p.peak_sharpness = 3.5;
+  p.weekend_factor = 0.85;
+  p.noise_sd = 0.08;
+  p.noise_persistence = 0.7;
+  return p;
+}
+
+PriceModelParams calgary_prices() {
+  PriceModelParams p;
+  p.region = "Calgary";
+  p.base = 26.0;
+  p.diurnal_amplitude = 60.0;
+  p.peak_hour = 17.0;
+  p.peak_sharpness = 2.0;
+  p.weekend_factor = 0.9;
+  p.noise_sd = 0.18;
+  p.noise_persistence = 0.65;
+  p.spike_probability = 0.02;
+  p.spike_scale = 130.0;
+  return p;
+}
+
+PriceModelParams pittsburgh_prices() {
+  PriceModelParams p;
+  p.region = "Pittsburgh";
+  p.base = 20.0;
+  p.diurnal_amplitude = 85.0;
+  p.peak_hour = 15.0;
+  p.peak_sharpness = 2.5;
+  p.weekend_factor = 0.88;
+  p.noise_sd = 0.10;
+  p.noise_persistence = 0.7;
+  return p;
+}
+
+std::vector<PriceModelParams> datacenter_price_models() {
+  return {calgary_prices(), san_jose_prices(), dallas_prices(),
+          pittsburgh_prices()};
+}
+
+}  // namespace ufc::traces

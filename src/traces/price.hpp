@@ -1,0 +1,49 @@
+// Synthetic real-time electricity prices (locational marginal prices,
+// $/MWh) for the four RTO/ISO regions of the paper's evaluation
+// (substitution for the authors' Sep 10-16 2012 downloads; DESIGN.md §4).
+//
+// Shape per region: a base level, a diurnal peak (afternoon), a
+// weekday/weekend effect, mean-reverting noise, and — for scarcity-priced
+// markets like ERCOT — occasional price spikes. Region presets are
+// calibrated so the weekly averages match the levels implied by the paper's
+// Table I (Dallas cheap at ~27 $/MWh, San Jose expensive at ~80 $/MWh).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ufc::traces {
+
+struct PriceModelParams {
+  std::string region;
+  double base = 40.0;            ///< Off-peak level, $/MWh.
+  double diurnal_amplitude = 15.0;  ///< Added at the daily peak, $/MWh.
+  double peak_hour = 16.0;
+  /// Exponent applied to the cosine shape: 1 = broad sinusoid, >1 narrows
+  /// the expensive window into the sharp afternoon peak real LMPs show.
+  double peak_sharpness = 1.0;
+  double weekend_factor = 0.9;   ///< Weekend price relative to weekdays.
+  double noise_sd = 0.10;        ///< Mean-reverting noise, fraction of level.
+  double noise_persistence = 0.7;   ///< AR(1) coefficient of the noise.
+  double spike_probability = 0.0;   ///< Per-hour scarcity-spike chance.
+  double spike_scale = 0.0;      ///< Mean spike height, $/MWh (exponential).
+  double floor = 5.0;            ///< Price floor, $/MWh.
+};
+
+/// Generates `hours` hourly prices; hour 0 is Monday 00:00.
+std::vector<double> generate_prices(const PriceModelParams& params, int hours,
+                                    Rng& rng);
+
+/// Region presets (see calibration notes in DESIGN.md).
+PriceModelParams dallas_prices();      ///< ERCOT: cheap, spiky.
+PriceModelParams san_jose_prices();    ///< CAISO: expensive, strong diurnal.
+PriceModelParams calgary_prices();     ///< AESO: moderate, volatile.
+PriceModelParams pittsburgh_prices();  ///< PJM: moderate.
+
+/// The four presets in the paper's datacenter order
+/// (Calgary, San Jose, Dallas, Pittsburgh).
+std::vector<PriceModelParams> datacenter_price_models();
+
+}  // namespace ufc::traces

@@ -1,0 +1,182 @@
+#include "traces/scenario.hpp"
+
+#include "util/contract.hpp"
+
+namespace ufc::traces {
+
+Scenario Scenario::generate(const ScenarioConfig& config) {
+  UFC_EXPECTS(config.hours > 0);
+  UFC_EXPECTS(config.front_ends > 0);
+  UFC_EXPECTS(config.server_capacity_low > 0.0);
+  UFC_EXPECTS(config.server_capacity_high >= config.server_capacity_low);
+  UFC_EXPECTS(config.peak_workload_fraction > 0.0 &&
+              config.peak_workload_fraction <= 1.0);
+
+  Scenario s;
+  s.config_ = config;
+
+  Rng master(config.seed);
+  // Independent streams per concern so adding a knob never perturbs the
+  // other traces.
+  Rng capacity_rng = master.fork(1);
+  Rng workload_rng = master.fork(2);
+  Rng split_rng = master.fork(3);
+  Rng price_rng = master.fork(4);
+  Rng mix_rng = master.fork(5);
+
+  const auto dc_sites = datacenter_sites();
+  const auto fe_sites = front_end_sites();
+  UFC_EXPECTS(static_cast<std::size_t>(config.front_ends) <= fe_sites.size());
+  const std::vector<GeoPoint> front_ends(
+      fe_sites.begin(), fe_sites.begin() + config.front_ends);
+
+  for (const auto& site : dc_sites) s.datacenter_names_.push_back(site.name);
+  const std::size_t n = dc_sites.size();
+
+  // Server capacities: S_j ~ U[1.7e4, 2.3e4] (paper §IV-A).
+  double total_capacity = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    s.servers_.push_back(capacity_rng.uniform(config.server_capacity_low,
+                                              config.server_capacity_high));
+    total_capacity += s.servers_.back();
+  }
+
+  // Workload: HP-like normalized trace, scaled to servers, split across
+  // front-ends.
+  const auto normalized =
+      generate_workload(config.workload, config.hours, workload_rng);
+  s.total_workload_ = scale_to_servers(normalized, total_capacity,
+                                       config.peak_workload_fraction);
+  s.arrivals_ =
+      split_workload(s.total_workload_, config.front_ends, split_rng);
+
+  // Prices and carbon rates per datacenter.
+  const auto price_models = datacenter_price_models();
+  const auto mix_models = datacenter_fuel_mix_models();
+  UFC_EXPECTS(price_models.size() == n && mix_models.size() == n);
+  s.prices_ = Mat(static_cast<std::size_t>(config.hours), n);
+  s.carbon_rates_ = Mat(static_cast<std::size_t>(config.hours), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Rng pr = price_rng.fork(j);
+    Rng mr = mix_rng.fork(j);
+    const auto prices = generate_prices(price_models[j], config.hours, pr);
+    const auto mixes = generate_fuel_mix(mix_models[j], config.hours, mr);
+    const auto rates = carbon_rate_series(mixes);
+    for (int t = 0; t < config.hours; ++t) {
+      s.prices_(static_cast<std::size_t>(t), j) =
+          prices[static_cast<std::size_t>(t)];
+      s.carbon_rates_(static_cast<std::size_t>(t), j) =
+          rates[static_cast<std::size_t>(t)];
+    }
+  }
+
+  s.latency_s_ = latency_matrix_s(front_ends, dc_sites);
+  s.emission_cost_ = std::make_shared<AffineCarbonTax>(config.carbon_tax);
+  return s;
+}
+
+Scenario Scenario::from_data(ExternalTraceData data) {
+  const std::size_t n = data.datacenter_names.size();
+  const std::size_t m = data.arrivals.cols();
+  const auto hours = data.arrivals.rows();
+  UFC_EXPECTS(n > 0 && m > 0 && hours > 0);
+  UFC_EXPECTS(data.servers.size() == n);
+  UFC_EXPECTS(data.prices.rows() == hours && data.prices.cols() == n);
+  UFC_EXPECTS(data.carbon_rates.rows() == hours &&
+              data.carbon_rates.cols() == n);
+  UFC_EXPECTS(data.latency_s.rows() == m && data.latency_s.cols() == n);
+  for (double s : data.servers) UFC_EXPECTS(s > 0.0);
+  for (double v : data.arrivals.raw()) UFC_EXPECTS(v >= 0.0);
+  for (double v : data.prices.raw()) UFC_EXPECTS(v >= 0.0);
+  for (double v : data.carbon_rates.raw()) UFC_EXPECTS(v >= 0.0);
+  for (double v : data.latency_s.raw()) UFC_EXPECTS(v >= 0.0);
+
+  Scenario s;
+  s.config_ = data.config;
+  s.config_.hours = static_cast<int>(hours);
+  s.config_.front_ends = static_cast<int>(m);
+  s.datacenter_names_ = std::move(data.datacenter_names);
+  s.servers_ = std::move(data.servers);
+  s.arrivals_ = std::move(data.arrivals);
+  s.prices_ = std::move(data.prices);
+  s.carbon_rates_ = std::move(data.carbon_rates);
+  s.latency_s_ = std::move(data.latency_s);
+  s.total_workload_.resize(hours);
+  for (std::size_t t = 0; t < hours; ++t)
+    s.total_workload_[t] = s.arrivals_.row_sum(t);
+  s.emission_cost_ = std::make_shared<AffineCarbonTax>(s.config_.carbon_tax);
+  return s;
+}
+
+UfcProblem Scenario::problem_at(int t) const {
+  UFC_EXPECTS(t >= 0 && t < config_.hours);
+  const auto slot = static_cast<std::size_t>(t);
+
+  UfcProblem problem;
+  problem.power = config_.power;
+  problem.fuel_cell_price = config_.fuel_cell_price;
+  problem.latency_weight = config_.latency_weight;
+  problem.utility = std::make_shared<QuadraticUtility>();
+  problem.latency_s = latency_s_;
+
+  for (std::size_t j = 0; j < num_datacenters(); ++j) {
+    DatacenterSpec dc;
+    dc.name = datacenter_names_[j];
+    dc.servers = servers_[j];
+    dc.pue = config_.pue;
+    dc.grid_price = prices_(slot, j);
+    dc.carbon_rate = carbon_rates_(slot, j);
+    // "All four datacenters can be completely powered by fuel cell
+    // generation": mu_max = P_peak * S_j * PUE (paper §IV-A).
+    dc.fuel_cell_capacity_mw = config_.power.peak_watts * dc.servers *
+                               dc.pue / kWattsPerMegawatt;
+    dc.emission_cost = emission_cost_;
+    problem.datacenters.push_back(std::move(dc));
+  }
+
+  problem.arrivals.resize(num_front_ends());
+  for (std::size_t i = 0; i < num_front_ends(); ++i)
+    problem.arrivals[i] = arrivals_(slot, i);
+
+  problem.validate();
+  return problem;
+}
+
+ScenarioConfig scenario_config_from(const Config& config) {
+  ScenarioConfig scenario;
+  scenario.seed = static_cast<std::uint64_t>(
+      config.get_int("scenario.seed", static_cast<int>(scenario.seed)));
+  scenario.hours = config.get_int("scenario.hours", scenario.hours);
+  scenario.front_ends =
+      config.get_int("scenario.front_ends", scenario.front_ends);
+  scenario.pue = config.get_double("scenario.pue", scenario.pue);
+  scenario.peak_workload_fraction = config.get_double(
+      "scenario.peak_workload_fraction", scenario.peak_workload_fraction);
+  scenario.fuel_cell_price =
+      config.get_double("scenario.fuel_cell_price", scenario.fuel_cell_price);
+  scenario.carbon_tax =
+      config.get_double("scenario.carbon_tax", scenario.carbon_tax);
+  scenario.latency_weight =
+      config.get_double("scenario.latency_weight", scenario.latency_weight);
+  scenario.server_capacity_low = config.get_double(
+      "scenario.server_capacity_low", scenario.server_capacity_low);
+  scenario.server_capacity_high = config.get_double(
+      "scenario.server_capacity_high", scenario.server_capacity_high);
+  return scenario;
+}
+
+SingleSiteData generate_single_site_data(std::uint64_t seed, int hours) {
+  Rng master(seed);
+  Rng demand_rng = master.fork(11);
+  Rng dallas_rng = master.fork(12);
+  Rng sj_rng = master.fork(13);
+
+  SingleSiteData data;
+  data.demand_mw = generate_power_demand_mw(DemandModelParams{}, hours,
+                                            demand_rng);
+  data.dallas_price = generate_prices(dallas_prices(), hours, dallas_rng);
+  data.san_jose_price = generate_prices(san_jose_prices(), hours, sj_rng);
+  return data;
+}
+
+}  // namespace ufc::traces

@@ -1,0 +1,120 @@
+// Scenario: assembles the paper's full simulation setup (§IV-A) from the
+// trace substrate — N = 4 datacenters (Calgary, San Jose, Dallas,
+// Pittsburgh) with capacities U[1.7, 2.3]x10^4 servers, M = 10 front-ends,
+// one week of hourly workload / price / carbon-rate series — and exposes a
+// ready-to-solve UfcProblem per time slot.
+//
+// Everything is deterministic in ScenarioConfig::seed. Policy parameters
+// (p0, carbon tax, w) do not influence trace generation, so sweeps
+// regenerate the scenario with the same seed and get identical traces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "model/problem.hpp"
+#include "traces/fuelmix.hpp"
+#include "traces/geography.hpp"
+#include "traces/price.hpp"
+#include "traces/workload.hpp"
+#include "util/config.hpp"
+
+namespace ufc::traces {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  int hours = kWeekHours;
+  int front_ends = 10;                     ///< M.
+  double pue = 1.2;
+  ServerPowerModel power{100.0, 200.0};    ///< P_idle / P_peak, watts.
+  double server_capacity_low = 1.7e4;      ///< S_j ~ U[low, high].
+  double server_capacity_high = 2.3e4;
+  double peak_workload_fraction = 0.8;     ///< Peak load vs total capacity.
+  double fuel_cell_price = 80.0;           ///< p_0, $/MWh.
+  double carbon_tax = 25.0;                ///< r, $/ton.
+  double latency_weight = 10.0;            ///< w, $/s^2.
+  WorkloadModelParams workload;
+};
+
+/// Externally supplied traces (e.g. real RTO downloads loaded from CSV) for
+/// building a Scenario without the synthetic generators. Dimensions: T x M
+/// arrivals, T x N prices and carbon rates, M x N latencies. `config`
+/// supplies the policy/power parameters; its hours/front_ends are
+/// overwritten from the matrices.
+struct ExternalTraceData {
+  ScenarioConfig config;
+  std::vector<std::string> datacenter_names;
+  std::vector<double> servers;  ///< S_j.
+  Mat arrivals;
+  Mat prices;
+  Mat carbon_rates;
+  Mat latency_s;
+};
+
+/// A fully generated one-week geo-distributed cloud scenario.
+class Scenario {
+ public:
+  static Scenario generate(const ScenarioConfig& config);
+
+  /// Builds a scenario from user-provided traces (validated for dimension
+  /// consistency and non-negativity). Fuel-cell capacities follow the
+  /// paper's full-capacity rule (P_peak * S_j * PUE).
+  static Scenario from_data(ExternalTraceData data);
+
+  int hours() const { return config_.hours; }
+  std::size_t num_front_ends() const { return arrivals_.cols(); }
+  std::size_t num_datacenters() const { return datacenter_names_.size(); }
+
+  const ScenarioConfig& config() const { return config_; }
+  const std::vector<std::string>& datacenter_names() const {
+    return datacenter_names_;
+  }
+  const std::vector<double>& servers() const { return servers_; }
+
+  /// (hours x M) arrivals A_i(t), in servers required.
+  const Mat& arrivals() const { return arrivals_; }
+  /// (hours x N) grid prices p_j(t), $/MWh.
+  const Mat& prices() const { return prices_; }
+  /// (hours x N) carbon rates C_j(t), kg/MWh.
+  const Mat& carbon_rates() const { return carbon_rates_; }
+  /// Total workload per hour (row sums of arrivals).
+  const std::vector<double>& total_workload() const { return total_workload_; }
+  /// (M x N) propagation latencies, seconds.
+  const Mat& latency_s() const { return latency_s_; }
+
+  /// Builds the single-slot UFC problem for hour `t`.
+  UfcProblem problem_at(int t) const;
+
+ private:
+  ScenarioConfig config_;
+  std::vector<std::string> datacenter_names_;
+  std::vector<double> servers_;
+  Mat arrivals_;
+  Mat prices_;
+  Mat carbon_rates_;
+  std::vector<double> total_workload_;
+  Mat latency_s_;
+  std::shared_ptr<const EmissionCostFunction> emission_cost_;
+};
+
+/// Table I substrate: a single datacenter's one-week power demand plus the
+/// Dallas and San Jose price traces (Fig. 1 of the paper).
+struct SingleSiteData {
+  std::vector<double> demand_mw;
+  std::vector<double> dallas_price;
+  std::vector<double> san_jose_price;
+};
+
+SingleSiteData generate_single_site_data(std::uint64_t seed,
+                                         int hours = kWeekHours);
+
+/// Builds a ScenarioConfig from an INI [scenario] section (missing keys keep
+/// the paper defaults). Recognized keys: seed, hours, front_ends, pue,
+/// peak_workload_fraction, fuel_cell_price, carbon_tax, latency_weight,
+/// server_capacity_low, server_capacity_high.
+ScenarioConfig scenario_config_from(const Config& config);
+
+}  // namespace ufc::traces

@@ -1,0 +1,106 @@
+#include "traces/scenario_io.hpp"
+
+#include "util/contract.hpp"
+#include "util/csv.hpp"
+
+namespace ufc::traces {
+
+namespace {
+
+std::vector<std::string> numbered_header(const std::string& first,
+                                         const std::string& stem,
+                                         std::size_t count) {
+  std::vector<std::string> header{first};
+  for (std::size_t k = 0; k < count; ++k)
+    header.push_back(stem + std::to_string(k));
+  return header;
+}
+
+}  // namespace
+
+ScenarioCsvPaths scenario_csv_paths(const std::string& prefix) {
+  return {prefix + "_workload.csv", prefix + "_prices.csv",
+          prefix + "_carbon.csv", prefix + "_sites.csv"};
+}
+
+ScenarioCsvPaths save_scenario_csv(const Scenario& scenario,
+                                   const std::string& prefix) {
+  const auto paths = scenario_csv_paths(prefix);
+  const std::size_t m = scenario.num_front_ends();
+  const std::size_t n = scenario.num_datacenters();
+  const auto hours = static_cast<std::size_t>(scenario.hours());
+
+  {
+    CsvWriter csv(paths.workload, numbered_header("hour", "fe", m));
+    for (std::size_t t = 0; t < hours; ++t) {
+      std::vector<double> row{static_cast<double>(t)};
+      for (std::size_t i = 0; i < m; ++i)
+        row.push_back(scenario.arrivals()(t, i));
+      csv.row(row);
+    }
+  }
+  {
+    CsvWriter prices(paths.prices, numbered_header("hour", "dc", n));
+    CsvWriter carbon(paths.carbon, numbered_header("hour", "dc", n));
+    for (std::size_t t = 0; t < hours; ++t) {
+      std::vector<double> price_row{static_cast<double>(t)};
+      std::vector<double> carbon_row{static_cast<double>(t)};
+      for (std::size_t j = 0; j < n; ++j) {
+        price_row.push_back(scenario.prices()(t, j));
+        carbon_row.push_back(scenario.carbon_rates()(t, j));
+      }
+      prices.row(price_row);
+      carbon.row(carbon_row);
+    }
+  }
+  {
+    CsvWriter csv(paths.sites, numbered_header("servers", "latency_ms_fe", m));
+    for (std::size_t j = 0; j < n; ++j) {
+      std::vector<double> row{scenario.servers()[j]};
+      for (std::size_t i = 0; i < m; ++i)
+        row.push_back(1e3 * scenario.latency_s()(i, j));
+      csv.row(row);
+    }
+  }
+  return paths;
+}
+
+Scenario load_scenario_csv(const ScenarioCsvPaths& paths,
+                           const ScenarioConfig& config) {
+  const CsvTable workload = read_csv(paths.workload);
+  const CsvTable prices = read_csv(paths.prices);
+  const CsvTable carbon = read_csv(paths.carbon);
+  const CsvTable sites = read_csv(paths.sites);
+
+  const std::size_t hours = workload.num_rows();
+  const std::size_t m = workload.num_columns() - 1;  // minus "hour"
+  const std::size_t n = sites.num_rows();
+  UFC_EXPECTS(hours > 0 && m > 0 && n > 0);
+  UFC_EXPECTS(prices.num_rows() == hours && prices.num_columns() == n + 1);
+  UFC_EXPECTS(carbon.num_rows() == hours && carbon.num_columns() == n + 1);
+  UFC_EXPECTS(sites.num_columns() == m + 1);
+
+  ExternalTraceData data;
+  data.config = config;
+  data.arrivals = Mat(hours, m);
+  data.prices = Mat(hours, n);
+  data.carbon_rates = Mat(hours, n);
+  data.latency_s = Mat(m, n);
+  for (std::size_t t = 0; t < hours; ++t) {
+    for (std::size_t i = 0; i < m; ++i)
+      data.arrivals(t, i) = workload.rows[t][i + 1];
+    for (std::size_t j = 0; j < n; ++j) {
+      data.prices(t, j) = prices.rows[t][j + 1];
+      data.carbon_rates(t, j) = carbon.rows[t][j + 1];
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    data.servers.push_back(sites.rows[j][0]);
+    data.datacenter_names.push_back("dc" + std::to_string(j));
+    for (std::size_t i = 0; i < m; ++i)
+      data.latency_s(i, j) = 1e-3 * sites.rows[j][i + 1];
+  }
+  return Scenario::from_data(std::move(data));
+}
+
+}  // namespace ufc::traces

@@ -1,0 +1,39 @@
+// Scenario trace export/import via CSV.
+//
+// save_scenario_csv writes four files (<prefix>_workload.csv,
+// <prefix>_prices.csv, <prefix>_carbon.csv, <prefix>_sites.csv) that fully
+// determine the trace side of a scenario; load_scenario_csv reads them back.
+// This is the interchange path for users who want to drop in real RTO/ISO
+// downloads or archive a generated scenario next to its results.
+#pragma once
+
+#include <string>
+
+#include "traces/scenario.hpp"
+
+namespace ufc::traces {
+
+struct ScenarioCsvPaths {
+  std::string workload;  ///< hour, fe0..fe{M-1} (servers).
+  std::string prices;    ///< hour, one column per datacenter ($/MWh).
+  std::string carbon;    ///< hour, one column per datacenter (kg/MWh).
+  /// site, servers, lat0..lat{M-1}: one row per datacenter; lat_i is the
+  /// latency from front-end i in milliseconds.
+  std::string sites;
+};
+
+/// File names under `prefix` (e.g. "out/paper" -> "out/paper_workload.csv").
+ScenarioCsvPaths scenario_csv_paths(const std::string& prefix);
+
+/// Writes the scenario's traces. Throws std::runtime_error on I/O failure.
+ScenarioCsvPaths save_scenario_csv(const Scenario& scenario,
+                                   const std::string& prefix);
+
+/// Reads traces written by save_scenario_csv (or hand-assembled in the same
+/// layout) and builds a scenario with `config` supplying the policy/power
+/// parameters. Site *names* are not round-tripped through CSV (cells are
+/// numeric); datacenters are named dc0..dc{N-1}.
+Scenario load_scenario_csv(const ScenarioCsvPaths& paths,
+                           const ScenarioConfig& config);
+
+}  // namespace ufc::traces

@@ -1,0 +1,114 @@
+#include "traces/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::traces {
+
+namespace {
+
+/// Smooth diurnal shape in [0, 1]: cosine with its maximum at `peak_hour`.
+double diurnal_shape(int hour_of_day, double peak_hour) {
+  const double phase =
+      2.0 * std::numbers::pi * (static_cast<double>(hour_of_day) - peak_hour) /
+      24.0;
+  return 0.5 * (1.0 + std::cos(phase));
+}
+
+bool is_weekend(int hour) {
+  const int day = (hour / 24) % 7;  // Hour 0 = Monday 00:00.
+  return day >= 5;
+}
+
+}  // namespace
+
+std::vector<double> generate_workload(const WorkloadModelParams& params,
+                                      int hours, Rng& rng) {
+  UFC_EXPECTS(hours > 0);
+  UFC_EXPECTS(params.base_level > 0.0);
+  UFC_EXPECTS(params.diurnal_amplitude >= 0.0);
+  UFC_EXPECTS(params.base_level + params.diurnal_amplitude <= 1.0);
+
+  std::vector<double> trace(static_cast<std::size_t>(hours));
+  for (int t = 0; t < hours; ++t) {
+    double level = params.base_level +
+                   params.diurnal_amplitude * diurnal_shape(t % 24, params.peak_hour);
+    if (is_weekend(t)) level *= params.weekend_factor;
+    level *= rng.log_normal(0.0, params.noise_sd);
+    if (rng.bernoulli(params.burst_probability))
+      level += params.burst_scale * rng.uniform();
+    trace[static_cast<std::size_t>(t)] = std::clamp(level, 0.01, 1.0);
+  }
+  return trace;
+}
+
+std::vector<double> scale_to_servers(const std::vector<double>& normalized,
+                                     double total_server_capacity,
+                                     double peak_fraction) {
+  UFC_EXPECTS(!normalized.empty());
+  UFC_EXPECTS(total_server_capacity > 0.0);
+  UFC_EXPECTS(peak_fraction > 0.0 && peak_fraction <= 1.0);
+  const double peak = max_value(normalized);
+  UFC_EXPECTS(peak > 0.0);
+  const double scale = peak_fraction * total_server_capacity / peak;
+  std::vector<double> scaled(normalized.size());
+  for (std::size_t t = 0; t < normalized.size(); ++t)
+    scaled[t] = normalized[t] * scale;
+  return scaled;
+}
+
+Mat split_workload(const std::vector<double>& total, int front_ends, Rng& rng,
+                   double cv, double slot_jitter_sd) {
+  UFC_EXPECTS(!total.empty());
+  UFC_EXPECTS(front_ends > 0);
+  UFC_EXPECTS(slot_jitter_sd >= 0.0);
+
+  // Fixed spatial shares for the whole week (population distribution),
+  // following a normal distribution as in the paper.
+  const std::vector<double> base_shares =
+      normal_shares(rng, front_ends, 1.0, cv);
+
+  Mat split(total.size(), static_cast<std::size_t>(front_ends));
+  for (std::size_t t = 0; t < total.size(); ++t) {
+    UFC_EXPECTS(total[t] >= 0.0);
+    // Small per-slot jitter so shares are not perfectly static, then
+    // renormalize so the row sums exactly to the slot total.
+    std::vector<double> shares(base_shares);
+    double sum_shares = 0.0;
+    for (auto& s : shares) {
+      s = std::max(1e-6, s * rng.log_normal(0.0, slot_jitter_sd));
+      sum_shares += s;
+    }
+    for (int i = 0; i < front_ends; ++i)
+      split(t, static_cast<std::size_t>(i)) =
+          total[t] * shares[static_cast<std::size_t>(i)] / sum_shares;
+  }
+  return split;
+}
+
+std::vector<double> generate_power_demand_mw(const DemandModelParams& params,
+                                             int hours, Rng& rng) {
+  UFC_EXPECTS(hours > 0);
+  UFC_EXPECTS(params.mean_mw > 0.0);
+  UFC_EXPECTS(params.diurnal_amplitude >= 0.0 && params.diurnal_amplitude < 1.0);
+
+  std::vector<double> demand(static_cast<std::size_t>(hours));
+  for (int t = 0; t < hours; ++t) {
+    // Centered diurnal shape in [-1, 1].
+    const double centered = 2.0 * diurnal_shape(t % 24, params.peak_hour) - 1.0;
+    double level = 1.0 + params.diurnal_amplitude * centered;
+    if (is_weekend(t)) level *= params.weekend_factor;
+    level *= rng.log_normal(0.0, params.noise_sd);
+    demand[static_cast<std::size_t>(t)] = std::max(0.05, level);
+  }
+  // Calibrate the mean exactly.
+  const double m = mean(demand);
+  for (auto& d : demand) d *= params.mean_mw / m;
+  return demand;
+}
+
+}  // namespace ufc::traces

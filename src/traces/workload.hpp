@@ -1,0 +1,64 @@
+// Synthetic interactive-workload traces (substitution for the paper's
+// proprietary HP request trace and Facebook power-demand profile; see
+// DESIGN.md §4).
+//
+// Both generators produce hourly series with the features the paper's
+// figures show: a strong diurnal cycle (afternoon peak, small-hours trough),
+// a weekday/weekend effect, and bursty multiplicative noise. All randomness
+// comes from the caller's Rng, so traces are reproducible from a seed.
+#pragma once
+
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ufc::traces {
+
+/// Hours in the paper's evaluation window (one week).
+inline constexpr int kWeekHours = 168;
+
+/// HP-like interactive request trace, normalized to [0, 1] ("fraction of the
+/// peak number of servers required").
+struct WorkloadModelParams {
+  double base_level = 0.35;       ///< Trough level as a fraction of peak.
+  double diurnal_amplitude = 0.55;///< Peak-to-trough swing.
+  double peak_hour = 15.0;        ///< Local hour of the daily peak.
+  double weekend_factor = 0.75;   ///< Weekend demand relative to weekdays.
+  double noise_sd = 0.04;         ///< Multiplicative log-normal noise sigma.
+  double burst_probability = 0.02;///< Chance of an hourly burst.
+  double burst_scale = 0.25;      ///< Burst magnitude (fraction of peak).
+};
+
+/// Generates `hours` hourly samples in (0, 1]; hour 0 is Monday 00:00.
+std::vector<double> generate_workload(const WorkloadModelParams& params,
+                                      int hours, Rng& rng);
+
+/// Scales a normalized trace to "servers required" so its maximum equals
+/// `peak_fraction * total_server_capacity`.
+std::vector<double> scale_to_servers(const std::vector<double>& normalized,
+                                     double total_server_capacity,
+                                     double peak_fraction);
+
+/// Splits a total-workload trace across `front_ends` proxies following a
+/// normal spatial distribution (paper §IV-A): per-proxy shares are drawn
+/// once from N(1, cv^2), clamped positive, normalized, and jittered slightly
+/// per slot. Returns a (hours x front_ends) matrix whose rows sum to the
+/// corresponding total.
+Mat split_workload(const std::vector<double>& total, int front_ends, Rng& rng,
+                   double cv = 0.35, double slot_jitter_sd = 0.03);
+
+/// Facebook-like datacenter power-demand profile in MW (for Table I /
+/// Fig. 1), calibrated so the week's mean is `mean_mw`.
+struct DemandModelParams {
+  double mean_mw = 2.08;        ///< Week average (Table I calibration).
+  double diurnal_amplitude = 0.35;  ///< Fractional swing around the mean.
+  double peak_hour = 16.0;
+  double weekend_factor = 0.85;
+  double noise_sd = 0.05;
+};
+
+std::vector<double> generate_power_demand_mw(const DemandModelParams& params,
+                                             int hours, Rng& rng);
+
+}  // namespace ufc::traces

@@ -1,0 +1,128 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string strip_comment(const std::string& line) {
+  // ';' or '#' starts a comment (we do not support quoted values).
+  const auto pos = line.find_first_of(";#");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config config;
+  std::istringstream stream(text);
+  std::string line;
+  std::string section;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string content = trim(strip_comment(line));
+    if (content.empty()) continue;
+    if (content.front() == '[') {
+      UFC_EXPECTS(content.back() == ']');
+      section = trim(content.substr(1, content.size() - 2));
+      UFC_EXPECTS(!section.empty());
+      continue;
+    }
+    const auto eq = content.find('=');
+    UFC_EXPECTS(eq != std::string::npos);
+    const std::string key = trim(content.substr(0, eq));
+    UFC_EXPECTS(!key.empty());
+    const std::string value = trim(content.substr(eq + 1));
+    const std::string full_key = section.empty() ? key : section + "." + key;
+    config.values_[full_key] = value;
+  }
+  return config;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    UFC_EXPECTS(consumed == it->second.size());
+    return value;
+  } catch (const std::logic_error&) {
+    throw ContractViolation("Config: key '" + key + "' has non-numeric value '" +
+                            it->second + "'");
+  }
+}
+
+int Config::get_int(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(it->second, &consumed);
+    UFC_EXPECTS(consumed == it->second.size());
+    return value;
+  } catch (const std::logic_error&) {
+    throw ContractViolation("Config: key '" + key + "' has non-integer value '" +
+                            it->second + "'");
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string value = lower(it->second);
+  if (value == "true" || value == "yes" || value == "on" || value == "1")
+    return true;
+  if (value == "false" || value == "no" || value == "off" || value == "0")
+    return false;
+  throw ContractViolation("Config: key '" + key + "' has non-boolean value '" +
+                          it->second + "'");
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+}  // namespace ufc

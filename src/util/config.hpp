@@ -1,0 +1,48 @@
+// Minimal INI-style configuration parser for the CLI driver.
+//
+// Grammar (deliberately small, no external dependencies):
+//   [section]
+//   key = value        ; comment
+//   # full-line comment
+// Keys are addressed as "section.key"; keys before any section header live
+// in the "" section and are addressed bare. Values keep inner whitespace,
+// with surrounding whitespace trimmed.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ufc {
+
+class Config {
+ public:
+  /// Parses INI text. Throws ContractViolation on malformed lines
+  /// (missing '=', unterminated section header).
+  static Config parse(const std::string& text);
+
+  /// Reads and parses a file. Throws std::runtime_error if unreadable.
+  static Config load(const std::string& path);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; throw ContractViolation when the value
+  /// exists but cannot be converted.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const;
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  /// Accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys in "section.key" form, sorted.
+  std::vector<std::string> keys() const;
+
+  /// Number of key/value pairs.
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ufc

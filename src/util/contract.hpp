@@ -1,0 +1,41 @@
+// Lightweight contract checking (GSL Expects/Ensures style, CppCoreGuidelines I.6/I.8).
+//
+// UFC_EXPECTS(cond)  - precondition; throws ufc::ContractViolation on failure.
+// UFC_ENSURES(cond)  - postcondition; same behaviour.
+//
+// We throw instead of aborting so that library users (and tests) can recover
+// from misuse, and so property tests can assert that violations are caught.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ufc {
+
+/// Thrown when a precondition or postcondition of a public API is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: `" + expr + "` at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ufc
+
+#define UFC_EXPECTS(cond)                                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ufc::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define UFC_ENSURES(cond)                                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ufc::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,149 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_number(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  UFC_EXPECTS(!header.empty());
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_cells(header);
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  UFC_EXPECTS(cells.size() == columns_);
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(csv_number(v));
+  write_cells(formatted);
+  ++rows_;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  UFC_EXPECTS(cells.size() == columns_);
+  write_cells(cells);
+  ++rows_;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+namespace {
+
+/// Splits one CSV record (RFC 4180: quoted cells may contain commas and
+/// doubled quotes; embedded newlines are not supported by this reader).
+std::vector<std::string> split_record(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  UFC_EXPECTS(!quoted);  // unterminated quote
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+double parse_number(const std::string& cell) {
+  double value = 0.0;
+  const auto* begin = cell.data();
+  const auto* end = begin + cell.size();
+  const auto result = std::from_chars(begin, end, value);
+  UFC_EXPECTS(result.ec == std::errc() && result.ptr == end);
+  return value;
+}
+
+}  // namespace
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t c = 0; c < header.size(); ++c)
+    if (header[c] == name) return c;
+  throw ContractViolation("CsvTable: no column named '" + name + "'");
+}
+
+std::vector<double> CsvTable::column_values(const std::string& name) const {
+  const std::size_t c = column(name);
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& row : rows) values.push_back(row[c]);
+  return values;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    auto cells = split_record(line);
+    if (table.header.empty()) {
+      table.header = std::move(cells);
+      UFC_EXPECTS(!table.header.empty());
+      continue;
+    }
+    UFC_EXPECTS(cells.size() == table.header.size());
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) row.push_back(parse_number(cell));
+    table.rows.push_back(std::move(row));
+  }
+  UFC_EXPECTS(!table.header.empty());
+  return table;
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_csv(text.str());
+}
+
+}  // namespace ufc

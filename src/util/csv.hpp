@@ -1,0 +1,65 @@
+// CSV output for benchmark series (one file per figure/table).
+//
+// Values are written with full round-trip precision; strings containing
+// commas, quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ufc {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; must have exactly as many cells as the header.
+  void row(const std::vector<double>& cells);
+
+  /// Appends one mixed row of preformatted cells.
+  void row_strings(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a single CSV cell per RFC 4180 (quote if it contains , " or \n).
+std::string csv_escape(const std::string& cell);
+
+/// Formats a double with shortest round-trip representation.
+std::string csv_number(double value);
+
+/// A parsed CSV file: one header row plus numeric data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  std::size_t num_rows() const { return rows.size(); }
+  std::size_t num_columns() const { return header.size(); }
+  /// Index of the named column; throws ContractViolation if absent.
+  std::size_t column(const std::string& name) const;
+  /// One column as a vector.
+  std::vector<double> column_values(const std::string& name) const;
+};
+
+/// Parses CSV text: quoted cells per RFC 4180, numeric data cells, equal
+/// row lengths. Throws ContractViolation on malformed input.
+CsvTable parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error if unreadable.
+CsvTable read_csv(const std::string& path);
+
+}  // namespace ufc

@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ufc::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+std::mutex g_mutex;
+
+const char* name(Level lvl) {
+  switch (lvl) {
+    case Level::Debug: return "debug";
+    case Level::Info:  return "info ";
+    case Level::Warn:  return "warn ";
+    case Level::Error: return "error";
+    case Level::Off:   return "off  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << name(lvl) << "] " << message << "\n";
+}
+
+}  // namespace ufc::log

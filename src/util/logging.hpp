@@ -1,0 +1,48 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The library is quiet by default (level = Warn). Benchmarks and examples
+// raise the level to Info/Debug. Output goes to stderr so CSV/table output
+// on stdout stays machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ufc::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_level(Level level);
+Level level();
+
+/// Emits one line (`[level] message`) to stderr if `lvl` passes the threshold.
+void write(Level lvl, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::Debug) write(Level::Debug, detail::concat(args...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::Info) write(Level::Info, detail::concat(args...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::Warn) write(Level::Warn, detail::concat(args...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::Error) write(Level::Error, detail::concat(args...));
+}
+
+}  // namespace ufc::log

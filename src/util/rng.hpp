@@ -1,0 +1,71 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic pieces of the library (trace synthesis, workload splitting,
+// failure injection) draw from an explicitly passed Rng so that every
+// experiment is reproducible from a single seed. No global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ufc {
+
+/// SplitMix64-seeded xoshiro256** generator with convenience distributions.
+///
+/// We implement the generator ourselves (rather than using std::mt19937_64
+/// plus std distributions) because std distribution *algorithms* are not
+/// specified — values would differ across standard libraries, breaking
+/// reproducibility of the calibrated traces.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Normal truncated to [lo, hi] by rejection (falls back to clamping
+  /// after 64 rejections to stay O(1) in pathological configurations).
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double log_normal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Forks an independent stream: deterministic function of this generator's
+  /// state and `stream_id`; does not advance this generator.
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Returns n samples of `rng.normal(mean, stddev)` normalized to sum to
+/// `total`, with each share clamped to be >= min_share * total / n.
+/// Used to split a workload trace across front-end proxies ("following a
+/// normal distribution" as in the paper's simulation setup).
+std::vector<double> normal_shares(Rng& rng, int n, double total, double cv,
+                                  double min_share = 0.1);
+
+}  // namespace ufc

@@ -1,0 +1,56 @@
+// Summary statistics and empirical distributions used by the benchmark
+// harness (means, percentiles, CDFs) and by tests (tolerant comparisons).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ufc {
+
+/// Single-pass accumulator for mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double sum(std::span<const double> xs);
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. xs need not be sorted.
+double percentile(std::span<const double> xs, double p);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value;       ///< x
+  double cumulative;  ///< P(X <= x), in (0, 1].
+};
+
+/// Empirical CDF of the samples (sorted ascending, one point per sample).
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+/// True if |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                  double abs_tol = 1e-12);
+
+}  // namespace ufc

@@ -1,0 +1,111 @@
+// Core correctness of the 4-block ADM-G solver: convergence, feasibility,
+// agreement with the independent centralized oracle, and first-order
+// optimality of the returned point.
+#include <gtest/gtest.h>
+
+#include "admm/admg.hpp"
+#include "admm/centralized.hpp"
+#include "helpers.hpp"
+
+namespace ufc::admm {
+namespace {
+
+using ::ufc::testing::make_random_problem;
+using ::ufc::testing::make_tiny_problem;
+
+AdmgOptions tight_options() {
+  AdmgOptions options;
+  options.tolerance = 1e-6;
+  options.max_iterations = 5000;
+  return options;
+}
+
+TEST(AdmgSolver, ConvergesOnTinyProblem) {
+  const auto problem = make_tiny_problem();
+  const auto report = solve_admg(problem, tight_options());
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.iterations, 5000);
+}
+
+TEST(AdmgSolver, SolutionIsFeasible) {
+  const auto problem = make_tiny_problem();
+  const auto report = solve_admg(problem, tight_options());
+  // Tolerance in workload units: residuals scale with arrivals (~1e3).
+  EXPECT_LT(constraint_violation(problem, report.solution.lambda,
+                                 report.solution.mu),
+            1e-2);
+  // Row sums must match arrivals exactly (enforced by projection).
+  for (std::size_t i = 0; i < problem.num_front_ends(); ++i)
+    EXPECT_NEAR(report.solution.lambda.row_sum(i), problem.arrivals[i], 1e-6);
+}
+
+TEST(AdmgSolver, MatchesCentralizedOracleOnTinyProblem) {
+  const auto problem = make_tiny_problem();
+  const auto admg = solve_admg(problem, tight_options());
+
+  CentralizedOptions central;
+  central.max_iterations = 8000;
+  const auto oracle = solve_centralized(problem, central);
+
+  // Objectives agree to a small relative tolerance (the oracle is a
+  // subgradient method, so it is the looser of the two).
+  const double scale = std::abs(oracle.objective);
+  EXPECT_NEAR(admg.breakdown.ufc, oracle.objective, 0.01 * scale);
+  // ADM-G must not be worse than the oracle beyond tolerance.
+  EXPECT_GT(admg.breakdown.ufc, oracle.objective - 0.01 * scale);
+}
+
+TEST(AdmgSolver, SolutionPassesFirstOrderOptimalityCheck) {
+  const auto problem = make_tiny_problem();
+  const auto report = solve_admg(problem, tight_options());
+  const double residual =
+      routing_optimality_residual(problem, report.solution.lambda, 1e-3);
+  EXPECT_LT(residual, 2e-3);
+}
+
+TEST(AdmgSolver, ResidualsDecrease) {
+  const auto problem = make_tiny_problem();
+  auto options = tight_options();
+  options.record_trace = true;
+  const auto report = solve_admg(problem, options);
+  ASSERT_GE(report.trace.copy_residual.size(), 10u);
+  const auto& r = report.trace.copy_residual;
+  // Compare early vs late plateau (ADMM residuals are not monotone, but
+  // must decay overall).
+  EXPECT_LT(r.back(), 0.01 * (r.front() + 1e-12) + 1e-6);
+}
+
+TEST(AdmgSolver, PlainAdmmAblationStillRunsButMayDiffer) {
+  const auto problem = make_tiny_problem();
+  auto options = tight_options();
+  options.gaussian_back_substitution = false;
+  const auto report = solve_admg(problem, options);
+  // Plain 4-block ADMM has no convergence guarantee, but on this smooth
+  // instance it should still produce a feasible point.
+  EXPECT_LT(constraint_violation(problem, report.solution.lambda,
+                                 report.solution.mu),
+            1.0);
+}
+
+class AdmgRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdmgRandomized, MatchesOracleAndIsFeasible) {
+  const auto problem = make_random_problem(GetParam(), 4, 3);
+  const auto admg = solve_admg(problem, tight_options());
+  EXPECT_TRUE(admg.converged);
+  EXPECT_LT(constraint_violation(problem, admg.solution.lambda,
+                                 admg.solution.mu),
+            0.05);
+
+  CentralizedOptions central;
+  central.max_iterations = 6000;
+  const auto oracle = solve_centralized(problem, central);
+  const double scale = std::max(1.0, std::abs(oracle.objective));
+  EXPECT_NEAR(admg.breakdown.ufc, oracle.objective, 0.02 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdmgRandomized,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ufc::admm

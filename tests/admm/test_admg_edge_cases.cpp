@@ -1,0 +1,119 @@
+// Degenerate and boundary configurations the solver must handle exactly:
+// single sites, empty front-ends, zero weights, saturated capacity.
+#include <gtest/gtest.h>
+
+#include "admm/admg.hpp"
+#include "admm/centralized.hpp"
+#include "admm/strategy.hpp"
+#include "helpers.hpp"
+
+namespace ufc::admm {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+AdmgOptions tight() {
+  AdmgOptions options;
+  options.tolerance = 1e-6;
+  options.max_iterations = 8000;
+  return options;
+}
+
+TEST(AdmgEdgeCases, SingleDatacenterSingleFrontEnd) {
+  UfcProblem p;
+  p.power = ServerPowerModel{100.0, 200.0};
+  p.fuel_cell_price = 80.0;
+  p.latency_weight = 10.0;
+  p.utility = std::make_shared<QuadraticUtility>();
+  DatacenterSpec dc;
+  dc.name = "only";
+  dc.servers = 500.0;
+  dc.pue = 1.2;
+  dc.grid_price = 100.0;  // above p0: fuel cells should carry everything
+  dc.carbon_rate = 400.0;
+  dc.fuel_cell_capacity_mw = 0.12;
+  dc.emission_cost = std::make_shared<AffineCarbonTax>(25.0);
+  p.datacenters = {dc};
+  p.arrivals = {300.0};
+  p.latency_s = Mat(1, 1);
+  p.latency_s(0, 0) = 0.012;
+
+  const auto report = solve_admg(p, tight());
+  EXPECT_TRUE(report.converged);
+  // All load routed to the only site; grid priced out -> full fuel cell.
+  EXPECT_NEAR(report.solution.lambda(0, 0), 300.0, 1e-6);
+  EXPECT_NEAR(report.solution.nu[0], 0.0, 1e-4);
+  EXPECT_NEAR(report.breakdown.utilization, 1.0, 1e-3);
+}
+
+TEST(AdmgEdgeCases, ZeroArrivalFrontEndRoutesNothing) {
+  auto p = make_tiny_problem();
+  p.arrivals[1] = 0.0;
+  const auto report = solve_admg(p, tight());
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(report.solution.lambda.row_sum(1), 0.0, 1e-9);
+  EXPECT_NEAR(report.solution.lambda.row_sum(0), p.arrivals[0], 1e-6);
+}
+
+TEST(AdmgEdgeCases, ZeroLatencyWeightStillSolvesEnergyProblem) {
+  auto p = make_tiny_problem();
+  p.latency_weight = 0.0;  // pure cost minimization, utility irrelevant
+  const auto report = solve_admg(p, tight());
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(report.breakdown.utility, 0.0, 1e-12);
+
+  CentralizedOptions central;
+  central.max_iterations = 6000;
+  const auto oracle = solve_centralized(p, central);
+  EXPECT_NEAR(report.breakdown.ufc, oracle.objective,
+              0.02 * std::abs(oracle.objective));
+}
+
+TEST(AdmgEdgeCases, TightCapacityForcesSplitRouting) {
+  // Arrivals equal total capacity: both datacenters must run full.
+  auto p = make_tiny_problem();
+  p.arrivals = {1000.0, 800.0};
+  const auto report = solve_admg(p, tight());
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(report.solution.lambda.col_sum(0), 1000.0, 2.0);
+  EXPECT_NEAR(report.solution.lambda.col_sum(1), 800.0, 2.0);
+}
+
+TEST(AdmgEdgeCases, EqualPricesReduceToLatencyOnlyRouting) {
+  // Identical energy economics everywhere: routing should follow latency
+  // (each front-end at its nearest site), regardless of fuel cells.
+  auto p = make_tiny_problem();
+  for (auto& dc : p.datacenters) {
+    dc.grid_price = 50.0;
+    dc.carbon_rate = 400.0;
+  }
+  const auto report = solve_admg(p, tight());
+  EXPECT_TRUE(report.converged);
+  EXPECT_GT(report.solution.lambda(0, 0), 0.98 * p.arrivals[0]);
+  EXPECT_GT(report.solution.lambda(1, 1), 0.98 * p.arrivals[1]);
+}
+
+TEST(AdmgEdgeCases, ZeroCarbonTaxMatchesOracle) {
+  auto p = make_tiny_problem();
+  auto zero_tax = std::make_shared<AffineCarbonTax>(0.0);
+  for (auto& dc : p.datacenters) dc.emission_cost = zero_tax;
+  const auto report = solve_admg(p, tight());
+  CentralizedOptions central;
+  central.max_iterations = 6000;
+  const auto oracle = solve_centralized(p, central);
+  EXPECT_NEAR(report.breakdown.ufc, oracle.objective,
+              0.02 * std::abs(oracle.objective));
+  EXPECT_NEAR(report.breakdown.carbon_cost, 0.0, 1e-9);
+}
+
+TEST(AdmgEdgeCases, ManyFrontEndsFewDatacenters) {
+  const auto p = ::ufc::testing::make_random_problem(777, 25, 2);
+  const auto report = solve_admg(p, tight());
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(constraint_violation(p, report.solution.lambda,
+                                 report.solution.mu),
+            0.1);
+}
+
+}  // namespace
+}  // namespace ufc::admm

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "admm/async.hpp"
+#include "helpers.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+AsyncOptions tight_async(double participation) {
+  AsyncOptions options;
+  options.admg.tolerance = 1e-6;
+  options.admg.max_iterations = 20000;
+  options.admg.record_trace = false;
+  options.participation = participation;
+  return options;
+}
+
+TEST(AsyncAdmg, FullParticipationMatchesSynchronousSolver) {
+  const auto problem = make_tiny_problem();
+  const auto options = tight_async(1.0);
+  const auto async = solve_async_admg(problem, options);
+  const auto sync = solve_admg(problem, options.admg);
+  EXPECT_EQ(async.iterations, sync.iterations);
+  EXPECT_EQ(async.skipped_updates, 0u);
+  EXPECT_EQ(max_abs_diff(async.solution.lambda, sync.solution.lambda), 0.0);
+  EXPECT_EQ(max_abs_diff(async.solution.mu, sync.solution.mu), 0.0);
+}
+
+class AsyncParticipation : public ::testing::TestWithParam<double> {};
+
+TEST_P(AsyncParticipation, StillReachesTheOptimum) {
+  const auto problem = make_tiny_problem();
+  const auto async = solve_async_admg(problem, tight_async(GetParam()));
+  EXPECT_TRUE(async.converged);
+  EXPECT_GT(async.skipped_updates, 0u);
+  // Same optimum as the synchronous solver (tiny problem optimum -22.62).
+  EXPECT_NEAR(async.breakdown.ufc, -22.62, 0.05);
+  EXPECT_LT(constraint_violation(problem, async.solution.lambda,
+                                 async.solution.mu),
+            1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AsyncParticipation,
+                         ::testing::Values(0.5, 0.7, 0.9));
+
+TEST(AsyncAdmg, LowerParticipationNeedsMoreIterations) {
+  const auto problem = make_tiny_problem();
+  const auto full = solve_async_admg(problem, tight_async(1.0));
+  auto half_options = tight_async(0.5);
+  half_options.seed = 3;
+  const auto half = solve_async_admg(problem, half_options);
+  EXPECT_TRUE(full.converged);
+  EXPECT_TRUE(half.converged);
+  EXPECT_GT(half.iterations, full.iterations);
+}
+
+TEST(AsyncAdmg, DeterministicForSeed) {
+  const auto problem = make_tiny_problem();
+  auto options = tight_async(0.6);
+  options.seed = 42;
+  const auto a = solve_async_admg(problem, options);
+  const auto b = solve_async_admg(problem, options);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.skipped_updates, b.skipped_updates);
+  EXPECT_EQ(max_abs_diff(a.solution.lambda, b.solution.lambda), 0.0);
+}
+
+TEST(AsyncAdmg, InvalidParticipationThrows) {
+  const auto problem = make_tiny_problem();
+  EXPECT_THROW(solve_async_admg(problem, tight_async(0.0)),
+               ContractViolation);
+  EXPECT_THROW(solve_async_admg(problem, tight_async(1.5)),
+               ContractViolation);
+}
+
+TEST(AsyncAdmg, PinnedBaselinesRequireFullParticipation) {
+  const auto problem = make_tiny_problem();
+  auto options = tight_async(0.8);
+  options.admg.pinning = BlockPinning::PinMu;
+  EXPECT_THROW(solve_async_admg(problem, options), ContractViolation);
+  options.participation = 1.0;
+  const auto report = solve_async_admg(problem, options);
+  EXPECT_TRUE(report.converged);
+}
+
+}  // namespace
+}  // namespace ufc::admm

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "admm/centralized.hpp"
+#include "helpers.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace ufc::admm {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+TEST(OptimalDispatch, GridCheaperMeansNoFuelCells) {
+  DatacenterSpec dc;
+  dc.servers = 1000.0;
+  dc.grid_price = 30.0;
+  dc.carbon_rate = 200.0;  // +$5/MWh at $25/ton
+  dc.fuel_cell_capacity_mw = 1.0;
+  dc.emission_cost = std::make_shared<AffineCarbonTax>(25.0);
+  EXPECT_DOUBLE_EQ(optimal_dispatch_mw(dc, 80.0, 0.5), 0.0);
+}
+
+TEST(OptimalDispatch, FuelCellCheaperMeansFullDispatch) {
+  DatacenterSpec dc;
+  dc.servers = 1000.0;
+  dc.grid_price = 90.0;
+  dc.carbon_rate = 500.0;
+  dc.fuel_cell_capacity_mw = 1.0;
+  dc.emission_cost = std::make_shared<AffineCarbonTax>(25.0);
+  EXPECT_NEAR(optimal_dispatch_mw(dc, 80.0, 0.5), 0.5, 1e-9);
+}
+
+TEST(OptimalDispatch, CapacityLimitsDispatch) {
+  DatacenterSpec dc;
+  dc.grid_price = 200.0;
+  dc.carbon_rate = 0.0;
+  dc.fuel_cell_capacity_mw = 0.2;
+  dc.emission_cost = std::make_shared<AffineCarbonTax>(25.0);
+  EXPECT_NEAR(optimal_dispatch_mw(dc, 80.0, 0.5), 0.2, 1e-9);
+}
+
+TEST(OptimalDispatch, CarbonTaxTipsTheBalance) {
+  DatacenterSpec dc;
+  dc.grid_price = 75.0;  // cheaper than fuel cells pre-tax
+  dc.carbon_rate = 800.0;
+  dc.fuel_cell_capacity_mw = 1.0;
+  // 800 kg/MWh * $25/ton = $20/MWh effective -> 95 > 80: full fuel cell.
+  dc.emission_cost = std::make_shared<AffineCarbonTax>(25.0);
+  EXPECT_NEAR(optimal_dispatch_mw(dc, 80.0, 0.4), 0.4, 1e-9);
+  // Without the tax the grid wins.
+  dc.emission_cost = std::make_shared<AffineCarbonTax>(0.0);
+  EXPECT_DOUBLE_EQ(optimal_dispatch_mw(dc, 80.0, 0.4), 0.0);
+}
+
+TEST(OptimalDispatch, QuadraticCostGivesInteriorDispatch) {
+  // With a strongly convex emission cost the marginal grid cost rises with
+  // draw, so the optimum can split between grid and fuel cells.
+  DatacenterSpec dc;
+  dc.grid_price = 60.0;
+  dc.carbon_rate = 1000.0;  // 1 ton per MWh for easy numbers
+  dc.fuel_cell_capacity_mw = 10.0;
+  dc.emission_cost = std::make_shared<QuadraticEmissionCost>(0.0, 10.0);
+  // Marginal grid cost at draw nu: 60 + 20 nu; equals p0 = 80 at nu = 1.
+  // For demand 3: mu* = 2.
+  const double mu = optimal_dispatch_mw(dc, 80.0, 3.0);
+  EXPECT_NEAR(mu, 2.0, 1e-6);
+}
+
+TEST(ProjectRouting, AlreadyFeasibleIsFixed) {
+  const auto problem = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  lambda(0, 0) = 600.0;
+  lambda(1, 1) = 400.0;
+  const Mat projected = project_routing(problem, lambda);
+  EXPECT_LT(max_abs_diff(projected, lambda), 1e-6);
+}
+
+TEST(ProjectRouting, RestoresRowSumsAndCapacity) {
+  const auto problem = make_tiny_problem();
+  Rng rng(4);
+  Mat lambda(2, 2);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) lambda(i, j) = rng.uniform(-200.0, 900.0);
+  const Mat projected = project_routing(problem, lambda, 5000);
+  // Dykstra converges geometrically; at workload scale ~1e3 a relative
+  // accuracy of 1e-6 is plenty for downstream use.
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(projected.row_sum(i), problem.arrivals[i], 1e-2);
+  for (std::size_t j = 0; j < 2; ++j)
+    EXPECT_LE(projected.col_sum(j), problem.datacenters[j].servers + 1e-2);
+  for (double x : projected.raw()) EXPECT_GE(x, -1e-4);
+}
+
+TEST(Centralized, TinyProblemFindsCornerOptimum) {
+  const auto problem = make_tiny_problem();
+  const auto result = solve_centralized(problem);
+  // Known optimum: nearest routing, fuel cells only at the pricey DC.
+  EXPECT_NEAR(result.objective, -22.62, 0.15);
+  EXPECT_GT(result.solution.lambda(0, 0), 590.0);
+  EXPECT_GT(result.solution.lambda(1, 1), 390.0);
+}
+
+TEST(Centralized, GridOnlyFlagForcesZeroMu) {
+  const auto problem = make_tiny_problem();
+  CentralizedOptions options;
+  options.grid_only = true;
+  options.max_iterations = 2000;
+  const auto result = solve_centralized(problem, options);
+  for (double mu : result.solution.mu) EXPECT_DOUBLE_EQ(mu, 0.0);
+}
+
+TEST(Centralized, FuelCellOnlyFlagForcesZeroNu) {
+  const auto problem = make_tiny_problem();
+  CentralizedOptions options;
+  options.fuel_cell_only = true;
+  options.max_iterations = 2000;
+  const auto result = solve_centralized(problem, options);
+  for (double nu : result.solution.nu) EXPECT_NEAR(nu, 0.0, 1e-6);
+}
+
+TEST(Centralized, ConflictingFlagsThrow) {
+  const auto problem = make_tiny_problem();
+  CentralizedOptions options;
+  options.grid_only = true;
+  options.fuel_cell_only = true;
+  EXPECT_THROW(solve_centralized(problem, options), ContractViolation);
+}
+
+TEST(RoutingOptimalityResidual, SmallAtOptimumLargeElsewhere) {
+  const auto problem = make_tiny_problem();
+  const auto result = solve_centralized(problem);
+  const double at_optimum =
+      routing_optimality_residual(problem, result.solution.lambda, 1e-3);
+
+  Mat uniform(2, 2);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      uniform(i, j) = problem.arrivals[i] / 2.0;
+  const double at_uniform =
+      routing_optimality_residual(problem, uniform, 1e-3);
+  EXPECT_LT(at_optimum, 0.05 * at_uniform);
+}
+
+}  // namespace
+}  // namespace ufc::admm

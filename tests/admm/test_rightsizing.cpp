@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "admm/rightsizing.hpp"
+#include "helpers.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+AdmgOptions tight() {
+  AdmgOptions options;
+  options.tolerance = 1e-6;
+  options.max_iterations = 5000;
+  options.record_trace = false;
+  return options;
+}
+
+TEST(RightSizeServers, ClosedFormRule) {
+  const auto problem = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  lambda(0, 0) = 600.0;
+  lambda(1, 1) = 400.0;
+
+  RightSizingOptions options;
+  options.min_active_fraction = 0.1;
+  options.headroom = 1.05;
+  const Vec active = right_size_servers(problem, lambda, options);
+  EXPECT_NEAR(active[0], 630.0, 1e-9);  // 1.05 * 600
+  EXPECT_NEAR(active[1], 420.0, 1e-9);
+}
+
+TEST(RightSizeServers, FloorAndCapBind) {
+  const auto problem = make_tiny_problem();
+  Mat idle(2, 2, 0.0);  // no load at all
+  RightSizingOptions options;
+  options.min_active_fraction = 0.25;
+  const Vec active = right_size_servers(problem, idle, options);
+  EXPECT_NEAR(active[0], 250.0, 1e-9);  // floor of 1000-server fleet
+  EXPECT_NEAR(active[1], 200.0, 1e-9);
+
+  Mat full(2, 2, 0.0);  // more than the fleet with headroom
+  full(0, 0) = 600.0;
+  full(1, 0) = 390.0;
+  const Vec capped = right_size_servers(problem, full, options);
+  EXPECT_NEAR(capped[0], 1000.0, 1e-9);  // clamped at the fleet size
+}
+
+TEST(WithActiveServers, ShrinksFleetAndFuelCells) {
+  const auto problem = make_tiny_problem();
+  const auto sized = with_active_servers(problem, Vec{500.0, 800.0});
+  EXPECT_DOUBLE_EQ(sized.datacenters[0].servers, 500.0);
+  EXPECT_NEAR(sized.datacenters[0].fuel_cell_capacity_mw,
+              0.5 * problem.datacenters[0].fuel_cell_capacity_mw, 1e-12);
+  // Unchanged datacenter keeps its capacity.
+  EXPECT_DOUBLE_EQ(sized.datacenters[1].fuel_cell_capacity_mw,
+                   problem.datacenters[1].fuel_cell_capacity_mw);
+}
+
+TEST(WithActiveServers, RejectsOversizedFleet) {
+  const auto problem = make_tiny_problem();
+  EXPECT_THROW(with_active_servers(problem, Vec{1200.0, 800.0}),
+               ContractViolation);
+}
+
+TEST(SolveRightSized, ImprovesUfcOverAlwaysOn) {
+  const auto problem = make_tiny_problem();
+  const auto always_on =
+      solve_strategy(problem, Strategy::Hybrid, tight()).breakdown.ufc;
+  const auto sized = solve_right_sized(problem, Strategy::Hybrid, tight());
+  EXPECT_TRUE(sized.converged);
+  // Shutting idle servers removes idle power -> strictly better here
+  // (arrivals are ~55% of capacity).
+  EXPECT_GT(sized.final_report.breakdown.ufc, always_on + 1.0);
+  // Fleets actually shrank.
+  for (std::size_t j = 0; j < 2; ++j)
+    EXPECT_LT(sized.active_servers[j], problem.datacenters[j].servers);
+}
+
+TEST(SolveRightSized, UfcTrajectoryIsMonotone) {
+  const auto problem = make_tiny_problem();
+  const auto sized = solve_right_sized(problem, Strategy::Hybrid, tight());
+  for (std::size_t r = 1; r < sized.ufc_per_round.size(); ++r)
+    EXPECT_GE(sized.ufc_per_round[r], sized.ufc_per_round[r - 1] - 1e-6);
+}
+
+TEST(SolveRightSized, ConvergesInFewRounds) {
+  const auto problem = make_tiny_problem();
+  const auto sized = solve_right_sized(problem, Strategy::Hybrid, tight());
+  EXPECT_TRUE(sized.converged);
+  EXPECT_LE(sized.rounds, 6);
+}
+
+TEST(SolveRightSized, GridStrategyAlsoSupported) {
+  const auto problem = make_tiny_problem();
+  const auto sized = solve_right_sized(problem, Strategy::Grid, tight());
+  EXPECT_TRUE(sized.converged);
+  for (double mu : sized.final_report.solution.mu) EXPECT_NEAR(mu, 0.0, 1e-9);
+}
+
+TEST(SolveRightSized, RespectsReliabilityFloor) {
+  const auto problem = make_tiny_problem();
+  RightSizingOptions options;
+  options.min_active_fraction = 0.9;  // keep almost everything on
+  const auto sized =
+      solve_right_sized(problem, Strategy::Hybrid, tight(), options);
+  for (std::size_t j = 0; j < 2; ++j)
+    EXPECT_GE(sized.active_servers[j],
+              0.9 * problem.datacenters[j].servers - 1e-9);
+}
+
+TEST(RightSizingOptionsValidation, RejectsBadParameters) {
+  const auto problem = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  {
+    RightSizingOptions bad;
+    bad.headroom = 0.9;
+    EXPECT_THROW(right_size_servers(problem, lambda, bad), ContractViolation);
+  }
+  {
+    RightSizingOptions bad;
+    bad.min_active_fraction = 1.5;
+    EXPECT_THROW(right_size_servers(problem, lambda, bad), ContractViolation);
+  }
+  {
+    RightSizingOptions bad;
+    bad.max_rounds = 0;
+    EXPECT_THROW(solve_right_sized(problem, Strategy::Hybrid, tight(), bad),
+                 ContractViolation);
+  }
+}
+
+}  // namespace
+}  // namespace ufc::admm

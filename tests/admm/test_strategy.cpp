@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "admm/strategy.hpp"
+#include "helpers.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+namespace {
+
+using ::ufc::testing::make_random_problem;
+using ::ufc::testing::make_tiny_problem;
+
+AdmgOptions tight() {
+  AdmgOptions options;
+  options.tolerance = 1e-6;
+  options.max_iterations = 5000;
+  return options;
+}
+
+TEST(Strategy, NamesAndPinnings) {
+  EXPECT_EQ(to_string(Strategy::Grid), "Grid");
+  EXPECT_EQ(to_string(Strategy::FuelCell), "FuelCell");
+  EXPECT_EQ(to_string(Strategy::Hybrid), "Hybrid");
+  EXPECT_EQ(pinning_for(Strategy::Grid), BlockPinning::PinMu);
+  EXPECT_EQ(pinning_for(Strategy::FuelCell), BlockPinning::PinNu);
+  EXPECT_EQ(pinning_for(Strategy::Hybrid), BlockPinning::None);
+}
+
+TEST(Strategy, GridUsesNoFuelCells) {
+  const auto problem = make_tiny_problem();
+  const auto report = solve_strategy(problem, Strategy::Grid, tight());
+  EXPECT_TRUE(report.converged);
+  for (double mu : report.solution.mu) EXPECT_NEAR(mu, 0.0, 1e-9);
+  EXPECT_NEAR(report.breakdown.utilization, 0.0, 1e-9);
+}
+
+TEST(Strategy, FuelCellDrawsNothingFromGrid) {
+  const auto problem = make_tiny_problem();
+  const auto report = solve_strategy(problem, Strategy::FuelCell, tight());
+  EXPECT_TRUE(report.converged);
+  for (double nu : report.solution.nu) EXPECT_NEAR(nu, 0.0, 2e-4);
+  EXPECT_NEAR(report.breakdown.utilization, 1.0, 1e-3);
+  EXPECT_NEAR(report.breakdown.carbon_tons, 0.0, 1e-6);
+}
+
+TEST(Strategy, FuelCellRoutesToNearestDatacenters) {
+  // With nu pinned the energy price is p0 everywhere, so only latency
+  // matters: each front-end should use its nearest datacenter.
+  const auto problem = make_tiny_problem();
+  const auto report = solve_strategy(problem, Strategy::FuelCell, tight());
+  EXPECT_GT(report.solution.lambda(0, 0), 0.99 * problem.arrivals[0]);
+  EXPECT_GT(report.solution.lambda(1, 1), 0.99 * problem.arrivals[1]);
+}
+
+TEST(Strategy, HybridDominatesBothBaselines) {
+  const auto problem = make_tiny_problem();
+  const double ufc_grid =
+      solve_strategy(problem, Strategy::Grid, tight()).breakdown.ufc;
+  const double ufc_fc =
+      solve_strategy(problem, Strategy::FuelCell, tight()).breakdown.ufc;
+  const double ufc_hybrid =
+      solve_strategy(problem, Strategy::Hybrid, tight()).breakdown.ufc;
+  const double tolerance = 1e-3 * std::abs(ufc_grid);
+  EXPECT_GE(ufc_hybrid, ufc_grid - tolerance);
+  EXPECT_GE(ufc_hybrid, ufc_fc - tolerance);
+}
+
+class StrategyDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrategyDominance, HybridNeverWorseOnRandomInstances) {
+  const auto problem = make_random_problem(GetParam() + 500, 5, 3);
+  const double ufc_grid =
+      solve_strategy(problem, Strategy::Grid, tight()).breakdown.ufc;
+  const double ufc_fc =
+      solve_strategy(problem, Strategy::FuelCell, tight()).breakdown.ufc;
+  const double ufc_hybrid =
+      solve_strategy(problem, Strategy::Hybrid, tight()).breakdown.ufc;
+  const double tolerance = 2e-3 * std::abs(ufc_grid);
+  EXPECT_GE(ufc_hybrid, ufc_grid - tolerance);
+  EXPECT_GE(ufc_hybrid, ufc_fc - tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyDominance,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Strategy, FuelCellPinningRequiresFullCapacity) {
+  auto problem = make_tiny_problem();
+  problem.datacenters[0].fuel_cell_capacity_mw = 0.01;  // undersized
+  EXPECT_THROW(solve_strategy(problem, Strategy::FuelCell, tight()),
+               ContractViolation);
+}
+
+TEST(Strategy, GridWorksWithZeroFuelCellCapacity) {
+  auto problem = make_tiny_problem();
+  for (auto& dc : problem.datacenters) dc.fuel_cell_capacity_mw = 0.0;
+  const auto report = solve_strategy(problem, Strategy::Grid, tight());
+  EXPECT_TRUE(report.converged);
+}
+
+TEST(Strategy, HybridReducesToGridWhenFuelCellsPricedOut) {
+  auto problem = make_tiny_problem();
+  problem.fuel_cell_price = 10000.0;  // absurdly expensive
+  const auto hybrid = solve_strategy(problem, Strategy::Hybrid, tight());
+  const auto grid = solve_strategy(problem, Strategy::Grid, tight());
+  EXPECT_NEAR(hybrid.breakdown.ufc, grid.breakdown.ufc,
+              1e-3 * std::abs(grid.breakdown.ufc));
+  for (double mu : hybrid.solution.mu) EXPECT_NEAR(mu, 0.0, 1e-6);
+}
+
+TEST(Strategy, HybridGoesAllFuelCellWhenFree) {
+  auto problem = make_tiny_problem();
+  problem.fuel_cell_price = 0.0;
+  const auto hybrid = solve_strategy(problem, Strategy::Hybrid, tight());
+  EXPECT_GT(hybrid.breakdown.utilization, 0.99);
+}
+
+}  // namespace
+}  // namespace ufc::admm

@@ -1,0 +1,88 @@
+// Shared fixtures: small hand-built and randomized UFC problem instances.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "model/problem.hpp"
+#include "util/rng.hpp"
+
+namespace ufc::testing {
+
+/// 2 front-ends, 2 datacenters, round numbers. Feasible and well scaled:
+/// arrivals 600 + 400 against capacities 1000 + 800.
+inline UfcProblem make_tiny_problem() {
+  UfcProblem p;
+  p.power = ServerPowerModel{100.0, 200.0};
+  p.fuel_cell_price = 80.0;
+  p.latency_weight = 10.0;
+  p.utility = std::make_shared<QuadraticUtility>();
+
+  DatacenterSpec cheap;
+  cheap.name = "cheap-dirty";
+  cheap.servers = 1000.0;
+  cheap.pue = 1.2;
+  cheap.grid_price = 30.0;
+  cheap.carbon_rate = 800.0;
+  cheap.fuel_cell_capacity_mw = 200.0 * 1000.0 * 1.2 / 1e6;  // full capacity
+  cheap.emission_cost = std::make_shared<AffineCarbonTax>(25.0);
+
+  DatacenterSpec pricey;
+  pricey.name = "pricey-clean";
+  pricey.servers = 800.0;
+  pricey.pue = 1.2;
+  pricey.grid_price = 90.0;
+  pricey.carbon_rate = 250.0;
+  pricey.fuel_cell_capacity_mw = 200.0 * 800.0 * 1.2 / 1e6;
+  pricey.emission_cost = std::make_shared<AffineCarbonTax>(25.0);
+
+  p.datacenters = {cheap, pricey};
+  p.arrivals = {600.0, 400.0};
+  p.latency_s = Mat(2, 2);
+  p.latency_s(0, 0) = 0.010;  // 10 ms
+  p.latency_s(0, 1) = 0.030;
+  p.latency_s(1, 0) = 0.040;
+  p.latency_s(1, 1) = 0.015;
+  return p;
+}
+
+/// Randomized feasible instance with M front-ends and N datacenters.
+/// Total arrivals are kept at ~70% of total capacity.
+inline UfcProblem make_random_problem(std::uint64_t seed, std::size_t m,
+                                      std::size_t n) {
+  Rng rng(seed);
+  UfcProblem p;
+  p.power = ServerPowerModel{100.0, 200.0};
+  p.fuel_cell_price = rng.uniform(50.0, 110.0);
+  p.latency_weight = 10.0;
+  p.utility = std::make_shared<QuadraticUtility>();
+
+  double total_capacity = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    DatacenterSpec dc;
+    dc.name = "dc" + std::to_string(j);
+    dc.servers = rng.uniform(500.0, 2000.0);
+    dc.pue = rng.uniform(1.1, 1.5);
+    dc.grid_price = rng.uniform(15.0, 120.0);
+    dc.carbon_rate = rng.uniform(150.0, 950.0);
+    dc.fuel_cell_capacity_mw =
+        dc.servers * p.power.peak_watts * dc.pue / 1e6;
+    dc.emission_cost =
+        std::make_shared<AffineCarbonTax>(rng.uniform(0.0, 60.0));
+    total_capacity += dc.servers;
+    p.datacenters.push_back(std::move(dc));
+  }
+
+  const double total_arrivals = 0.7 * total_capacity;
+  std::vector<double> shares = normal_shares(rng, static_cast<int>(m),
+                                             total_arrivals, 0.4);
+  p.arrivals = shares;
+
+  p.latency_s = Mat(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      p.latency_s(i, j) = rng.uniform(0.002, 0.045);
+  return p;
+}
+
+}  // namespace ufc::testing

@@ -1,0 +1,51 @@
+// The umbrella header must expose the whole public API self-consistently
+// (no missing includes, no ODR surprises), and the README quickstart snippet
+// must actually compile and run.
+#include <gtest/gtest.h>
+
+#include "ufc.hpp"
+
+namespace {
+
+TEST(PublicApi, ReadmeQuickstartCompilesAndRuns) {
+  ufc::UfcProblem problem;
+  problem.fuel_cell_price = 80.0;
+  problem.latency_weight = 10.0;
+  problem.utility = std::make_shared<ufc::QuadraticUtility>();
+
+  ufc::DatacenterSpec dc;
+  dc.servers = 2000;
+  dc.pue = 1.2;
+  dc.grid_price = 45.0;
+  dc.carbon_rate = 500.0;
+  dc.fuel_cell_capacity_mw = 0.48;
+  dc.emission_cost = std::make_shared<ufc::AffineCarbonTax>(25.0);
+  ufc::DatacenterSpec dc2 = dc;
+  dc2.grid_price = 95.0;
+  problem.datacenters = {dc, dc2};
+  problem.arrivals = {800.0, 600.0};
+  problem.latency_s = ufc::Mat(2, 2, 0.02);
+  problem.latency_s(0, 0) = 0.008;
+  problem.latency_s(1, 1) = 0.010;
+
+  const auto report =
+      ufc::admm::solve_strategy(problem, ufc::admm::Strategy::Hybrid);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.breakdown.ufc, 0.0);
+  EXPECT_NEAR(report.solution.lambda.row_sum(0), 800.0, 1e-3);
+}
+
+TEST(PublicApi, EveryLayerReachableThroughUmbrella) {
+  // One symbol per layer proves the umbrella pulls everything in.
+  EXPECT_EQ(ufc::fuel_carbon_factor(ufc::FuelType::Coal), 968.0);   // model
+  EXPECT_EQ(ufc::admm::to_string(ufc::admm::Strategy::Grid), "Grid");  // admm
+  EXPECT_EQ(ufc::traces::datacenter_sites().size(), 4u);            // traces
+  EXPECT_TRUE(ufc::net::is_front_end(ufc::net::front_end_id(0)));   // net
+  const ufc::sim::SimulatorOptions options;                         // sim
+  EXPECT_EQ(options.stride, 1);
+  ufc::Battery battery(ufc::BatterySpec{});                         // battery
+  EXPECT_DOUBLE_EQ(battery.charge_mwh(), 0.0);
+  EXPECT_DOUBLE_EQ(ufc::erlang_c_wait_probability(0.5, 1.0), 0.5);  // queueing
+}
+
+}  // namespace

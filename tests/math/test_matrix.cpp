@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "math/matrix.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+Mat make_counting(std::size_t rows, std::size_t cols) {
+  Mat m(rows, cols);
+  double v = 1.0;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = v++;
+  return m;
+}
+
+TEST(Mat, ConstructionAndIndexing) {
+  Mat m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.5);
+  m(0, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+}
+
+TEST(Mat, OutOfBoundsThrows) {
+  Mat m(2, 2);
+  EXPECT_THROW(m(2, 0), ContractViolation);
+  EXPECT_THROW(m(0, 2), ContractViolation);
+}
+
+TEST(Mat, RowAndColumnExtraction) {
+  const Mat m = make_counting(2, 3);  // [1 2 3; 4 5 6]
+  const Vec r = m.row(1);
+  EXPECT_DOUBLE_EQ(r[0], 4.0);
+  EXPECT_DOUBLE_EQ(r[2], 6.0);
+  const Vec c = m.col(2);
+  EXPECT_DOUBLE_EQ(c[0], 3.0);
+  EXPECT_DOUBLE_EQ(c[1], 6.0);
+}
+
+TEST(Mat, SetRowAndColumn) {
+  Mat m(2, 2);
+  m.set_row(0, Vec{1.0, 2.0});
+  m.set_col(1, Vec{7.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+}
+
+TEST(Mat, SetRowSizeMismatchThrows) {
+  Mat m(2, 2);
+  EXPECT_THROW(m.set_row(0, Vec{1.0}), ContractViolation);
+  EXPECT_THROW(m.set_col(0, Vec{1.0, 2.0, 3.0}), ContractViolation);
+}
+
+TEST(Mat, RowAndColumnSums) {
+  const Mat m = make_counting(2, 3);
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 15.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(2), 9.0);
+}
+
+TEST(Mat, ElementwiseArithmetic) {
+  Mat a = make_counting(2, 2);
+  Mat b = make_counting(2, 2);
+  a += b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 8.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+  a *= 0.5;
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.5);
+}
+
+TEST(Mat, ShapeMismatchThrows) {
+  Mat a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW(max_abs_diff(a, b), ContractViolation);
+}
+
+TEST(Mat, NormsAndSum) {
+  Mat m(1, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+  EXPECT_DOUBLE_EQ(sum(m), -1.0);
+  Mat z(1, 2, 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(m, z), 4.0);
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,172 @@
+// Projection correctness, including property-style checks of the two
+// defining conditions: feasibility of the output and the variational
+// inequality <v - P(v), x - P(v)> <= 0 for sampled feasible x.
+#include <gtest/gtest.h>
+
+#include "math/projections.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace ufc {
+namespace {
+
+bool in_simplex(const Vec& x, double total, double tol = 1e-9) {
+  double s = 0.0;
+  for (double v : x) {
+    if (v < -tol) return false;
+    s += v;
+  }
+  return std::abs(s - total) <= tol * std::max(1.0, total);
+}
+
+Vec random_vec(Rng& rng, std::size_t n, double lo, double hi) {
+  Vec v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+Vec random_simplex_point(Rng& rng, std::size_t n, double total) {
+  Vec v(n);
+  double s = 0.0;
+  for (auto& x : v) {
+    x = rng.uniform(0.0, 1.0);
+    s += x;
+  }
+  for (auto& x : v) x *= total / s;
+  return v;
+}
+
+TEST(ProjectBox, ClampsEachEntry) {
+  const Vec p = project_box(Vec{-2.0, 0.5, 7.0}, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+}
+
+TEST(ProjectBox, InvalidBoundsThrow) {
+  EXPECT_THROW(project_box(Vec{1.0}, 2.0, 1.0), ContractViolation);
+}
+
+TEST(ProjectSimplex, FeasiblePointIsFixed) {
+  const Vec v{0.2, 0.3, 0.5};
+  const Vec p = project_simplex(v, 1.0);
+  EXPECT_LT(max_abs_diff(p, v), 1e-12);
+}
+
+TEST(ProjectSimplex, KnownSolution) {
+  // Project (2, 0) onto sum = 1: (1.5, -0.5) -> clip -> (1, 0).
+  const Vec p = project_simplex(Vec{2.0, 0.0}, 1.0);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+}
+
+TEST(ProjectSimplex, UniformPullForInteriorCase) {
+  const Vec p = project_simplex(Vec{0.6, 0.6}, 1.0);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+TEST(ProjectSimplex, ZeroTotalGivesZeroVector) {
+  const Vec p = project_simplex(Vec{3.0, -1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(ProjectSimplex, NegativeTotalThrows) {
+  EXPECT_THROW(project_simplex(Vec{1.0}, -1.0), ContractViolation);
+}
+
+class SimplexProjectionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexProjectionProperty, OutputFeasibleAndVariationallyOptimal) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+  const double total = rng.uniform(0.1, 50.0);
+  const Vec v = random_vec(rng, n, -20.0, 20.0);
+  const Vec p = project_simplex(v, total);
+
+  EXPECT_TRUE(in_simplex(p, total));
+
+  // Variational inequality against sampled feasible points.
+  const Vec residual = v - p;
+  for (int k = 0; k < 20; ++k) {
+    const Vec x = random_simplex_point(rng, n, total);
+    EXPECT_LE(dot(residual, x - p), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexProjectionProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(ProjectCappedSimplex, SlackCaseOnlyClipsNegatives) {
+  const Vec p = project_capped_simplex(Vec{0.5, -0.2, 0.3}, 10.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.3);
+}
+
+TEST(ProjectCappedSimplex, TightCaseEqualsSimplexProjection) {
+  const Vec v{3.0, 2.0, 1.0};
+  const Vec p = project_capped_simplex(v, 2.0);
+  const Vec q = project_simplex(v, 2.0);
+  EXPECT_LT(max_abs_diff(p, q), 1e-12);
+}
+
+class CappedSimplexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CappedSimplexProperty, OutputFeasibleAndVariationallyOptimal) {
+  Rng rng(GetParam() + 1000);
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+  const double cap = rng.uniform(0.1, 20.0);
+  const Vec v = random_vec(rng, n, -10.0, 10.0);
+  const Vec p = project_capped_simplex(v, cap);
+
+  double s = 0.0;
+  for (double x : p) {
+    EXPECT_GE(x, 0.0);
+    s += x;
+  }
+  EXPECT_LE(s, cap + 1e-9);
+
+  const Vec residual = v - p;
+  for (int k = 0; k < 20; ++k) {
+    // Random feasible point: scale a simplex point by a random factor <= 1.
+    Vec x = random_simplex_point(rng, n, cap * rng.uniform(0.0, 1.0));
+    EXPECT_LE(dot(residual, x - p), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CappedSimplexProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(ProjectAffineSum, ShiftsUniformly) {
+  const Vec p = project_affine_sum(Vec{1.0, 2.0, 3.0}, 12.0);
+  EXPECT_DOUBLE_EQ(p[0], 3.0);
+  EXPECT_DOUBLE_EQ(p[1], 4.0);
+  EXPECT_DOUBLE_EQ(p[2], 5.0);
+}
+
+TEST(ProjectHalfspace, InsidePointIsFixed) {
+  const Vec v{1.0, 1.0};
+  const Vec p = project_halfspace(v, Vec{1.0, 1.0}, 3.0);
+  EXPECT_LT(max_abs_diff(p, v), 1e-12);
+}
+
+TEST(ProjectHalfspace, OutsidePointLandsOnBoundary) {
+  const Vec p = project_halfspace(Vec{2.0, 2.0}, Vec{1.0, 1.0}, 2.0);
+  EXPECT_NEAR(p[0] + p[1], 2.0, 1e-12);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+}
+
+TEST(ProjectHalfspace, ZeroNormalThrows) {
+  EXPECT_THROW(project_halfspace(Vec{1.0}, Vec{0.0}, 1.0), ContractViolation);
+}
+
+TEST(ProjectNonnegative, ClipsNegatives) {
+  const Vec p = project_nonnegative(Vec{-1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 2.0);
+}
+
+}  // namespace
+}  // namespace ufc

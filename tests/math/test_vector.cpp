@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "math/vector.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+TEST(Vec, ConstructionAndAccess) {
+  Vec v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  v[2] = -2.0;
+  EXPECT_DOUBLE_EQ(v[2], -2.0);
+}
+
+TEST(Vec, InitializerList) {
+  Vec v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(Vec, OutOfBoundsThrows) {
+  Vec v(2);
+  EXPECT_THROW(v[2], ContractViolation);
+  const Vec& cv = v;
+  EXPECT_THROW(cv[5], ContractViolation);
+}
+
+TEST(Vec, ArithmeticOperators) {
+  Vec a{1.0, 2.0};
+  Vec b{3.0, -1.0};
+  const Vec s = a + b;
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  const Vec d = a - b;
+  EXPECT_DOUBLE_EQ(d[0], -2.0);
+  const Vec m = 2.0 * a;
+  EXPECT_DOUBLE_EQ(m[1], 4.0);
+}
+
+TEST(Vec, SizeMismatchThrows) {
+  Vec a{1.0};
+  Vec b{1.0, 2.0};
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW(dot(a, b), ContractViolation);
+}
+
+TEST(Vec, DotAndNorms) {
+  Vec a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(Vec{-7.0, 2.0}), 7.0);
+  EXPECT_DOUBLE_EQ(sum(a), 7.0);
+}
+
+TEST(Vec, Axpy) {
+  Vec x{1.0, 2.0};
+  Vec y{10.0, 20.0};
+  axpy(3.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 26.0);
+}
+
+TEST(Vec, MaxAbsDiff) {
+  EXPECT_DOUBLE_EQ(max_abs_diff(Vec{1.0, 5.0}, Vec{2.0, 3.5}), 1.5);
+  EXPECT_DOUBLE_EQ(max_abs_diff(Vec{1.0}, Vec{1.0}), 0.0);
+}
+
+TEST(Vec, FillAndResize) {
+  Vec v(2);
+  v.fill(7.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+  v.resize(4, -1.0);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[3], -1.0);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "model/battery.hpp"
+
+namespace ufc {
+namespace {
+
+BatterySpec small_battery() {
+  BatterySpec spec;
+  spec.capacity_mwh = 2.0;
+  spec.max_charge_mw = 1.0;
+  spec.max_discharge_mw = 0.8;
+  spec.round_trip_efficiency = 0.8;
+  return spec;
+}
+
+TEST(Battery, StartsEmpty) {
+  Battery battery(small_battery());
+  EXPECT_DOUBLE_EQ(battery.charge_mwh(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.available_discharge_mw(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.available_charge_mw(), 1.0);  // rate-limited
+}
+
+TEST(Battery, ChargingAppliesEfficiency) {
+  Battery battery(small_battery());
+  const double stored = battery.charge_from_grid(1.0);
+  EXPECT_DOUBLE_EQ(stored, 0.8);  // 1 MWh from grid -> 0.8 MWh stored
+  EXPECT_DOUBLE_EQ(battery.charge_mwh(), 0.8);
+}
+
+TEST(Battery, ChargeRateLimited) {
+  Battery battery(small_battery());
+  const double stored = battery.charge_from_grid(10.0);
+  EXPECT_DOUBLE_EQ(stored, 0.8);  // clamped to 1 MW at the terminals
+}
+
+TEST(Battery, CapacityLimited) {
+  Battery battery(small_battery());
+  for (int k = 0; k < 10; ++k) battery.charge_from_grid(1.0);
+  EXPECT_DOUBLE_EQ(battery.charge_mwh(), 2.0);
+  EXPECT_DOUBLE_EQ(battery.available_charge_mw(), 0.0);
+}
+
+TEST(Battery, DischargeRateAndContentLimited) {
+  Battery battery(small_battery());
+  battery.charge_from_grid(1.0);  // 0.8 stored
+  // Rate allows 0.8 MW; content allows 0.8 MWh -> both bind at 0.8.
+  EXPECT_DOUBLE_EQ(battery.discharge(5.0), 0.8);
+  EXPECT_DOUBLE_EQ(battery.charge_mwh(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.discharge(1.0), 0.0);  // empty
+}
+
+TEST(Battery, PartialDischarge) {
+  Battery battery(small_battery());
+  battery.charge_from_grid(1.0);
+  EXPECT_DOUBLE_EQ(battery.discharge(0.3), 0.3);
+  EXPECT_DOUBLE_EQ(battery.charge_mwh(), 0.5);
+}
+
+TEST(Battery, RoundTripConservesEnergyTimesEfficiency) {
+  Battery battery(small_battery());
+  double grid_in = 0.0, delivered = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    grid_in += 1.0;
+    battery.charge_from_grid(1.0);
+  }
+  while (true) {
+    const double out = battery.discharge(0.8);
+    if (out <= 0.0) break;
+    delivered += out;
+  }
+  EXPECT_NEAR(delivered, std::min(grid_in * 0.8, 2.0), 1e-12);
+}
+
+TEST(Battery, InvalidSpecsThrow) {
+  BatterySpec bad = small_battery();
+  bad.round_trip_efficiency = 0.0;
+  EXPECT_THROW(Battery{bad}, ContractViolation);
+  bad = small_battery();
+  bad.capacity_mwh = -1.0;
+  EXPECT_THROW(Battery{bad}, ContractViolation);
+}
+
+TEST(Battery, NegativeRequestsThrow) {
+  Battery battery(small_battery());
+  EXPECT_THROW(battery.charge_from_grid(-0.1), ContractViolation);
+  EXPECT_THROW(battery.discharge(-0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc

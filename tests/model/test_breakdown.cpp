@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "model/breakdown.hpp"
+
+namespace ufc {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+// Nearest-routing operating point used throughout: FE0 -> DC0, FE1 -> DC1.
+Mat nearest_routing() {
+  Mat lambda(2, 2, 0.0);
+  lambda(0, 0) = 600.0;
+  lambda(1, 1) = 400.0;
+  return lambda;
+}
+
+TEST(Evaluate, GridOnlyPointHandComputed) {
+  const auto p = make_tiny_problem();
+  const auto b = evaluate(p, nearest_routing(), Vec{0.0, 0.0});
+
+  // Utility: -w (A0 l0^2 + A1 l1^2) = -10 (600*1e-4 + 400*2.25e-4) = -1.5.
+  EXPECT_NEAR(b.utility, -1.5, 1e-9);
+  // Demands: DC0 = 0.192 MW, DC1 = 0.144 MW, all grid.
+  EXPECT_NEAR(b.demand_mwh, 0.336, 1e-12);
+  EXPECT_NEAR(b.grid_mwh, 0.336, 1e-12);
+  EXPECT_NEAR(b.fuel_cell_mwh, 0.0, 1e-12);
+  // Grid cost: 30*0.192 + 90*0.144 = 5.76 + 12.96 = 18.72.
+  EXPECT_NEAR(b.grid_cost, 18.72, 1e-9);
+  EXPECT_NEAR(b.energy_cost, 18.72, 1e-9);
+  // Carbon: 0.192*0.8 + 0.144*0.25 = 0.1536 + 0.036 = 0.1896 t -> $4.74.
+  EXPECT_NEAR(b.carbon_tons, 0.1896, 1e-9);
+  EXPECT_NEAR(b.carbon_cost, 4.74, 1e-9);
+  EXPECT_NEAR(b.ufc, -1.5 - 18.72 - 4.74, 1e-9);
+  EXPECT_NEAR(b.utilization, 0.0, 1e-12);
+  // Latency: (600*10 + 400*15) / 1000 = 12 ms.
+  EXPECT_NEAR(b.avg_latency_ms, 12.0, 1e-9);
+}
+
+TEST(Evaluate, FuelCellOnlyPointHandComputed) {
+  const auto p = make_tiny_problem();
+  const Vec mu{0.192, 0.144};  // exactly the demands
+  const auto b = evaluate(p, nearest_routing(), mu);
+  EXPECT_NEAR(b.fuel_cell_cost, 80.0 * 0.336, 1e-9);
+  EXPECT_NEAR(b.grid_cost, 0.0, 1e-12);
+  EXPECT_NEAR(b.carbon_tons, 0.0, 1e-12);
+  EXPECT_NEAR(b.carbon_cost, 0.0, 1e-12);
+  EXPECT_NEAR(b.utilization, 1.0, 1e-9);
+}
+
+TEST(Evaluate, PartialFuelCellSplitsCosts) {
+  const auto p = make_tiny_problem();
+  const Vec mu{0.1, 0.0};
+  const auto b = evaluate(p, nearest_routing(), mu);
+  EXPECT_NEAR(b.grid_mwh, 0.336 - 0.1, 1e-12);
+  EXPECT_NEAR(b.fuel_cell_mwh, 0.1, 1e-12);
+  EXPECT_NEAR(b.energy_cost, 30.0 * 0.092 + 90.0 * 0.144 + 80.0 * 0.1, 1e-9);
+  EXPECT_NEAR(b.utilization, 0.1 / 0.336, 1e-9);
+}
+
+TEST(Evaluate, ExcessMuClampsGridDrawAtZero) {
+  const auto p = make_tiny_problem();
+  const Vec mu{10.0, 10.0};  // way above demand
+  const auto b = evaluate(p, nearest_routing(), mu);
+  EXPECT_DOUBLE_EQ(b.grid_mwh, 0.0);
+  EXPECT_DOUBLE_EQ(b.carbon_tons, 0.0);
+}
+
+TEST(MinObjective, EqualsNegativeUfcAtBalancedPoint) {
+  const auto p = make_tiny_problem();
+  const Mat lambda = nearest_routing();
+  const Vec mu{0.05, 0.02};
+  const Vec nu = grid_draw_mw(p, lambda, mu);
+  const double ufc = ufc_objective(p, lambda, mu);
+  EXPECT_NEAR(min_objective(p, lambda, mu, nu), -ufc, 1e-9);
+}
+
+TEST(ImprovementPercent, MatchesDefinition) {
+  EXPECT_DOUBLE_EQ(improvement_percent(-50.0, -100.0), 50.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(-150.0, -100.0), -50.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(-100.0, -100.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(5.0, 0.0), 0.0);  // degenerate
+}
+
+TEST(Evaluate, ZeroWorkloadHasIdleCostOnly) {
+  const auto p = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  auto q = p;
+  q.arrivals = {0.0, 0.0};
+  const auto b = evaluate(q, lambda, Vec{0.0, 0.0});
+  EXPECT_NEAR(b.utility, 0.0, 1e-12);
+  EXPECT_NEAR(b.demand_mwh, q.alpha_mw(0) + q.alpha_mw(1), 1e-12);
+  EXPECT_DOUBLE_EQ(b.avg_latency_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace ufc

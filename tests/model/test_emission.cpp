@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "model/emission.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+void expect_convex_nondecreasing(const EmissionCostFunction& v,
+                                 double hi = 100.0) {
+  double prev_value = v.value(0.0);
+  double prev_slope = v.derivative(0.0);
+  EXPECT_GE(prev_slope, 0.0);
+  for (double e = hi / 50.0; e <= hi; e += hi / 50.0) {
+    const double val = v.value(e);
+    const double slope = v.derivative(e);
+    EXPECT_GE(val, prev_value - 1e-12);   // non-decreasing
+    EXPECT_GE(slope, prev_slope - 1e-12); // convex
+    prev_value = val;
+    prev_slope = slope;
+  }
+}
+
+TEST(AffineCarbonTax, LinearInEmission) {
+  AffineCarbonTax tax(25.0);
+  EXPECT_DOUBLE_EQ(tax.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tax.value(2.0), 50.0);
+  EXPECT_DOUBLE_EQ(tax.derivative(123.0), 25.0);
+  EXPECT_DOUBLE_EQ(tax.rate(), 25.0);
+  expect_convex_nondecreasing(tax);
+}
+
+TEST(AffineCarbonTax, NegativeRateThrows) {
+  EXPECT_THROW(AffineCarbonTax(-1.0), ContractViolation);
+}
+
+TEST(CapAndTrade, FreeBelowCap) {
+  CapAndTradeCost policy(10.0, 40.0);
+  EXPECT_DOUBLE_EQ(policy.value(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.derivative(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.value(15.0), 200.0);
+  EXPECT_DOUBLE_EQ(policy.derivative(15.0), 40.0);
+  expect_convex_nondecreasing(policy);
+}
+
+TEST(SteppedCarbonTax, BracketAccumulation) {
+  // 10 $/t below 2 t, 20 $/t from 2-5 t, 50 $/t beyond.
+  SteppedCarbonTax tax({2.0, 5.0}, {10.0, 20.0, 50.0});
+  EXPECT_DOUBLE_EQ(tax.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tax.value(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(tax.value(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(tax.value(4.0), 60.0);
+  EXPECT_DOUBLE_EQ(tax.value(6.0), 130.0);
+  EXPECT_DOUBLE_EQ(tax.derivative(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(tax.derivative(3.0), 20.0);
+  EXPECT_DOUBLE_EQ(tax.derivative(100.0), 50.0);
+  expect_convex_nondecreasing(tax, 10.0);
+}
+
+TEST(SteppedCarbonTax, DecreasingRatesThrow) {
+  EXPECT_THROW(SteppedCarbonTax({2.0}, {20.0, 10.0}), ContractViolation);
+}
+
+TEST(SteppedCarbonTax, MismatchedSizesThrow) {
+  EXPECT_THROW(SteppedCarbonTax({1.0, 2.0}, {1.0, 2.0}), ContractViolation);
+}
+
+TEST(QuadraticEmissionCost, ValuesAndDerivative) {
+  QuadraticEmissionCost cost(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(cost.value(3.0), 48.0);
+  EXPECT_DOUBLE_EQ(cost.derivative(3.0), 22.0);
+  expect_convex_nondecreasing(cost);
+}
+
+TEST(EmissionClone, PreservesBehaviour) {
+  SteppedCarbonTax tax({1.0}, {5.0, 15.0});
+  const auto clone = tax.clone();
+  EXPECT_DOUBLE_EQ(clone->value(2.0), tax.value(2.0));
+  EXPECT_EQ(clone->name(), "stepped-tax");
+}
+
+TEST(FuelCarbonFactor, MatchesPaperTableIII) {
+  EXPECT_DOUBLE_EQ(fuel_carbon_factor(FuelType::Nuclear), 15.0);
+  EXPECT_DOUBLE_EQ(fuel_carbon_factor(FuelType::Coal), 968.0);
+  EXPECT_DOUBLE_EQ(fuel_carbon_factor(FuelType::Gas), 440.0);
+  EXPECT_DOUBLE_EQ(fuel_carbon_factor(FuelType::Oil), 890.0);
+  EXPECT_DOUBLE_EQ(fuel_carbon_factor(FuelType::Hydro), 13.5);
+  EXPECT_DOUBLE_EQ(fuel_carbon_factor(FuelType::Wind), 22.5);
+}
+
+TEST(CarbonRate, WeightedAverageOfMix) {
+  // Paper eq. (1): pure coal -> 968; 50/50 coal/gas -> 704.
+  FuelMix coal{};
+  coal[static_cast<std::size_t>(FuelType::Coal)] = 10.0;
+  EXPECT_DOUBLE_EQ(carbon_rate_kg_per_mwh(coal), 968.0);
+
+  FuelMix mixed{};
+  mixed[static_cast<std::size_t>(FuelType::Coal)] = 5.0;
+  mixed[static_cast<std::size_t>(FuelType::Gas)] = 5.0;
+  EXPECT_DOUBLE_EQ(carbon_rate_kg_per_mwh(mixed), 704.0);
+}
+
+TEST(CarbonRate, EmptyMixThrows) {
+  FuelMix empty{};
+  EXPECT_THROW(carbon_rate_kg_per_mwh(empty), ContractViolation);
+}
+
+TEST(CarbonRate, NegativeGenerationThrows) {
+  FuelMix bad{};
+  bad[0] = -1.0;
+  bad[1] = 2.0;
+  EXPECT_THROW(carbon_rate_kg_per_mwh(bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc

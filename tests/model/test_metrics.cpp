@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "model/metrics.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+Mat nearest_routing() {
+  Mat lambda(2, 2, 0.0);
+  lambda(0, 0) = 600.0;
+  lambda(1, 1) = 400.0;
+  return lambda;
+}
+
+TEST(ComplementaryIndexes, PueRecoversConfiguredValue) {
+  // Both datacenters run at PUE 1.2, so the fleet PUE is exactly 1.2.
+  const auto p = make_tiny_problem();
+  const auto metrics =
+      complementary_indexes(p, nearest_routing(), Vec{0.0, 0.0});
+  EXPECT_NEAR(metrics.pue, 1.2, 1e-9);
+}
+
+TEST(ComplementaryIndexes, CueGridOnlyHandComputed) {
+  const auto p = make_tiny_problem();
+  const auto metrics =
+      complementary_indexes(p, nearest_routing(), Vec{0.0, 0.0});
+  // IT energy = (0.192 + 0.144)/1.2 = 0.28 MWh.
+  EXPECT_NEAR(metrics.it_energy_mwh, 0.28, 1e-9);
+  // Grid carbon = 0.192*800 + 0.144*250 = 189.6 kg over 280 kWh.
+  EXPECT_NEAR(metrics.cue_kg_per_kwh, 189.6 / 280.0, 1e-9);
+}
+
+TEST(ComplementaryIndexes, FuelCellsDriveCueToZero) {
+  const auto p = make_tiny_problem();
+  const Vec full_dispatch{0.192, 0.144};
+  const auto metrics =
+      complementary_indexes(p, nearest_routing(), full_dispatch);
+  EXPECT_NEAR(metrics.cue_kg_per_kwh, 0.0, 1e-12);
+  // PUE is a pure facility-overhead metric: unchanged by the energy source.
+  EXPECT_NEAR(metrics.pue, 1.2, 1e-9);
+}
+
+TEST(ComplementaryIndexes, ErpHandComputed) {
+  const auto p = make_tiny_problem();
+  const auto metrics =
+      complementary_indexes(p, nearest_routing(), Vec{0.0, 0.0});
+  // Mean latency 12 ms; facility power 336 kW -> ERP = 336 * 0.012.
+  EXPECT_NEAR(metrics.erp_kws, 336.0 * 0.012, 1e-9);
+}
+
+TEST(ComplementaryIndexes, CueBlindToWhereCarbonMatters) {
+  // The paper's argument that single-facility indexes mislead: routing all
+  // flexible load to the dirty-cheap site barely moves PUE but hurts CUE.
+  const auto p = make_tiny_problem();
+  Mat dirty(2, 2, 0.0);
+  dirty(0, 0) = 600.0;
+  dirty(1, 0) = 400.0;  // everything to the 800 kg/MWh site
+  const auto clean_metrics =
+      complementary_indexes(p, nearest_routing(), Vec{0.0, 0.0});
+  const auto dirty_metrics =
+      complementary_indexes(p, dirty, Vec{0.0, 0.0});
+  EXPECT_GT(dirty_metrics.cue_kg_per_kwh, clean_metrics.cue_kg_per_kwh);
+  EXPECT_NEAR(dirty_metrics.pue, clean_metrics.pue, 1e-9);
+}
+
+TEST(ComplementaryIndexes, DimensionMismatchThrows) {
+  const auto p = make_tiny_problem();
+  EXPECT_THROW(complementary_indexes(p, Mat(3, 2), Vec{0.0, 0.0}),
+               ContractViolation);
+  EXPECT_THROW(complementary_indexes(p, nearest_routing(), Vec{0.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "model/power.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+TEST(PowerModel, PaperSettingAlphaBeta) {
+  // Paper §IV-A: P_idle = 100 W, P_peak = 200 W, PUE = 1.2, 2e4 servers:
+  // alpha = 2e4 * 100 * 1.2 W = 2.4 MW; beta = 100 * 1.2 W = 1.2e-4 MW.
+  const ServerPowerModel model{100.0, 200.0};
+  EXPECT_NEAR(power_alpha_mw(2e4, model, 1.2), 2.4, 1e-12);
+  EXPECT_NEAR(power_beta_mw(model, 1.2), 1.2e-4, 1e-18);
+}
+
+TEST(PowerModel, DemandIsAffineInWorkload) {
+  const ServerPowerModel model{100.0, 200.0};
+  const double idle = power_demand_mw(1000.0, model, 1.2, 0.0);
+  const double half = power_demand_mw(1000.0, model, 1.2, 500.0);
+  const double full = power_demand_mw(1000.0, model, 1.2, 1000.0);
+  EXPECT_NEAR(idle, 0.12, 1e-12);
+  EXPECT_NEAR(half - idle, (full - idle) / 2.0, 1e-12);
+  // At full load every server draws P_peak * PUE.
+  EXPECT_NEAR(full, 1000.0 * 200.0 * 1.2 / 1e6, 1e-12);
+}
+
+TEST(PowerModel, PueOfOneMeansNoOverhead) {
+  const ServerPowerModel model{50.0, 150.0};
+  EXPECT_NEAR(power_demand_mw(100.0, model, 1.0, 100.0),
+              100.0 * 150.0 / 1e6, 1e-15);
+}
+
+TEST(PowerModel, InvalidInputsThrow) {
+  const ServerPowerModel model{100.0, 200.0};
+  EXPECT_THROW(power_alpha_mw(-1.0, model, 1.2), ContractViolation);
+  EXPECT_THROW(power_alpha_mw(10.0, model, 0.9), ContractViolation);
+  EXPECT_THROW(power_demand_mw(10.0, model, 1.2, -5.0), ContractViolation);
+  const ServerPowerModel inverted{200.0, 100.0};
+  EXPECT_THROW(power_beta_mw(inverted, 1.2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "model/problem.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+TEST(UfcProblem, ValidatesCleanInstance) {
+  const auto p = make_tiny_problem();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.num_datacenters(), 2u);
+  EXPECT_EQ(p.num_front_ends(), 2u);
+}
+
+TEST(UfcProblem, DerivedQuantities) {
+  const auto p = make_tiny_problem();
+  EXPECT_NEAR(p.alpha_mw(0), 1000.0 * 100.0 * 1.2 / 1e6, 1e-12);
+  EXPECT_NEAR(p.beta_mw(0), 1.2e-4, 1e-18);
+  EXPECT_NEAR(p.demand_mw(0, 500.0), 0.12 + 0.06, 1e-12);
+  EXPECT_DOUBLE_EQ(p.total_arrivals(), 1000.0);
+  EXPECT_DOUBLE_EQ(p.total_server_capacity(), 1800.0);
+  EXPECT_DOUBLE_EQ(p.max_latency_s(), 0.040);
+}
+
+TEST(UfcProblem, AverageLatency) {
+  const auto p = make_tiny_problem();
+  // Front-end 0 (A = 600): all to DC0 -> 10 ms.
+  EXPECT_NEAR(p.average_latency_s(0, Vec{600.0, 0.0}), 0.010, 1e-12);
+  // Even split -> 20 ms.
+  EXPECT_NEAR(p.average_latency_s(0, Vec{300.0, 300.0}), 0.020, 1e-12);
+}
+
+TEST(UfcProblem, ZeroArrivalLatencyIsZero) {
+  auto p = make_tiny_problem();
+  p.arrivals[0] = 0.0;
+  EXPECT_DOUBLE_EQ(p.average_latency_s(0, Vec{0.0, 0.0}), 0.0);
+}
+
+TEST(UfcProblem, ValidateRejectsMalformedInstances) {
+  {
+    auto p = make_tiny_problem();
+    p.utility = nullptr;
+    EXPECT_THROW(p.validate(), ContractViolation);
+  }
+  {
+    auto p = make_tiny_problem();
+    p.arrivals[0] = -1.0;
+    EXPECT_THROW(p.validate(), ContractViolation);
+  }
+  {
+    auto p = make_tiny_problem();
+    p.datacenters[0].emission_cost = nullptr;
+    EXPECT_THROW(p.validate(), ContractViolation);
+  }
+  {
+    auto p = make_tiny_problem();
+    p.arrivals = {5000.0, 5000.0};  // exceeds 1800 servers
+    EXPECT_THROW(p.validate(), ContractViolation);
+  }
+  {
+    auto p = make_tiny_problem();
+    p.latency_s = Mat(3, 2);  // wrong shape
+    EXPECT_THROW(p.validate(), ContractViolation);
+  }
+  {
+    auto p = make_tiny_problem();
+    p.datacenters[1].pue = 0.5;
+    EXPECT_THROW(p.validate(), ContractViolation);
+  }
+}
+
+TEST(UfcProblem, HeterogeneousPowerOverride) {
+  auto p = make_tiny_problem();
+  // Datacenter 1 runs newer, hungrier servers: 150 W idle / 320 W peak.
+  p.datacenters[1].power_override = ServerPowerModel{150.0, 320.0};
+  EXPECT_NO_THROW(p.validate());
+  // Datacenter 0 keeps the fleet default.
+  EXPECT_NEAR(p.alpha_mw(0), 1000.0 * 100.0 * 1.2 / 1e6, 1e-12);
+  EXPECT_NEAR(p.beta_mw(0), 1.2e-4, 1e-18);
+  // Datacenter 1 uses the override.
+  EXPECT_NEAR(p.alpha_mw(1), 800.0 * 150.0 * 1.2 / 1e6, 1e-12);
+  EXPECT_NEAR(p.beta_mw(1), (320.0 - 150.0) * 1.2 / 1e6, 1e-18);
+  EXPECT_EQ(&p.power_at(1), &*p.datacenters[1].power_override);
+}
+
+TEST(UfcProblem, InvalidPowerOverrideRejected) {
+  auto p = make_tiny_problem();
+  p.datacenters[0].power_override = ServerPowerModel{200.0, 100.0};  // inverted
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(GridDraw, ComputesPowerBalance) {
+  const auto p = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  lambda(0, 0) = 600.0;
+  lambda(1, 1) = 400.0;
+  const Vec nu = grid_draw_mw(p, lambda, Vec{0.05, 0.0});
+  EXPECT_NEAR(nu[0], p.demand_mw(0, 600.0) - 0.05, 1e-12);
+  EXPECT_NEAR(nu[1], p.demand_mw(1, 400.0), 1e-12);
+}
+
+TEST(ConstraintViolation, ZeroForFeasiblePoint) {
+  const auto p = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  lambda(0, 0) = 600.0;
+  lambda(1, 1) = 400.0;
+  EXPECT_DOUBLE_EQ(constraint_violation(p, lambda, Vec{0.0, 0.0}), 0.0);
+}
+
+TEST(ConstraintViolation, DetectsEachViolationKind) {
+  const auto p = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  lambda(0, 0) = 600.0;
+  lambda(1, 1) = 400.0;
+
+  {  // Load balance: route less than the arrivals.
+    Mat bad = lambda;
+    bad(0, 0) = 500.0;
+    EXPECT_NEAR(constraint_violation(p, bad, Vec{0.0, 0.0}), 100.0, 1e-9);
+  }
+  {  // Capacity: overload datacenter 1 (800 servers).
+    Mat bad(2, 2, 0.0);
+    bad(0, 1) = 600.0;
+    bad(1, 1) = 400.0;
+    EXPECT_NEAR(constraint_violation(p, bad, Vec{0.0, 0.0}), 200.0, 1e-9);
+  }
+  {  // Power balance: mu exceeding demand makes nu negative.
+    const double demand0 = p.demand_mw(0, 600.0);
+    EXPECT_NEAR(constraint_violation(p, lambda, Vec{demand0 + 0.5, 0.0}), 0.5,
+                1e-9);
+  }
+  {  // mu above capacity.
+    const double cap = p.datacenters[0].fuel_cell_capacity_mw;
+    Vec mu{cap + 1.0, 0.0};
+    EXPECT_GE(constraint_violation(p, lambda, mu), 1.0 - 1e-9);
+  }
+  {  // Negative routing entry.
+    Mat bad = lambda;
+    bad(0, 1) = -3.0;
+    bad(0, 0) = 603.0;
+    EXPECT_NEAR(constraint_violation(p, bad, Vec{0.0, 0.0}), 3.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "model/queueing.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+TEST(ErlangC, SingleServerReducesToMm1) {
+  // For c = 1, the waiting probability equals the utilization rho.
+  for (double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(erlang_c_wait_probability(rho, 1.0), rho, 1e-12);
+  }
+}
+
+TEST(ErlangC, KnownTextbookValue) {
+  // a = 2 Erlangs, c = 3 servers: C(3, 2) = 4/9 (standard worked example).
+  EXPECT_NEAR(erlang_c_wait_probability(2.0, 3.0), 4.0 / 9.0, 1e-9);
+}
+
+TEST(ErlangC, ZeroLoadNeverWaits) {
+  EXPECT_DOUBLE_EQ(erlang_c_wait_probability(0.0, 5.0), 0.0);
+}
+
+TEST(ErlangC, MonotoneInLoadAndServers) {
+  EXPECT_LT(erlang_c_wait_probability(1.0, 4.0),
+            erlang_c_wait_probability(3.0, 4.0));
+  EXPECT_GT(erlang_c_wait_probability(3.0, 4.0),
+            erlang_c_wait_probability(3.0, 8.0));
+}
+
+TEST(ErlangC, UnstableLoadThrows) {
+  EXPECT_THROW(erlang_c_wait_probability(5.0, 5.0), ContractViolation);
+}
+
+TEST(MmcWait, Mm1ClosedForm) {
+  // M/M/1: W_q = rho / (mu - lambda).
+  const double lambda = 8.0, mu = 10.0;
+  EXPECT_NEAR(mmc_mean_wait_s(lambda, mu, 1.0),
+              (lambda / mu) / (mu - lambda), 1e-12);
+}
+
+TEST(MmcWait, UnstableQueueIsInfinite) {
+  EXPECT_TRUE(std::isinf(mmc_mean_wait_s(100.0, 10.0, 5.0)));
+}
+
+TEST(MmcWait, LargeFleetAtModerateLoadWaitsNegligibly) {
+  // 1000 servers at 60% utilization: essentially no queueing.
+  const double wait = mmc_mean_wait_s(600.0 * 20.0, 20.0, 1000.0);
+  EXPECT_LT(wait, 1e-6);
+}
+
+TEST(AssessQueueing, PaperAssumptionHoldsAtModerateLoad) {
+  // The check the module exists for: at the paper's operating points,
+  // queueing is negligible next to propagation.
+  const auto p = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  lambda(0, 0) = 600.0;
+  lambda(1, 1) = 400.0;  // 60% / 50% utilization
+  const auto assessment = assess_queueing(p, lambda);
+  EXPECT_TRUE(assessment.stable);
+  EXPECT_NEAR(assessment.avg_propagation_ms, 12.0, 1e-9);
+  EXPECT_LT(assessment.avg_queueing_ms, 0.1);
+  EXPECT_LT(assessment.queueing_share, 0.01);
+}
+
+TEST(AssessQueueing, SaturatedSiteFlagsInstabilityAndDominates) {
+  const auto p = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  lambda(0, 0) = 600.0;
+  lambda(1, 0) = 400.0;  // 100% of datacenter 0 -> above the cap
+  const auto assessment = assess_queueing(p, lambda);
+  EXPECT_FALSE(assessment.stable);
+  EXPECT_GT(assessment.avg_queueing_ms, 0.0);
+}
+
+TEST(AssessQueueing, InvalidParamsThrow) {
+  const auto p = make_tiny_problem();
+  Mat lambda(2, 2, 0.0);
+  QueueingModelParams bad;
+  bad.utilization_cap = 1.0;
+  EXPECT_THROW(assess_queueing(p, lambda, bad), ContractViolation);
+  bad = {};
+  bad.service_rate_per_server = 0.0;
+  EXPECT_THROW(assess_queueing(p, lambda, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "net/message.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::net {
+namespace {
+
+TEST(NodeIds, RoundTripAndDisjointRanges) {
+  const NodeId fe = front_end_id(7);
+  const NodeId dc = datacenter_id(7);
+  EXPECT_NE(fe, dc);
+  EXPECT_TRUE(is_front_end(fe));
+  EXPECT_FALSE(is_datacenter(fe));
+  EXPECT_TRUE(is_datacenter(dc));
+  EXPECT_FALSE(is_front_end(dc));
+  EXPECT_EQ(front_end_index(fe), 7u);
+  EXPECT_EQ(datacenter_index(dc), 7u);
+}
+
+TEST(NodeIds, CoordinatorIsNeither) {
+  EXPECT_FALSE(is_front_end(kCoordinatorId));
+  EXPECT_FALSE(is_datacenter(kCoordinatorId));
+}
+
+TEST(NodeIds, WrongKindExtractionThrows) {
+  EXPECT_THROW(front_end_index(datacenter_id(0)), ContractViolation);
+  EXPECT_THROW(datacenter_index(front_end_id(0)), ContractViolation);
+}
+
+TEST(Serialization, RoundTripsAllFields) {
+  Message msg;
+  msg.source = front_end_id(3);
+  msg.destination = datacenter_id(1);
+  msg.type = MessageType::RoutingProposal;
+  msg.iteration = 42;
+  msg.payload = {1.5, -2.25, 1e-9, 0.0};
+  const auto wire = serialize(msg);
+  EXPECT_EQ(wire.size(), wire_size(msg));
+  const Message back = deserialize(wire);
+  EXPECT_EQ(back, msg);
+}
+
+TEST(Serialization, EmptyPayload) {
+  Message msg;
+  msg.type = MessageType::ConvergenceReport;
+  const Message back = deserialize(serialize(msg));
+  EXPECT_EQ(back, msg);
+  EXPECT_TRUE(back.payload.empty());
+}
+
+TEST(Serialization, TruncatedInputThrows) {
+  Message msg;
+  msg.payload = {1.0, 2.0};
+  auto wire = serialize(msg);
+  wire.pop_back();
+  EXPECT_THROW(deserialize(wire), ContractViolation);
+}
+
+TEST(Serialization, TrailingGarbageThrows) {
+  Message msg;
+  msg.payload = {1.0};
+  auto wire = serialize(msg);
+  wire.push_back(std::byte{0});
+  EXPECT_THROW(deserialize(wire), ContractViolation);
+}
+
+TEST(Serialization, InvalidTypeByteThrows) {
+  Message msg;
+  auto wire = serialize(msg);
+  // Type byte sits after the two NodeIds.
+  wire[sizeof(NodeId) * 2] = std::byte{99};
+  EXPECT_THROW(deserialize(wire), ContractViolation);
+}
+
+TEST(WireSize, GrowsWithPayload) {
+  Message small;
+  Message big;
+  big.payload = std::vector<double>(100, 1.0);
+  EXPECT_EQ(wire_size(big), wire_size(small) + 100 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace ufc::net

@@ -1,0 +1,127 @@
+// The distributed runtime must reproduce the monolithic solver exactly:
+// same iterates, same convergence, only message-passing in between.
+#include <gtest/gtest.h>
+
+#include "admm/admg.hpp"
+#include "helpers.hpp"
+#include "net/runtime.hpp"
+
+namespace ufc::net {
+namespace {
+
+using ::ufc::testing::make_random_problem;
+using ::ufc::testing::make_tiny_problem;
+
+admm::AdmgOptions tight() {
+  admm::AdmgOptions options;
+  options.tolerance = 1e-6;
+  options.max_iterations = 5000;
+  return options;
+}
+
+TEST(DistributedRuntime, IteratesBitIdenticalToMonolithicSolver) {
+  const auto problem = make_tiny_problem();
+  const auto options = tight();
+
+  admm::AdmgSolver solver(problem, options);
+  DistributedOptions dist;
+  dist.admg = options;
+  DistributedAdmgRuntime runtime(problem, dist);
+
+  for (int k = 0; k < 25; ++k) {
+    solver.step();
+    runtime.round(k);
+    ASSERT_EQ(max_abs_diff(runtime.lambda(), solver.lambda()), 0.0)
+        << "lambda diverged at iteration " << k;
+    ASSERT_EQ(max_abs_diff(runtime.a(), solver.a()), 0.0);
+    ASSERT_EQ(max_abs_diff(runtime.mu(), solver.mu()), 0.0);
+    ASSERT_EQ(max_abs_diff(runtime.nu(), solver.nu()), 0.0);
+  }
+}
+
+TEST(DistributedRuntime, RunMatchesMonolithicReport) {
+  const auto problem = make_tiny_problem();
+  const auto options = tight();
+  const auto mono = admm::solve_admg(problem, options);
+
+  DistributedOptions dist;
+  dist.admg = options;
+  const auto report = DistributedAdmgRuntime(problem, dist).run();
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.iterations, mono.iterations);
+  EXPECT_LT(max_abs_diff(report.solution.lambda, mono.solution.lambda), 1e-9);
+  EXPECT_NEAR(report.breakdown.ufc, mono.breakdown.ufc,
+              1e-9 * std::abs(mono.breakdown.ufc));
+}
+
+TEST(DistributedRuntime, MessageCountMatchesProtocol) {
+  // Per round: M*N proposals + M*N assignments + (M+N) reports.
+  const auto problem = make_tiny_problem();  // M = 2, N = 2
+  DistributedOptions dist;
+  dist.admg = tight();
+  DistributedAdmgRuntime runtime(problem, dist);
+  runtime.round(0);
+  EXPECT_EQ(runtime.bus().total().messages, 2u * 2u * 2u + 4u);
+}
+
+TEST(DistributedRuntime, MessageLossChangesNothingButRetransmissions) {
+  const auto problem = make_tiny_problem();
+  const auto options = tight();
+
+  DistributedOptions clean;
+  clean.admg = options;
+  DistributedOptions lossy;
+  lossy.admg = options;
+  lossy.loss_rate = 0.3;
+  lossy.loss_seed = 11;
+
+  const auto clean_report = DistributedAdmgRuntime(problem, clean).run();
+  const auto lossy_report = DistributedAdmgRuntime(problem, lossy).run();
+
+  EXPECT_EQ(clean_report.iterations, lossy_report.iterations);
+  EXPECT_LT(max_abs_diff(clean_report.solution.lambda,
+                         lossy_report.solution.lambda),
+            1e-12);
+  EXPECT_EQ(clean_report.network.retransmissions, 0u);
+  EXPECT_GT(lossy_report.network.retransmissions, 0u);
+  EXPECT_GT(lossy_report.network.bytes, clean_report.network.bytes);
+}
+
+TEST(DistributedRuntime, StrategyPinningWorksOverTheWire) {
+  const auto problem = make_tiny_problem();
+  {
+    DistributedOptions dist;
+    dist.admg = tight();
+    dist.admg.pinning = admm::BlockPinning::PinMu;
+    const auto report = DistributedAdmgRuntime(problem, dist).run();
+    EXPECT_TRUE(report.converged);
+    for (double mu : report.solution.mu) EXPECT_NEAR(mu, 0.0, 1e-9);
+  }
+  {
+    DistributedOptions dist;
+    dist.admg = tight();
+    dist.admg.pinning = admm::BlockPinning::PinNu;
+    const auto report = DistributedAdmgRuntime(problem, dist).run();
+    EXPECT_TRUE(report.converged);
+    for (double nu : report.solution.nu) EXPECT_NEAR(nu, 0.0, 2e-4);
+  }
+}
+
+class RuntimeRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuntimeRandomized, AgreesWithMonolithicOnRandomInstances) {
+  const auto problem = make_random_problem(GetParam() + 300, 4, 3);
+  const auto options = tight();
+  const auto mono = admm::solve_admg(problem, options);
+  DistributedOptions dist;
+  dist.admg = options;
+  const auto report = DistributedAdmgRuntime(problem, dist).run();
+  EXPECT_EQ(report.iterations, mono.iterations);
+  EXPECT_LT(max_abs_diff(report.solution.lambda, mono.solution.lambda), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeRandomized,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace ufc::net

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "math/projections.hpp"
+#include "opt/fista.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace ufc {
+namespace {
+
+// Quadratic f(x) = 0.5 ||x - target||^2 helpers.
+std::function<Vec(const Vec&)> quadratic_gradient(Vec target) {
+  return [target = std::move(target)](const Vec& x) { return x - target; };
+}
+
+TEST(Fista, UnconstrainedQuadraticReachesMinimum) {
+  const Vec target{1.0, -2.0, 3.0};
+  auto identity = [](const Vec& x) { return x; };
+  const auto result = fista_minimize(Vec(3, 0.0), quadratic_gradient(target),
+                                     identity, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(max_abs_diff(result.x, target), 1e-8);
+}
+
+TEST(Fista, BoxConstrainedQuadraticClipsAtBounds) {
+  const Vec target{2.0, -1.0, 0.5};
+  auto box = [](const Vec& x) { return project_box(x, 0.0, 1.0); };
+  const auto result =
+      fista_minimize(Vec(3, 0.5), quadratic_gradient(target), box, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-8);
+  EXPECT_NEAR(result.x[2], 0.5, 1e-8);
+}
+
+TEST(Fista, SimplexConstrainedQuadratic) {
+  // min 0.5||x - (1, 0)||^2 over the unit simplex: solution (1, 0).
+  auto simplex = [](const Vec& x) { return project_simplex(x, 1.0); };
+  const auto result = fista_minimize(Vec{0.5, 0.5},
+                                     quadratic_gradient(Vec{1.0, 0.0}),
+                                     simplex, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-8);
+}
+
+TEST(Fista, IllConditionedQuadraticStillConverges) {
+  // f = 0.5 (100 x0^2 + x1^2) - 100 x0 - x1; optimum (1, 1); L = 100.
+  auto gradient = [](const Vec& x) {
+    return Vec{100.0 * x[0] - 100.0, x[1] - 1.0};
+  };
+  auto identity = [](const Vec& x) { return x; };
+  FistaOptions options;
+  options.max_iterations = 5000;
+  const auto result =
+      fista_minimize(Vec(2, 0.0), gradient, identity, 100.0, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(max_abs_diff(result.x, Vec{1.0, 1.0}), 1e-6);
+}
+
+TEST(Fista, AdaptiveRestartBeatsPlainMomentumOnIllConditioned) {
+  auto gradient = [](const Vec& x) {
+    return Vec{400.0 * x[0] - 400.0, x[1] - 1.0};
+  };
+  auto identity = [](const Vec& x) { return x; };
+  FistaOptions restart;
+  restart.max_iterations = 20000;
+  restart.tolerance = 1e-12;
+  FistaOptions plain = restart;
+  plain.adaptive_restart = false;
+  const auto with_restart =
+      fista_minimize(Vec(2, 0.0), gradient, identity, 400.0, restart);
+  const auto without =
+      fista_minimize(Vec(2, 0.0), gradient, identity, 400.0, plain);
+  EXPECT_TRUE(with_restart.converged);
+  EXPECT_LE(with_restart.iterations, without.iterations);
+}
+
+TEST(Fista, RankOnePlusIdentityHessianMatchesActiveSetSolution) {
+  // The lambda-block structure: H = c L L^T + rho I, g linear, over simplex.
+  // Verified against a dense brute-force grid on 2 variables.
+  const Vec latency{0.01, 0.03};
+  const double c = 2.0, rho = 0.3, total = 1.0;
+  auto gradient = [&](const Vec& x) {
+    const double inner = dot(latency, x);
+    Vec g(2);
+    for (int j = 0; j < 2; ++j)
+      g[j] = c * inner * latency[j] + rho * x[j] - 0.1 * (j == 0 ? 1 : -1);
+    return g;
+  };
+  auto simplex = [&](const Vec& x) { return project_simplex(x, total); };
+  const double lipschitz = c * dot(latency, latency) + rho;
+  const auto result =
+      fista_minimize(Vec{0.5, 0.5}, gradient, simplex, lipschitz);
+  ASSERT_TRUE(result.converged);
+
+  // Brute force over the simplex edge x0 in [0, 1].
+  auto value = [&](double x0) {
+    const Vec x{x0, total - x0};
+    const double inner = dot(latency, x);
+    return 0.5 * c * inner * inner +
+           0.5 * rho * dot(x, x) - 0.1 * (x[0] - x[1]);
+  };
+  double best_x0 = 0.0, best = value(0.0);
+  for (int k = 1; k <= 10000; ++k) {
+    const double x0 = k / 10000.0;
+    if (value(x0) < best) {
+      best = value(x0);
+      best_x0 = x0;
+    }
+  }
+  EXPECT_NEAR(result.x[0], best_x0, 2e-4);
+}
+
+TEST(Fista, InvalidLipschitzThrows) {
+  auto identity = [](const Vec& x) { return x; };
+  EXPECT_THROW(
+      fista_minimize(Vec{0.0}, quadratic_gradient(Vec{1.0}), identity, 0.0),
+      ContractViolation);
+}
+
+TEST(Fista, RespectsIterationBudget) {
+  auto gradient = [](const Vec& x) { return Vec{x[0] - 1.0}; };
+  auto identity = [](const Vec& x) { return x; };
+  FistaOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 1e-16;
+  // Deliberately overestimate L so steps are tiny and 3 iterations cannot
+  // reach the optimum.
+  const auto result =
+      fista_minimize(Vec{100.0}, gradient, identity, 1e4, options);
+  EXPECT_EQ(result.iterations, 3);
+  EXPECT_FALSE(result.converged);
+}
+
+}  // namespace
+}  // namespace ufc

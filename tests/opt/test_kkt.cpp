@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "math/projections.hpp"
+#include "opt/kkt.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+TEST(FirstOrderCheck, PassesAtConstrainedOptimum) {
+  // min 0.5||x - (2, -1)||^2 over [0,1]^2: optimum (1, 0).
+  auto grad = [](const Vec& x) { return Vec{x[0] - 2.0, x[1] + 1.0}; };
+  auto box = [](const Vec& x) { return project_box(x, 0.0, 1.0); };
+  const auto check =
+      check_first_order_optimality(Vec{1.0, 0.0}, grad, box, 1e-6, 1e-9);
+  EXPECT_TRUE(check.passed);
+}
+
+TEST(FirstOrderCheck, FailsAwayFromOptimum) {
+  auto grad = [](const Vec& x) { return Vec{x[0] - 2.0, x[1] + 1.0}; };
+  auto box = [](const Vec& x) { return project_box(x, 0.0, 1.0); };
+  const auto check =
+      check_first_order_optimality(Vec{0.5, 0.5}, grad, box, 1e-3, 1e-6);
+  EXPECT_FALSE(check.passed);
+  EXPECT_GT(check.residual, 1e-6);
+}
+
+TEST(FirstOrderCheck, ScaleNormalizesResidual) {
+  auto grad = [](const Vec& x) { return Vec{x[0] - 10.0}; };
+  auto identity = [](const Vec& x) { return x; };
+  const auto raw =
+      check_first_order_optimality(Vec{0.0}, grad, identity, 1e-3, 1e-6, 1.0);
+  const auto scaled = check_first_order_optimality(Vec{0.0}, grad, identity,
+                                                   1e-3, 1e-6, 100.0);
+  EXPECT_NEAR(raw.residual, 100.0 * scaled.residual, 1e-12);
+}
+
+TEST(FirstOrderCheck, InvalidParametersThrow) {
+  auto grad = [](const Vec& x) { return x; };
+  auto identity = [](const Vec& x) { return x; };
+  EXPECT_THROW(
+      check_first_order_optimality(Vec{0.0}, grad, identity, 0.0, 1e-6),
+      ContractViolation);
+  EXPECT_THROW(
+      check_first_order_optimality(Vec{0.0}, grad, identity, 1e-6, 0.0),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc

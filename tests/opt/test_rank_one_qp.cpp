@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "math/projections.hpp"
+#include "opt/fista.hpp"
+#include "opt/rank_one_qp.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace ufc {
+namespace {
+
+RankOneQp random_qp(Rng& rng, std::size_t n) {
+  RankOneQp qp;
+  qp.curvature = rng.uniform(0.0, 50.0);
+  qp.tikhonov = rng.uniform(0.1, 20.0);
+  qp.direction = Vec(n);
+  qp.linear = Vec(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    qp.direction[i] = rng.uniform(0.0, 0.1);
+    qp.linear[i] = rng.uniform(-5.0, 5.0);
+  }
+  return qp;
+}
+
+Vec fista_reference_simplex(const RankOneQp& qp, double total) {
+  auto gradient = [&](const Vec& x) {
+    const double s = dot(qp.direction, x);
+    Vec g = qp.linear;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      g[i] += qp.curvature * s * qp.direction[i] + qp.tikhonov * x[i];
+    return g;
+  };
+  auto project = [&](const Vec& x) { return project_simplex(x, total); };
+  const double lipschitz =
+      qp.curvature * dot(qp.direction, qp.direction) + qp.tikhonov;
+  FistaOptions options;
+  options.tolerance = 1e-13;
+  options.max_iterations = 50000;
+  return fista_minimize(Vec(qp.direction.size(), 0.0), gradient, project,
+                        lipschitz, options)
+      .x;
+}
+
+TEST(RankOneQp, PureTikhonovHasClosedForm) {
+  // c = 0: minimize (rho/2)||x||^2 + g.x over simplex == projection of -g/rho.
+  RankOneQp qp;
+  qp.curvature = 0.0;
+  qp.tikhonov = 2.0;
+  qp.direction = Vec{0.0, 0.0, 0.0};
+  qp.linear = Vec{-4.0, -2.0, 6.0};
+  const Vec x = solve_rank_one_qp_simplex(qp, 1.0);
+  const Vec expected = project_simplex(Vec{2.0, 1.0, -3.0}, 1.0);
+  EXPECT_LT(max_abs_diff(x, expected), 1e-10);
+}
+
+TEST(RankOneQp, ZeroTotalReturnsZeros) {
+  RankOneQp qp;
+  qp.curvature = 1.0;
+  qp.tikhonov = 1.0;
+  qp.direction = Vec{1.0, 2.0};
+  qp.linear = Vec{0.0, 0.0};
+  const Vec x = solve_rank_one_qp_simplex(qp, 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  const Vec y = solve_rank_one_qp_capped(qp, 0.0);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+}
+
+class RankOneQpSimplexProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RankOneQpSimplexProperty, MatchesFistaToHighPrecision) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+  const RankOneQp qp = random_qp(rng, n);
+  const double total = rng.uniform(0.1, 10.0);
+
+  const Vec exact = solve_rank_one_qp_simplex(qp, total);
+  // Feasibility.
+  double s = 0.0;
+  for (double v : exact) {
+    EXPECT_GE(v, -1e-12);
+    s += v;
+  }
+  EXPECT_NEAR(s, total, 1e-9 * std::max(1.0, total));
+  // Optimality vs the iterative reference.
+  const Vec reference = fista_reference_simplex(qp, total);
+  EXPECT_LE(rank_one_qp_value(qp, exact),
+            rank_one_qp_value(qp, reference) + 1e-8);
+  EXPECT_LT(max_abs_diff(exact, reference), 1e-5 * std::max(1.0, total));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankOneQpSimplexProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class RankOneQpCappedProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RankOneQpCappedProperty, FeasibleAndBeatsRandomFeasiblePoints) {
+  Rng rng(GetParam() + 400);
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+  const RankOneQp qp = random_qp(rng, n);
+  const double cap = rng.uniform(0.1, 10.0);
+
+  const Vec exact = solve_rank_one_qp_capped(qp, cap);
+  double s = 0.0;
+  for (double v : exact) {
+    EXPECT_GE(v, -1e-12);
+    s += v;
+  }
+  EXPECT_LE(s, cap + 1e-9);
+
+  const double f_star = rank_one_qp_value(qp, exact);
+  for (int k = 0; k < 200; ++k) {
+    Vec x(n);
+    double total = 0.0;
+    for (auto& e : x) {
+      e = rng.uniform(0.0, 1.0);
+      total += e;
+    }
+    const double scale = rng.uniform(0.0, 1.0) * cap / std::max(total, 1e-12);
+    for (auto& e : x) e *= scale;
+    EXPECT_GE(rank_one_qp_value(qp, x), f_star - 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankOneQpCappedProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(RankOneQp, CappedReducesToSimplexWhenCapBinds) {
+  Rng rng(9);
+  const RankOneQp qp = [&] {
+    RankOneQp q = random_qp(rng, 4);
+    // Strongly negative linear term pushes mass against the cap.
+    for (std::size_t i = 0; i < 4; ++i) q.linear[i] = -10.0 - q.linear[i];
+    return q;
+  }();
+  const double cap = 0.5;
+  const Vec capped = solve_rank_one_qp_capped(qp, cap);
+  const Vec simplex = solve_rank_one_qp_simplex(qp, cap);
+  EXPECT_LT(max_abs_diff(capped, simplex), 1e-9);
+  EXPECT_NEAR(sum(capped), cap, 1e-9);
+}
+
+TEST(RankOneQp, CappedStaysInteriorWhenOptimal) {
+  // Positive linear costs keep the optimum at zero, far from the cap.
+  RankOneQp qp;
+  qp.curvature = 1.0;
+  qp.tikhonov = 1.0;
+  qp.direction = Vec{1.0, 1.0};
+  qp.linear = Vec{3.0, 4.0};
+  const Vec x = solve_rank_one_qp_capped(qp, 100.0);
+  EXPECT_NEAR(x[0], 0.0, 1e-12);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+}
+
+TEST(RankOneQp, InvalidInputsThrow) {
+  RankOneQp qp;
+  qp.direction = Vec{1.0};
+  qp.linear = Vec{0.0};
+  qp.tikhonov = 0.0;
+  EXPECT_THROW(solve_rank_one_qp_simplex(qp, 1.0), ContractViolation);
+  qp.tikhonov = 1.0;
+  qp.curvature = -1.0;
+  EXPECT_THROW(solve_rank_one_qp_simplex(qp, 1.0), ContractViolation);
+  qp.curvature = 1.0;
+  qp.direction = Vec{-1.0};
+  EXPECT_THROW(solve_rank_one_qp_capped(qp, 1.0), ContractViolation);
+  qp.direction = Vec{1.0};
+  EXPECT_THROW(solve_rank_one_qp_simplex(qp, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/scalar.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+TEST(MonotoneRoot, LinearFunction) {
+  // g(x) = 2x - 4 has root 2.
+  const double root = monotone_root([](double x) { return 2.0 * x - 4.0; },
+                                    0.0, 10.0);
+  EXPECT_NEAR(root, 2.0, 1e-10);
+}
+
+TEST(MonotoneRoot, ClampsToLowerBound) {
+  const double root =
+      monotone_root([](double x) { return x + 1.0; }, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(root, 0.0);
+}
+
+TEST(MonotoneRoot, ClampsToUpperBound) {
+  const double root =
+      monotone_root([](double x) { return x - 100.0; }, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(root, 10.0);
+}
+
+TEST(MonotoneRoot, StepFunctionConvergesToJump) {
+  // Subdifferential of |x - 3|-style kink: jumps from -1 to +1 at x = 3.
+  auto g = [](double x) { return x < 3.0 ? -1.0 : 1.0; };
+  const double root = monotone_root(g, 0.0, 10.0);
+  EXPECT_NEAR(root, 3.0, 1e-9);
+}
+
+TEST(MonotoneRoot, InvertedBoundsThrow) {
+  EXPECT_THROW(monotone_root([](double x) { return x; }, 1.0, 0.0),
+               ContractViolation);
+}
+
+TEST(MinimizeConvexScalar, QuadraticInterior) {
+  // f(x) = (x - 2)^2, f'(x) = 2(x - 2).
+  const double x = minimize_convex_scalar(
+      [](double v) { return 2.0 * (v - 2.0); }, 0.0, 10.0);
+  EXPECT_NEAR(x, 2.0, 1e-9);
+}
+
+TEST(MinimizeConvexScalar, BoundaryMinimum) {
+  // f(x) = x on [1, 5]: minimized at 1.
+  const double x =
+      minimize_convex_scalar([](double) { return 1.0; }, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(MinimizeConvexScalar, PiecewiseLinearKink) {
+  // f(x) = max(2 - x, 2x - 4): minimized at the kink x = 2.
+  auto derivative = [](double x) { return x < 2.0 ? -1.0 : 2.0; };
+  const double x = minimize_convex_scalar(derivative, 0.0, 10.0);
+  EXPECT_NEAR(x, 2.0, 1e-9);
+}
+
+TEST(GoldenSection, SmoothUnimodal) {
+  const double x = golden_section_minimize(
+      [](double v) { return (v - 1.5) * (v - 1.5) + 3.0; }, -10.0, 10.0);
+  EXPECT_NEAR(x, 1.5, 1e-6);
+}
+
+TEST(GoldenSection, NonDifferentiableUnimodal) {
+  const double x = golden_section_minimize(
+      [](double v) { return std::abs(v + 2.0); }, -10.0, 10.0);
+  EXPECT_NEAR(x, -2.0, 1e-6);
+}
+
+TEST(GoldenSection, BoundaryMinimum) {
+  const double x =
+      golden_section_minimize([](double v) { return v; }, 2.0, 8.0);
+  EXPECT_NEAR(x, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sim/batch.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::sim {
+namespace {
+
+traces::Scenario batch_scenario() {
+  traces::ScenarioConfig config;
+  config.hours = 72;
+  return traces::Scenario::generate(config);
+}
+
+SimulatorOptions fast_options() { return {}; }
+
+TEST(BatchExtension, DeadlineFlexibilitySavesEnergyCost) {
+  const auto scenario = batch_scenario();
+  BatchWorkloadOptions options;
+  options.batch_fraction = 0.2;
+  options.deadline_hours = 8;
+  const auto result = run_batch_week(scenario, options, fast_options());
+  EXPECT_GT(result.total_batch_units, 0.0);
+  EXPECT_GT(result.saving_pct, 1.0);
+  EXPECT_LE(result.scheduled_cost, result.inline_cost + 1e-9);
+}
+
+TEST(BatchExtension, ZeroDeadlineMatchesInlineCost) {
+  // With no temporal freedom, the scheduler can still pick cheaper *sites*
+  // within the hour — which the inline baseline also does — so costs match.
+  const auto scenario = batch_scenario();
+  BatchWorkloadOptions options;
+  options.batch_fraction = 0.15;
+  options.deadline_hours = 0;
+  const auto result = run_batch_week(scenario, options, fast_options());
+  EXPECT_NEAR(result.scheduled_cost, result.inline_cost,
+              1e-6 * std::max(1.0, result.inline_cost));
+  EXPECT_NEAR(result.deferred_fraction, 0.0, 1e-12);
+  EXPECT_NEAR(result.average_delay_hours, 0.0, 1e-12);
+}
+
+TEST(BatchExtension, LongerDeadlinesSaveAtLeastAsMuch) {
+  const auto scenario = batch_scenario();
+  BatchWorkloadOptions short_deadline;
+  short_deadline.deadline_hours = 2;
+  BatchWorkloadOptions long_deadline;
+  long_deadline.deadline_hours = 12;
+  const auto a = run_batch_week(scenario, short_deadline, fast_options());
+  const auto b = run_batch_week(scenario, long_deadline, fast_options());
+  EXPECT_LE(b.scheduled_cost, a.scheduled_cost + 1e-6);
+}
+
+TEST(BatchExtension, DeadlinesAreRespected) {
+  const auto scenario = batch_scenario();
+  BatchWorkloadOptions options;
+  options.deadline_hours = 4;
+  const auto result = run_batch_week(scenario, options, fast_options());
+  // Greedy placement bounds every unit's delay by the window; the weighted
+  // average must therefore be within it too.
+  EXPECT_LE(result.average_delay_hours, 4.0 + 1e-9);
+}
+
+TEST(BatchExtension, ZeroFractionIsFree) {
+  const auto scenario = batch_scenario();
+  BatchWorkloadOptions options;
+  options.batch_fraction = 0.0;
+  const auto result = run_batch_week(scenario, options, fast_options());
+  EXPECT_DOUBLE_EQ(result.total_batch_units, 0.0);
+  EXPECT_DOUBLE_EQ(result.inline_cost, 0.0);
+  EXPECT_DOUBLE_EQ(result.scheduled_cost, 0.0);
+}
+
+TEST(BatchExtension, ScheduleAccountsForEveryUnit) {
+  const auto scenario = batch_scenario();
+  BatchWorkloadOptions options;
+  options.batch_fraction = 0.15;
+  options.deadline_hours = 6;
+  const auto result = run_batch_week(scenario, options, fast_options());
+  // Placed + unplaced must cover every arrived unit exactly, and greedy EDF
+  // should place essentially everything at this load level.
+  EXPECT_NEAR(sum(result.scheduled_load) + result.unplaced_units,
+              result.total_batch_units, 1e-6 * result.total_batch_units);
+  EXPECT_LT(result.unplaced_units, 0.01 * result.total_batch_units);
+}
+
+TEST(BatchExtension, InvalidOptionsThrow) {
+  const auto scenario = batch_scenario();
+  BatchWorkloadOptions bad;
+  bad.batch_fraction = -0.1;
+  EXPECT_THROW(run_batch_week(scenario, bad, fast_options()),
+               ContractViolation);
+  bad = {};
+  bad.deadline_hours = -1;
+  EXPECT_THROW(run_batch_week(scenario, bad, fast_options()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc::sim

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "sim/forecast_study.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::sim {
+namespace {
+
+traces::Scenario study_scenario() {
+  traces::ScenarioConfig config;
+  config.hours = 96;  // four days: two init days + two evaluation days
+  return traces::Scenario::generate(config);
+}
+
+ForecastStudyOptions fast_options(ForecastMethod method) {
+  ForecastStudyOptions options;
+  options.method = method;
+  options.skip_slots = 48;
+  options.admg.tolerance = 3e-3;
+  options.admg.max_iterations = 600;
+  return options;
+}
+
+TEST(ForecastStudy, PlanningOnForecastsCostsLittleUfc) {
+  // The paper's premise: arrivals are predictable enough that per-slot
+  // planning on forecasts is sound. The realized-vs-clairvoyant gap should
+  // be small (a few percent).
+  const auto scenario = study_scenario();
+  const auto result = run_forecast_study(
+      scenario, fast_options(ForecastMethod::HoltWinters));
+  EXPECT_LT(result.workload_mape, 0.15);
+  EXPECT_LT(result.avg_ufc_gap_pct, 5.0);
+  EXPECT_EQ(result.ufc_gap_pct.size(), 48u);
+}
+
+TEST(ForecastStudy, RealizedNeverBeatsClairvoyantByMuch) {
+  // The clairvoyant solves the actual slot to (near-)optimality, so the gap
+  // must be essentially nonnegative (up to solver tolerance).
+  const auto scenario = study_scenario();
+  const auto result = run_forecast_study(
+      scenario, fast_options(ForecastMethod::HoltWinters));
+  EXPECT_GT(min_value(result.ufc_gap_pct), -1.0);
+}
+
+TEST(ForecastStudy, SeasonalNaiveWorksButIsNoBetter) {
+  const auto scenario = study_scenario();
+  const auto naive = run_forecast_study(
+      scenario, fast_options(ForecastMethod::SeasonalNaive));
+  const auto hw = run_forecast_study(
+      scenario, fast_options(ForecastMethod::HoltWinters));
+  EXPECT_LT(naive.avg_ufc_gap_pct, 10.0);
+  // Holt-Winters adapts to the weekday pattern at least as well on average.
+  EXPECT_LE(hw.avg_ufc_gap_pct, naive.avg_ufc_gap_pct + 1.0);
+}
+
+TEST(ForecastStudy, InvalidSkipThrows) {
+  const auto scenario = study_scenario();
+  auto options = fast_options(ForecastMethod::HoltWinters);
+  options.skip_slots = scenario.hours();
+  EXPECT_THROW(run_forecast_study(scenario, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc::sim

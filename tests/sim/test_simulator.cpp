@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::sim {
+namespace {
+
+traces::Scenario small_scenario() {
+  traces::ScenarioConfig config;
+  config.hours = 24;
+  return traces::Scenario::generate(config);
+}
+
+SimulatorOptions fast_options() {
+  SimulatorOptions options;
+  options.admg.tolerance = 3e-3;
+  options.admg.max_iterations = 600;
+  return options;
+}
+
+TEST(SingleSiteCosts, HandComputedExample) {
+  const std::vector<double> demand = {1.0, 2.0, 1.0};
+  const std::vector<double> price = {50.0, 100.0, 90.0};
+  const auto costs = single_site_strategy_costs(demand, price, 80.0);
+  EXPECT_DOUBLE_EQ(costs.grid, 50.0 + 200.0 + 90.0);
+  EXPECT_DOUBLE_EQ(costs.fuel_cell, 80.0 * 4.0);
+  EXPECT_DOUBLE_EQ(costs.hybrid, 50.0 + 160.0 + 80.0);
+}
+
+TEST(SingleSiteCosts, HybridNeverWorseThanEither) {
+  const std::vector<double> demand = {1.5, 0.5, 2.5, 3.0};
+  const std::vector<double> price = {120.0, 20.0, 79.0, 81.0};
+  const auto costs = single_site_strategy_costs(demand, price, 80.0);
+  EXPECT_LE(costs.hybrid, costs.grid);
+  EXPECT_LE(costs.hybrid, costs.fuel_cell);
+}
+
+TEST(SingleSiteCosts, MismatchedSizesThrow) {
+  const std::vector<double> demand = {1.0};
+  const std::vector<double> price = {1.0, 2.0};
+  EXPECT_THROW(single_site_strategy_costs(demand, price, 80.0),
+               ContractViolation);
+}
+
+TEST(RunStrategyWeek, ProducesOneResultPerSlot) {
+  const auto scenario = small_scenario();
+  const auto week =
+      run_strategy_week(scenario, admm::Strategy::Hybrid, fast_options());
+  EXPECT_EQ(week.slots.size(), 24u);
+  for (std::size_t t = 0; t < week.slots.size(); ++t) {
+    EXPECT_EQ(week.slots[t].slot, static_cast<int>(t));
+    EXPECT_GT(week.slots[t].iterations, 0);
+    EXPECT_TRUE(week.slots[t].converged);
+  }
+}
+
+TEST(RunStrategyWeek, StrideSubsamples) {
+  const auto scenario = small_scenario();
+  auto options = fast_options();
+  options.stride = 6;
+  const auto week =
+      run_strategy_week(scenario, admm::Strategy::Grid, options);
+  EXPECT_EQ(week.slots.size(), 4u);
+  EXPECT_EQ(week.slots[1].slot, 6);
+}
+
+TEST(WeekResult, AggregatesMatchSeries) {
+  const auto scenario = small_scenario();
+  const auto week =
+      run_strategy_week(scenario, admm::Strategy::Grid, fast_options());
+  EXPECT_NEAR(week.total_energy_cost(), sum(week.energy_cost_series()), 1e-9);
+  EXPECT_NEAR(week.total_carbon_cost(), sum(week.carbon_cost_series()), 1e-9);
+  EXPECT_NEAR(week.total_ufc(), sum(week.ufc_series()), 1e-9);
+  EXPECT_NEAR(week.average_latency_ms(), mean(week.latency_ms_series()),
+              1e-12);
+  EXPECT_NEAR(week.average_utilization(), mean(week.utilization_series()),
+              1e-12);
+  EXPECT_EQ(week.iteration_series().size(), week.slots.size());
+}
+
+TEST(CompareStrategies, ImprovementIdentities) {
+  const auto scenario = small_scenario();
+  const auto cmp = compare_strategies(scenario, fast_options());
+  ASSERT_EQ(cmp.improvement_hg.size(), 24u);
+  for (std::size_t t = 0; t < 24; ++t) {
+    const double g = cmp.grid.slots[t].breakdown.ufc;
+    const double h = cmp.hybrid.slots[t].breakdown.ufc;
+    EXPECT_NEAR(cmp.improvement_hg[t], 100.0 * (h - g) / std::abs(g), 1e-9);
+  }
+  EXPECT_NEAR(cmp.average_improvement_hg(), mean(cmp.improvement_hg), 1e-12);
+}
+
+TEST(CompareStrategies, PaperDominanceInvariants) {
+  const auto scenario = small_scenario();
+  const auto cmp = compare_strategies(scenario, fast_options());
+  for (std::size_t t = 0; t < cmp.improvement_hg.size(); ++t) {
+    // "it never reduces the UFC": Hybrid >= Grid (within solver tolerance).
+    EXPECT_GT(cmp.improvement_hg[t], -1.0) << "slot " << t;
+    EXPECT_GT(cmp.improvement_hf[t], -1.0) << "slot " << t;
+  }
+  // Grid uses no fuel cells; FuelCell uses only fuel cells.
+  EXPECT_NEAR(cmp.grid.average_utilization(), 0.0, 1e-9);
+  EXPECT_NEAR(cmp.fuel_cell.average_utilization(), 1.0, 1e-2);
+}
+
+TEST(WarmStartWeek, MatchesColdStartObjectivesWithFewerIterations) {
+  const auto scenario = small_scenario();
+  auto cold_options = fast_options();
+  auto warm_options = fast_options();
+  warm_options.warm_start = true;
+
+  const auto cold =
+      run_strategy_week(scenario, admm::Strategy::Hybrid, cold_options);
+  const auto warm =
+      run_strategy_week(scenario, admm::Strategy::Hybrid, warm_options);
+
+  ASSERT_EQ(cold.slots.size(), warm.slots.size());
+  for (std::size_t s = 0; s < cold.slots.size(); ++s) {
+    EXPECT_TRUE(warm.slots[s].converged);
+    EXPECT_NEAR(warm.slots[s].breakdown.ufc, cold.slots[s].breakdown.ufc,
+                5e-3 * std::abs(cold.slots[s].breakdown.ufc))
+        << "slot " << s;
+  }
+  // Warm starting must pay off on the week as a whole.
+  EXPECT_LT(mean(warm.iteration_series()), 0.8 * mean(cold.iteration_series()));
+}
+
+TEST(SimulatorOptionsFromIni, AppliesOverridesAndDefaults) {
+  const auto config = Config::parse(
+      "[solver]\n"
+      "rho = 5\n"
+      "tolerance = 1e-4\n"
+      "gaussian_back_substitution = false\n"
+      "[simulate]\n"
+      "stride = 4\n");
+  const auto options = simulator_options_from(config);
+  EXPECT_DOUBLE_EQ(options.admg.rho, 5.0);
+  EXPECT_DOUBLE_EQ(options.admg.tolerance, 1e-4);
+  EXPECT_FALSE(options.admg.gaussian_back_substitution);
+  EXPECT_EQ(options.stride, 4);
+  // Defaults kept for untouched keys.
+  const SimulatorOptions defaults;
+  EXPECT_EQ(options.admg.max_iterations, defaults.admg.max_iterations);
+  EXPECT_DOUBLE_EQ(options.admg.epsilon, defaults.admg.epsilon);
+}
+
+TEST(RunStrategyWeek, InvalidStrideThrows) {
+  const auto scenario = small_scenario();
+  SimulatorOptions options = fast_options();
+  options.stride = 0;
+  EXPECT_THROW(run_strategy_week(scenario, admm::Strategy::Grid, options),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc::sim

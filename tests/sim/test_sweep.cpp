@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/sweep.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::sim {
+namespace {
+
+traces::ScenarioConfig small_config() {
+  traces::ScenarioConfig config;
+  config.hours = 24;
+  return config;
+}
+
+SimulatorOptions fast_options() {
+  SimulatorOptions options;
+  options.admg.tolerance = 3e-3;
+  options.admg.max_iterations = 600;
+  options.stride = 3;
+  return options;
+}
+
+TEST(FuelCellPriceSweep, UtilizationFallsAsPriceRises) {
+  // Paper Fig. 9: utilization and improvement both decrease in p0.
+  const std::array<double, 3> prices = {20.0, 80.0, 160.0};
+  const auto points =
+      sweep_fuel_cell_price(small_config(), prices, fast_options());
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].parameter, 20.0);
+  EXPECT_GE(points[0].avg_utilization, points[1].avg_utilization - 1e-6);
+  EXPECT_GE(points[1].avg_utilization, points[2].avg_utilization - 1e-6);
+  EXPECT_GE(points[0].avg_improvement_pct,
+            points[1].avg_improvement_pct - 1e-6);
+  // Improvement is never negative (hybrid dominates grid).
+  for (const auto& point : points)
+    EXPECT_GT(point.avg_improvement_pct, -0.5);
+}
+
+TEST(FuelCellPriceSweep, FreeFuelCellsSaturateUtilization) {
+  const std::array<double, 1> prices = {0.0};
+  const auto points =
+      sweep_fuel_cell_price(small_config(), prices, fast_options());
+  EXPECT_GT(points[0].avg_utilization, 0.97);
+}
+
+TEST(CarbonTaxSweep, UtilizationRisesWithTax) {
+  // Paper Fig. 10: both metrics increase in the tax rate.
+  const std::array<double, 3> taxes = {0.0, 60.0, 200.0};
+  const auto points = sweep_carbon_tax(small_config(), taxes, fast_options());
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LE(points[0].avg_utilization, points[1].avg_utilization + 1e-6);
+  EXPECT_LE(points[1].avg_utilization, points[2].avg_utilization + 1e-6);
+  EXPECT_LE(points[0].avg_improvement_pct,
+            points[2].avg_improvement_pct + 1e-6);
+}
+
+TEST(Sweeps, EmptyParameterListThrows) {
+  EXPECT_THROW(
+      sweep_fuel_cell_price(small_config(), std::span<const double>{},
+                            fast_options()),
+      ContractViolation);
+  EXPECT_THROW(sweep_carbon_tax(small_config(), std::span<const double>{},
+                                fast_options()),
+               ContractViolation);
+}
+
+TEST(Sweeps, NegativeParametersThrow) {
+  const std::array<double, 1> bad = {-5.0};
+  EXPECT_THROW(sweep_fuel_cell_price(small_config(), bad, fast_options()),
+               ContractViolation);
+  EXPECT_THROW(sweep_carbon_tax(small_config(), bad, fast_options()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc::sim

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "traces/fuelmix.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::traces {
+namespace {
+
+TEST(FuelMixTrace, SharesSumToOne) {
+  Rng rng(3);
+  const auto mixes = generate_fuel_mix(calgary_fuel_mix(), 168, rng);
+  ASSERT_EQ(mixes.size(), 168u);
+  for (const auto& mix : mixes) {
+    double total = 0.0;
+    for (double s : mix) {
+      EXPECT_GE(s, 0.0);
+      total += s;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(FuelMixTrace, DeterministicForSeed) {
+  Rng a(5), b(5);
+  const auto ma = generate_fuel_mix(dallas_fuel_mix(), 48, a);
+  const auto mb = generate_fuel_mix(dallas_fuel_mix(), 48, b);
+  for (std::size_t t = 0; t < ma.size(); ++t)
+    for (std::size_t k = 0; k < kFuelTypeCount; ++k)
+      EXPECT_DOUBLE_EQ(ma[t][k], mb[t][k]);
+}
+
+TEST(FuelMixTrace, TexasWindBlowsAtNight) {
+  Rng rng(7);
+  auto params = dallas_fuel_mix();
+  params.noise_sd = 0.0;
+  const auto mixes = generate_fuel_mix(params, 24, rng);
+  const auto wind = static_cast<std::size_t>(FuelType::Wind);
+  EXPECT_GT(mixes[3][wind], 1.5 * mixes[14][wind]);
+}
+
+TEST(FuelMixTrace, CaliforniaSolarAtMidday) {
+  Rng rng(9);
+  auto params = san_jose_fuel_mix();
+  params.noise_sd = 0.0;
+  const auto mixes = generate_fuel_mix(params, 24, rng);
+  const auto solar = static_cast<std::size_t>(FuelType::Solar);
+  EXPECT_GT(mixes[12][solar], mixes[20][solar] + 0.03);
+  EXPECT_GT(mixes[12][solar], mixes[2][solar] + 0.03);
+}
+
+TEST(CarbonRateSeries, RegionalOrderingMatchesFuelMixes) {
+  // Coal-heavy Alberta dirtiest, hydro/nuclear-rich California cleanest.
+  Rng rng(11);
+  const auto models = datacenter_fuel_mix_models();
+  std::vector<double> means;
+  for (std::size_t j = 0; j < models.size(); ++j) {
+    Rng r = rng.fork(j);
+    const auto rates = carbon_rate_series(generate_fuel_mix(models[j], 168, r));
+    means.push_back(mean(rates));
+  }
+  const double calgary = means[0], san_jose = means[1], dallas = means[2],
+               pittsburgh = means[3];
+  EXPECT_GT(calgary, 600.0);
+  EXPECT_LT(san_jose, 320.0);
+  EXPECT_GT(calgary, pittsburgh);
+  EXPECT_GT(dallas, san_jose);
+  // All within the physically possible band of Table III.
+  for (double m : means) {
+    EXPECT_GT(m, 13.5);
+    EXPECT_LT(m, 968.0);
+  }
+}
+
+TEST(CarbonRateSeries, DiurnalVariationExists) {
+  // The paper notes carbon rates exhibit diurnal patterns (§II-B2).
+  Rng rng(13);
+  auto params = dallas_fuel_mix();
+  params.noise_sd = 0.0;
+  const auto rates =
+      carbon_rate_series(generate_fuel_mix(params, 24, rng));
+  EXPECT_GT(max_value(rates) - min_value(rates), 20.0);
+}
+
+TEST(FuelMixTrace, EmptyBaseSharesThrow) {
+  Rng rng(1);
+  FuelMixModelParams empty;
+  EXPECT_THROW(generate_fuel_mix(empty, 24, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc::traces

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "traces/geography.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::traces {
+namespace {
+
+TEST(Haversine, ZeroDistanceToSelf) {
+  const GeoPoint p{"x", 40.0, -75.0};
+  EXPECT_NEAR(haversine_km(p, p), 0.0, 1e-9);
+}
+
+TEST(Haversine, KnownCityPairs) {
+  // Published great-circle distances (tolerance ~1%).
+  const GeoPoint sf{"San Francisco", 37.7749, -122.4194};
+  const GeoPoint ny{"New York", 40.7128, -74.0060};
+  EXPECT_NEAR(haversine_km(sf, ny), 4130.0, 45.0);
+
+  const GeoPoint dallas{"Dallas", 32.777, -96.797};
+  const GeoPoint houston{"Houston", 29.760, -95.370};
+  EXPECT_NEAR(haversine_km(dallas, houston), 362.0, 10.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{"a", 51.0, -114.0};
+  const GeoPoint b{"b", 25.0, -80.0};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(PropagationLatency, PaperLaw) {
+  // 0.02 ms per km -> 1000 km = 20 ms = 0.020 s.
+  EXPECT_NEAR(propagation_latency_s(1000.0), 0.020, 1e-12);
+  EXPECT_DOUBLE_EQ(propagation_latency_s(0.0), 0.0);
+  EXPECT_THROW(propagation_latency_s(-1.0), ContractViolation);
+}
+
+TEST(Sites, PaperConfiguration) {
+  const auto dcs = datacenter_sites();
+  ASSERT_EQ(dcs.size(), 4u);
+  EXPECT_EQ(dcs[0].name, "Calgary");
+  EXPECT_EQ(dcs[1].name, "San Jose");
+  EXPECT_EQ(dcs[2].name, "Dallas");
+  EXPECT_EQ(dcs[3].name, "Pittsburgh");
+  EXPECT_EQ(front_end_sites().size(), 10u);
+}
+
+TEST(LatencyMatrix, ShapeAndPlausibleRange) {
+  const auto latency = latency_matrix_s(front_end_sites(), datacenter_sites());
+  EXPECT_EQ(latency.rows(), 10u);
+  EXPECT_EQ(latency.cols(), 4u);
+  for (double l : latency.raw()) {
+    EXPECT_GT(l, 0.0);
+    EXPECT_LT(l, 0.1);  // under 100 ms across the continent
+  }
+}
+
+TEST(LatencyMatrix, NearestDatacenterMakesSense) {
+  const auto fes = front_end_sites();
+  const auto dcs = datacenter_sites();
+  const auto latency = latency_matrix_s(fes, dcs);
+  // Los Angeles (row 1) is nearest to San Jose (col 1).
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < 4; ++j)
+    if (latency(1, j) < latency(1, best)) best = j;
+  EXPECT_EQ(best, 1u);
+  // New York (row 8) is nearest to Pittsburgh (col 3).
+  best = 0;
+  for (std::size_t j = 1; j < 4; ++j)
+    if (latency(8, j) < latency(8, best)) best = j;
+  EXPECT_EQ(best, 3u);
+}
+
+}  // namespace
+}  // namespace ufc::traces

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "traces/price.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::traces {
+namespace {
+
+TEST(Prices, DeterministicForSeed) {
+  Rng a(3), b(3);
+  const auto pa = generate_prices(dallas_prices(), 168, a);
+  const auto pb = generate_prices(dallas_prices(), 168, b);
+  for (std::size_t t = 0; t < pa.size(); ++t) EXPECT_DOUBLE_EQ(pa[t], pb[t]);
+}
+
+TEST(Prices, RespectsFloor) {
+  Rng rng(5);
+  PriceModelParams params = dallas_prices();
+  params.floor = 7.5;
+  params.noise_sd = 0.6;  // wild noise to stress the floor
+  const auto prices = generate_prices(params, 500, rng);
+  for (double p : prices) EXPECT_GE(p, 7.5);
+}
+
+TEST(Prices, DiurnalPeakVisibleWithoutNoise) {
+  Rng rng(7);
+  PriceModelParams params = san_jose_prices();
+  params.noise_sd = 0.0;
+  const auto prices = generate_prices(params, 168, rng);
+  EXPECT_GT(prices[24 + 17], 1.5 * prices[24 + 4]);
+}
+
+TEST(Prices, PeakSharpnessNarrowsExpensiveWindow) {
+  Rng rng(9);
+  PriceModelParams broad = san_jose_prices();
+  broad.noise_sd = 0.0;
+  broad.peak_sharpness = 1.0;
+  PriceModelParams sharp = broad;
+  sharp.peak_sharpness = 4.0;
+  Rng rng2 = rng;
+  const auto pb = generate_prices(broad, 24, rng);
+  const auto ps = generate_prices(sharp, 24, rng2);
+  // Same height at the exact peak hour, lower on the shoulders.
+  EXPECT_NEAR(pb[17], ps[17], 1e-6);
+  EXPECT_GT(pb[11], ps[11]);
+}
+
+TEST(Prices, SpikesRaiseTheMaximum) {
+  PriceModelParams no_spikes = dallas_prices();
+  no_spikes.spike_probability = 0.0;
+  PriceModelParams spikes = dallas_prices();
+  spikes.spike_probability = 0.2;
+  Rng a(11), b(11);
+  const auto quiet = generate_prices(no_spikes, 500, a);
+  const auto spiky = generate_prices(spikes, 500, b);
+  EXPECT_GT(max_value(spiky), max_value(quiet) + 50.0);
+}
+
+TEST(Prices, RegionalCalibration) {
+  // The spatial diversity the paper's Table I implies: Dallas cheap,
+  // San Jose expensive, the others in between.
+  Rng rng(42);
+  const auto models = datacenter_price_models();
+  ASSERT_EQ(models.size(), 4u);
+  std::vector<double> means;
+  for (std::size_t j = 0; j < 4; ++j) {
+    Rng r = rng.fork(j);
+    means.push_back(mean(generate_prices(models[j], 168, r)));
+  }
+  const double calgary = means[0], san_jose = means[1], dallas = means[2],
+               pittsburgh = means[3];
+  EXPECT_LT(dallas, 40.0);
+  EXPECT_GT(san_jose, 65.0);
+  EXPECT_GT(san_jose, 1.7 * dallas);
+  EXPECT_GT(calgary, dallas);
+  EXPECT_LT(calgary, san_jose);
+  EXPECT_GT(pittsburgh, dallas);
+  EXPECT_LT(pittsburgh, san_jose);
+}
+
+TEST(Prices, InvalidParamsThrow) {
+  Rng rng(1);
+  PriceModelParams bad = dallas_prices();
+  bad.base = 0.0;
+  EXPECT_THROW(generate_prices(bad, 24, rng), ContractViolation);
+  PriceModelParams sharp = dallas_prices();
+  sharp.peak_sharpness = 0.5;
+  EXPECT_THROW(generate_prices(sharp, 24, rng), ContractViolation);
+  EXPECT_THROW(generate_prices(dallas_prices(), 0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc::traces

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "traces/scenario.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::traces {
+namespace {
+
+TEST(Scenario, GeneratesPaperConfiguration) {
+  const auto scenario = Scenario::generate({});
+  EXPECT_EQ(scenario.hours(), 168);
+  EXPECT_EQ(scenario.num_front_ends(), 10u);
+  EXPECT_EQ(scenario.num_datacenters(), 4u);
+  EXPECT_EQ(scenario.datacenter_names()[2], "Dallas");
+  for (double s : scenario.servers()) {
+    EXPECT_GE(s, 1.7e4);
+    EXPECT_LE(s, 2.3e4);
+  }
+}
+
+TEST(Scenario, DeterministicForSeed) {
+  const auto a = Scenario::generate({});
+  const auto b = Scenario::generate({});
+  EXPECT_LT(max_abs_diff(a.arrivals(), b.arrivals()), 1e-12);
+  EXPECT_LT(max_abs_diff(a.prices(), b.prices()), 1e-12);
+  EXPECT_LT(max_abs_diff(a.carbon_rates(), b.carbon_rates()), 1e-12);
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  ScenarioConfig other;
+  other.seed = 123456;
+  const auto a = Scenario::generate({});
+  const auto b = Scenario::generate(other);
+  EXPECT_GT(max_abs_diff(a.arrivals(), b.arrivals()), 1.0);
+}
+
+TEST(Scenario, PolicyKnobsDoNotPerturbTraces) {
+  // Sweeps rely on this: changing p0 / tax must keep traces identical.
+  ScenarioConfig cheap;
+  cheap.fuel_cell_price = 20.0;
+  cheap.carbon_tax = 140.0;
+  const auto base = Scenario::generate({});
+  const auto swept = Scenario::generate(cheap);
+  EXPECT_LT(max_abs_diff(base.arrivals(), swept.arrivals()), 1e-12);
+  EXPECT_LT(max_abs_diff(base.prices(), swept.prices()), 1e-12);
+  EXPECT_LT(max_abs_diff(base.carbon_rates(), swept.carbon_rates()), 1e-12);
+}
+
+TEST(Scenario, ArrivalsRowsMatchTotals) {
+  const auto scenario = Scenario::generate({});
+  for (int t = 0; t < scenario.hours(); ++t)
+    EXPECT_NEAR(scenario.arrivals().row_sum(static_cast<std::size_t>(t)),
+                scenario.total_workload()[static_cast<std::size_t>(t)], 1e-6);
+}
+
+TEST(Scenario, WorkloadPeaksAtConfiguredFraction) {
+  const auto scenario = Scenario::generate({});
+  double capacity = 0.0;
+  for (double s : scenario.servers()) capacity += s;
+  EXPECT_NEAR(max_value(scenario.total_workload()), 0.8 * capacity,
+              1e-6 * capacity);
+}
+
+TEST(Scenario, ProblemAtSlotIsValidAndMatchesTraces) {
+  const auto scenario = Scenario::generate({});
+  const auto problem = scenario.problem_at(100);
+  EXPECT_NO_THROW(problem.validate());
+  EXPECT_EQ(problem.num_datacenters(), 4u);
+  EXPECT_EQ(problem.num_front_ends(), 10u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(problem.datacenters[j].grid_price,
+                     scenario.prices()(100, j));
+    EXPECT_DOUBLE_EQ(problem.datacenters[j].carbon_rate,
+                     scenario.carbon_rates()(100, j));
+    // Full fuel-cell capacity: P_peak * S_j * PUE.
+    EXPECT_NEAR(problem.datacenters[j].fuel_cell_capacity_mw,
+                200.0 * problem.datacenters[j].servers * 1.2 / 1e6, 1e-9);
+  }
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(problem.arrivals[i], scenario.arrivals()(100, i));
+}
+
+TEST(Scenario, ProblemAtOutOfRangeThrows) {
+  const auto scenario = Scenario::generate({});
+  EXPECT_THROW(scenario.problem_at(-1), ContractViolation);
+  EXPECT_THROW(scenario.problem_at(168), ContractViolation);
+}
+
+TEST(Scenario, InvalidConfigThrows) {
+  ScenarioConfig bad;
+  bad.front_ends = 11;  // only 10 sites available
+  EXPECT_THROW(Scenario::generate(bad), ContractViolation);
+  ScenarioConfig zero;
+  zero.hours = 0;
+  EXPECT_THROW(Scenario::generate(zero), ContractViolation);
+}
+
+TEST(ScenarioFromData, BuildsSolvableScenarioFromExternalTraces) {
+  // Round-trip: export a generated scenario's traces and rebuild from them.
+  const auto original = Scenario::generate({});
+  ExternalTraceData data;
+  data.config = original.config();
+  data.datacenter_names = original.datacenter_names();
+  data.servers = original.servers();
+  data.arrivals = original.arrivals();
+  data.prices = original.prices();
+  data.carbon_rates = original.carbon_rates();
+  data.latency_s = original.latency_s();
+  const auto rebuilt = Scenario::from_data(std::move(data));
+
+  EXPECT_EQ(rebuilt.hours(), original.hours());
+  EXPECT_EQ(rebuilt.num_front_ends(), original.num_front_ends());
+  for (int t : {0, 100}) {
+    const auto a = original.problem_at(t);
+    const auto b = rebuilt.problem_at(t);
+    EXPECT_DOUBLE_EQ(a.datacenters[1].grid_price, b.datacenters[1].grid_price);
+    EXPECT_DOUBLE_EQ(a.arrivals[3], b.arrivals[3]);
+    EXPECT_DOUBLE_EQ(a.datacenters[2].fuel_cell_capacity_mw,
+                     b.datacenters[2].fuel_cell_capacity_mw);
+  }
+}
+
+TEST(ScenarioFromData, ValidatesDimensions) {
+  const auto original = Scenario::generate({});
+  ExternalTraceData data;
+  data.config = original.config();
+  data.datacenter_names = original.datacenter_names();
+  data.servers = original.servers();
+  data.arrivals = original.arrivals();
+  data.prices = Mat(10, 4);  // wrong hour count
+  data.carbon_rates = original.carbon_rates();
+  data.latency_s = original.latency_s();
+  EXPECT_THROW(Scenario::from_data(std::move(data)), ContractViolation);
+}
+
+TEST(ScenarioFromData, RejectsNegativeValues) {
+  const auto original = Scenario::generate({});
+  ExternalTraceData data;
+  data.config = original.config();
+  data.datacenter_names = original.datacenter_names();
+  data.servers = original.servers();
+  data.arrivals = original.arrivals();
+  data.prices = original.prices();
+  data.prices(5, 1) = -10.0;
+  data.carbon_rates = original.carbon_rates();
+  data.latency_s = original.latency_s();
+  EXPECT_THROW(Scenario::from_data(std::move(data)), ContractViolation);
+}
+
+TEST(ScenarioConfigFromIni, AppliesOverridesAndDefaults) {
+  const auto config = Config::parse(
+      "[scenario]\n"
+      "seed = 7\n"
+      "hours = 72\n"
+      "fuel_cell_price = 55\n"
+      "carbon_tax = 90\n");
+  const auto scenario_config = scenario_config_from(config);
+  EXPECT_EQ(scenario_config.seed, 7u);
+  EXPECT_EQ(scenario_config.hours, 72);
+  EXPECT_DOUBLE_EQ(scenario_config.fuel_cell_price, 55.0);
+  EXPECT_DOUBLE_EQ(scenario_config.carbon_tax, 90.0);
+  // Untouched keys keep the paper defaults.
+  EXPECT_EQ(scenario_config.front_ends, 10);
+  EXPECT_DOUBLE_EQ(scenario_config.pue, 1.2);
+  EXPECT_DOUBLE_EQ(scenario_config.latency_weight, 10.0);
+}
+
+TEST(ScenarioConfigFromIni, EmptyConfigIsPaperSetup) {
+  const auto scenario_config = scenario_config_from(Config::parse(""));
+  const traces::ScenarioConfig defaults;
+  EXPECT_EQ(scenario_config.seed, defaults.seed);
+  EXPECT_EQ(scenario_config.hours, defaults.hours);
+  EXPECT_DOUBLE_EQ(scenario_config.fuel_cell_price,
+                   defaults.fuel_cell_price);
+}
+
+TEST(SingleSiteData, MatchesTableOneCalibration) {
+  const auto data = generate_single_site_data(42);
+  EXPECT_EQ(data.demand_mw.size(), 168u);
+  EXPECT_NEAR(mean(data.demand_mw), 2.08, 0.01);
+  EXPECT_LT(mean(data.dallas_price), 45.0);
+  EXPECT_GT(mean(data.san_jose_price), 60.0);
+}
+
+}  // namespace
+}  // namespace ufc::traces

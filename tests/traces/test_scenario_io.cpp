@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "math/matrix.hpp"
+#include "model/breakdown.hpp"
+#include "traces/scenario_io.hpp"
+
+namespace ufc::traces {
+namespace {
+
+class ScenarioIoTest : public ::testing::Test {
+ protected:
+  std::string prefix_ = ::testing::TempDir() + "ufc_scenario_io";
+  void TearDown() override {
+    for (const auto& path : {prefix_ + "_workload.csv", prefix_ + "_prices.csv",
+                             prefix_ + "_carbon.csv", prefix_ + "_sites.csv"})
+      std::remove(path.c_str());
+  }
+};
+
+TEST_F(ScenarioIoTest, RoundTripsTraces) {
+  ScenarioConfig config;
+  config.hours = 48;
+  const auto original = Scenario::generate(config);
+  const auto paths = save_scenario_csv(original, prefix_);
+  const auto loaded = load_scenario_csv(paths, config);
+
+  EXPECT_EQ(loaded.hours(), original.hours());
+  EXPECT_EQ(loaded.num_front_ends(), original.num_front_ends());
+  EXPECT_EQ(loaded.num_datacenters(), original.num_datacenters());
+  EXPECT_LT(max_abs_diff(loaded.arrivals(), original.arrivals()), 1e-9);
+  EXPECT_LT(max_abs_diff(loaded.prices(), original.prices()), 1e-9);
+  EXPECT_LT(max_abs_diff(loaded.carbon_rates(), original.carbon_rates()),
+            1e-9);
+  EXPECT_LT(max_abs_diff(loaded.latency_s(), original.latency_s()), 1e-12);
+  for (std::size_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(loaded.servers()[j], original.servers()[j], 1e-9);
+}
+
+TEST_F(ScenarioIoTest, LoadedScenarioProducesIdenticalProblems) {
+  ScenarioConfig config;
+  config.hours = 24;
+  const auto original = Scenario::generate(config);
+  const auto loaded =
+      load_scenario_csv(save_scenario_csv(original, prefix_), config);
+  const auto a = original.problem_at(13);
+  const auto b = loaded.problem_at(13);
+  EXPECT_NEAR(ufc_objective(a, Mat(10, 4, 0.0), Vec(4, 0.0)),
+              ufc_objective(b, Mat(10, 4, 0.0), Vec(4, 0.0)), 1e-9);
+  EXPECT_NEAR(a.datacenters[0].grid_price, b.datacenters[0].grid_price, 1e-9);
+}
+
+TEST_F(ScenarioIoTest, PathsHelper) {
+  const auto paths = scenario_csv_paths("dir/run1");
+  EXPECT_EQ(paths.workload, "dir/run1_workload.csv");
+  EXPECT_EQ(paths.sites, "dir/run1_sites.csv");
+}
+
+TEST(ScenarioIoErrors, MissingFilesThrow) {
+  ScenarioCsvPaths paths = scenario_csv_paths("/nonexistent/prefix");
+  EXPECT_THROW(load_scenario_csv(paths, {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ufc::traces

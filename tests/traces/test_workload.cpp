@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "traces/workload.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc::traces {
+namespace {
+
+TEST(Workload, DeterministicForSeed) {
+  Rng a(5), b(5);
+  const auto ta = generate_workload({}, kWeekHours, a);
+  const auto tb = generate_workload({}, kWeekHours, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t t = 0; t < ta.size(); ++t) EXPECT_DOUBLE_EQ(ta[t], tb[t]);
+}
+
+TEST(Workload, ValuesInUnitRange) {
+  Rng rng(7);
+  const auto trace = generate_workload({}, kWeekHours, rng);
+  ASSERT_EQ(trace.size(), 168u);
+  for (double v : trace) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Workload, ShowsDiurnalPattern) {
+  Rng rng(11);
+  WorkloadModelParams params;
+  params.noise_sd = 0.0;
+  params.burst_probability = 0.0;
+  const auto trace = generate_workload(params, kWeekHours, rng);
+  // Weekday 3pm (peak hour) must exceed weekday 3am by a clear margin.
+  const double peak = trace[24 + 15];   // Tuesday 15:00
+  const double trough = trace[24 + 3];  // Tuesday 03:00
+  EXPECT_GT(peak, 1.8 * trough);
+}
+
+TEST(Workload, WeekendEffect) {
+  Rng rng(13);
+  WorkloadModelParams params;
+  params.noise_sd = 0.0;
+  params.burst_probability = 0.0;
+  params.weekend_factor = 0.5;
+  const auto trace = generate_workload(params, kWeekHours, rng);
+  // Saturday noon vs Wednesday noon.
+  EXPECT_LT(trace[5 * 24 + 12], 0.6 * trace[2 * 24 + 12]);
+}
+
+TEST(Workload, InvalidParamsThrow) {
+  Rng rng(1);
+  WorkloadModelParams bad;
+  bad.base_level = 0.6;
+  bad.diurnal_amplitude = 0.6;  // sum > 1
+  EXPECT_THROW(generate_workload(bad, 24, rng), ContractViolation);
+  EXPECT_THROW(generate_workload({}, 0, rng), ContractViolation);
+}
+
+TEST(ScaleToServers, PeakHitsTarget) {
+  const std::vector<double> normalized = {0.2, 0.5, 1.0, 0.4};
+  const auto scaled = scale_to_servers(normalized, 80000.0, 0.8);
+  EXPECT_DOUBLE_EQ(max_value(scaled), 64000.0);
+  EXPECT_DOUBLE_EQ(scaled[0], 12800.0);
+}
+
+TEST(ScaleToServers, InvalidInputsThrow) {
+  EXPECT_THROW(scale_to_servers({}, 100.0, 0.5), ContractViolation);
+  EXPECT_THROW(scale_to_servers({0.5}, 100.0, 0.0), ContractViolation);
+  EXPECT_THROW(scale_to_servers({0.5}, 100.0, 1.5), ContractViolation);
+}
+
+TEST(SplitWorkload, RowsSumToTotals) {
+  Rng rng(17);
+  const std::vector<double> total = {100.0, 250.0, 80.0};
+  const Mat split = split_workload(total, 10, rng);
+  ASSERT_EQ(split.rows(), 3u);
+  ASSERT_EQ(split.cols(), 10u);
+  for (std::size_t t = 0; t < 3; ++t)
+    EXPECT_NEAR(split.row_sum(t), total[t], 1e-9);
+  for (double v : split.raw()) EXPECT_GE(v, 0.0);
+}
+
+TEST(SplitWorkload, SharesArePersistentAcrossSlots) {
+  Rng rng(19);
+  const std::vector<double> total(50, 100.0);
+  const Mat split = split_workload(total, 5, rng, 0.35, 0.0);  // no jitter
+  // Without jitter each front-end's share is constant over time.
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t t = 1; t < 50; ++t)
+      EXPECT_NEAR(split(t, i), split(0, i), 1e-9);
+}
+
+TEST(PowerDemand, MeanIsCalibrated) {
+  Rng rng(23);
+  DemandModelParams params;
+  params.mean_mw = 2.08;
+  const auto demand = generate_power_demand_mw(params, kWeekHours, rng);
+  EXPECT_NEAR(mean(demand), 2.08, 1e-9);
+  for (double d : demand) EXPECT_GT(d, 0.0);
+}
+
+TEST(PowerDemand, DiurnalSwing) {
+  Rng rng(29);
+  DemandModelParams params;
+  params.noise_sd = 0.0;
+  const auto demand = generate_power_demand_mw(params, kWeekHours, rng);
+  EXPECT_GT(demand[24 + 16], 1.5 * demand[24 + 4]);
+}
+
+}  // namespace
+}  // namespace ufc::traces

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/config.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const auto config = Config::parse(
+      "top = 1\n"
+      "[scenario]\n"
+      "seed = 42\n"
+      "hours = 168\n"
+      "[solver]\n"
+      "rho = 10.5\n");
+  EXPECT_EQ(config.size(), 4u);
+  EXPECT_TRUE(config.has("top"));
+  EXPECT_TRUE(config.has("scenario.seed"));
+  EXPECT_EQ(config.get_int("scenario.hours", 0), 168);
+  EXPECT_DOUBLE_EQ(config.get_double("solver.rho", 0.0), 10.5);
+}
+
+TEST(Config, TrimsWhitespaceAndComments) {
+  const auto config = Config::parse(
+      "# full comment\n"
+      "  [ scenario ]  \n"
+      "  name =  geo cloud   ; trailing comment\n"
+      "\n"
+      "empty_after_comment = 5 # note\n");
+  EXPECT_EQ(config.get_string("scenario.name"), "geo cloud");
+  EXPECT_EQ(config.get_int("scenario.empty_after_comment", 0), 5);
+}
+
+TEST(Config, DefaultsForMissingKeys) {
+  const auto config = Config::parse("");
+  EXPECT_EQ(config.get_string("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(config.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+  EXPECT_TRUE(config.get_bool("missing", true));
+}
+
+TEST(Config, BooleanForms) {
+  const auto config = Config::parse(
+      "a = true\nb = NO\nc = On\nd = 0\ne = YES\nf = off\n");
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_FALSE(config.get_bool("b", true));
+  EXPECT_TRUE(config.get_bool("c", false));
+  EXPECT_FALSE(config.get_bool("d", true));
+  EXPECT_TRUE(config.get_bool("e", false));
+  EXPECT_FALSE(config.get_bool("f", true));
+}
+
+TEST(Config, MalformedInputThrows) {
+  EXPECT_THROW(Config::parse("[unterminated\n"), ContractViolation);
+  EXPECT_THROW(Config::parse("keywithoutvalue\n"), ContractViolation);
+  EXPECT_THROW(Config::parse("= nokey\n"), ContractViolation);
+  EXPECT_THROW(Config::parse("[]\n"), ContractViolation);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const auto config = Config::parse("x = not-a-number\ny = 1.5z\nz = maybe\n");
+  EXPECT_THROW(config.get_double("x", 0.0), ContractViolation);
+  EXPECT_THROW(config.get_double("y", 0.0), ContractViolation);
+  EXPECT_THROW(config.get_int("y", 0), ContractViolation);
+  EXPECT_THROW(config.get_bool("z", false), ContractViolation);
+}
+
+TEST(Config, LastValueWinsOnDuplicates) {
+  const auto config = Config::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(config.get_int("k", 0), 2);
+}
+
+TEST(Config, KeysAreSorted) {
+  const auto config = Config::parse("b = 1\na = 2\n[s]\nc = 3\n");
+  const auto keys = config.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+  EXPECT_EQ(keys[2], "s.c");
+}
+
+TEST(Config, LoadsFromFile) {
+  const std::string path = ::testing::TempDir() + "ufc_config_test.ini";
+  {
+    std::ofstream out(path);
+    out << "[scenario]\nseed = 7\n";
+  }
+  const auto config = Config::load(path);
+  EXPECT_EQ(config.get_int("scenario.seed", 0), 7);
+  std::remove(path.c_str());
+}
+
+TEST(Config, MissingFileThrows) {
+  EXPECT_THROW(Config::load("/nonexistent/config.ini"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ufc

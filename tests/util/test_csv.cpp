@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/contract.hpp"
+#include "util/csv.hpp"
+
+namespace ufc {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "ufc_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"hour", "value"});
+    csv.row({0.0, 1.5});
+    csv.row({1.0, -2.25});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(path_), "hour,value\n0,1.5\n1,-2.25\n");
+}
+
+TEST_F(CsvTest, RowSizeMismatchThrows) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.row({1.0}), ContractViolation);
+  EXPECT_THROW(csv.row({1.0, 2.0, 3.0}), ContractViolation);
+}
+
+TEST_F(CsvTest, StringRowsAreEscaped) {
+  {
+    CsvWriter csv(path_, {"name", "note"});
+    csv.row_strings({"plain", "has,comma"});
+    csv.row_strings({"quote\"inside", "multi\nline"});
+  }
+  EXPECT_EQ(read_file(path_),
+            "name,note\nplain,\"has,comma\"\n\"quote\"\"inside\",\"multi\nline\"\n");
+}
+
+TEST(CsvEscape, PassesThroughPlainCells) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesSpecialCells) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(CsvNumber, RoundTripsValues) {
+  EXPECT_EQ(csv_number(1.0), "1");
+  EXPECT_EQ(csv_number(0.5), "0.5");
+  const double value = 0.1 + 0.2;
+  EXPECT_DOUBLE_EQ(std::stod(csv_number(value)), value);
+}
+
+TEST(CsvWriterErrors, UnopenablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/contract.hpp"
+#include "util/csv.hpp"
+
+namespace ufc {
+namespace {
+
+TEST(CsvReader, ParsesHeaderAndNumericRows) {
+  const auto table = parse_csv("a,b,c\n1,2.5,-3\n4,5e-2,6\n");
+  ASSERT_EQ(table.num_columns(), 3u);
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.header[1], "b");
+  EXPECT_DOUBLE_EQ(table.rows[0][1], 2.5);
+  EXPECT_DOUBLE_EQ(table.rows[1][0], 4.0);
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 0.05);
+}
+
+TEST(CsvReader, ColumnLookup) {
+  const auto table = parse_csv("hour,price\n0,10\n1,20\n");
+  EXPECT_EQ(table.column("price"), 1u);
+  const auto prices = table.column_values("price");
+  ASSERT_EQ(prices.size(), 2u);
+  EXPECT_DOUBLE_EQ(prices[1], 20.0);
+  EXPECT_THROW(table.column("missing"), ContractViolation);
+}
+
+TEST(CsvReader, QuotedHeadersWithCommas) {
+  const auto table = parse_csv("\"price, $\",\"say \"\"hi\"\"\"\n1,2\n");
+  EXPECT_EQ(table.header[0], "price, $");
+  EXPECT_EQ(table.header[1], "say \"hi\"");
+}
+
+TEST(CsvReader, RaggedRowsThrow) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), ContractViolation);
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), ContractViolation);
+}
+
+TEST(CsvReader, NonNumericDataThrows) {
+  EXPECT_THROW(parse_csv("a\nhello\n"), ContractViolation);
+  EXPECT_THROW(parse_csv("a\n1.5x\n"), ContractViolation);
+}
+
+TEST(CsvReader, EmptyInputThrows) {
+  EXPECT_THROW(parse_csv(""), ContractViolation);
+}
+
+TEST(CsvReader, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"open\n1\n"), ContractViolation);
+}
+
+TEST(CsvReader, RoundTripsWriterOutput) {
+  const std::string path = ::testing::TempDir() + "ufc_csv_roundtrip.csv";
+  {
+    CsvWriter writer(path, {"hour", "value"});
+    writer.row({0.0, 1.25});
+    writer.row({1.0, -2.5});
+    writer.row({2.0, 1e-9});
+  }
+  const auto table = read_csv(path);
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(table.rows[0][1], 1.25);
+  EXPECT_DOUBLE_EQ(table.rows[2][1], 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(CsvReader, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ufc

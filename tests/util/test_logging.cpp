@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace ufc::log {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  Level saved_ = level();
+  void TearDown() override { set_level(saved_); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_level(Level::Debug);
+  EXPECT_EQ(level(), Level::Debug);
+  set_level(Level::Error);
+  EXPECT_EQ(level(), Level::Error);
+}
+
+TEST_F(LoggingTest, EmitBelowThresholdDoesNotCrash) {
+  set_level(Level::Off);
+  // All of these are filtered; the test asserts they are safe to call.
+  debug("debug ", 1);
+  info("info ", 2.5);
+  warn("warn ", "x");
+  error("error");
+}
+
+TEST_F(LoggingTest, ConcatenationAcceptsMixedTypes) {
+  set_level(Level::Debug);
+  ::testing::internal::CaptureStderr();
+  info("value=", 42, " ratio=", 1.5);
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("value=42 ratio=1.5"), std::string::npos);
+  EXPECT_NE(captured.find("[info ]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FilteredMessagesProduceNoOutput) {
+  set_level(Level::Error);
+  ::testing::internal::CaptureStderr();
+  info("should not appear");
+  warn("also hidden");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace ufc::log

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ufc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, TruncatedNormalStaysInBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.truncated_normal(0.0, 1.0, -0.5, 0.5);
+    EXPECT_GE(v, -0.5);
+    EXPECT_LE(v, 0.5);
+  }
+}
+
+TEST(Rng, TruncatedNormalDegenerateIntervalClamps) {
+  Rng rng(23);
+  // Interval far from the mean forces the clamping fallback.
+  const double v = rng.truncated_normal(0.0, 0.01, 100.0, 101.0);
+  EXPECT_GE(v, 100.0);
+  EXPECT_LE(v, 101.0);
+}
+
+TEST(Rng, LogNormalIsPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.log_normal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(31);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(41);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(43);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng base(99);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1_again = base.fork(1);
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(5), b(5);
+  (void)a.fork(7);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(NormalShares, SumsToTotal) {
+  Rng rng(3);
+  const auto shares = normal_shares(rng, 10, 42.0, 0.4);
+  double total = 0.0;
+  for (double s : shares) total += s;
+  EXPECT_NEAR(total, 42.0, 1e-9);
+}
+
+TEST(NormalShares, AllPositive) {
+  Rng rng(3);
+  const auto shares = normal_shares(rng, 50, 1.0, 1.5);  // heavy dispersion
+  for (double s : shares) EXPECT_GT(s, 0.0);
+}
+
+TEST(NormalShares, SingleFrontEndGetsEverything) {
+  Rng rng(3);
+  const auto shares = normal_shares(rng, 1, 7.0, 0.4);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_NEAR(shares[0], 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ufc

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace ufc {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  const std::vector<double> xs = {1, -2, 3.5, 0.25, 8, -1.5, 2};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 3 ? a : b).add(xs[i]);
+    all.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(RunningStats, EmptyMeanThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.29099, 1e-5);
+  EXPECT_DOUBLE_EQ(sum(xs), 10.0);
+  EXPECT_DOUBLE_EQ(min_value(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 4.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 37.0), 7.0);
+}
+
+TEST(Stats, EmpiricalCdfIsSortedAndEndsAtOne) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 5.0);
+  EXPECT_NEAR(cdf[0].cumulative, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative, 1.0);
+}
+
+TEST(Stats, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 0.01));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), ContractViolation);
+  EXPECT_THROW(percentile(empty, 50.0), ContractViolation);
+  EXPECT_THROW(empirical_cdf(empty), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc
