@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_admg.dir/bench_ablation_admg.cpp.o"
+  "CMakeFiles/bench_ablation_admg.dir/bench_ablation_admg.cpp.o.d"
+  "bench_ablation_admg"
+  "bench_ablation_admg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_admg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rightsizing.dir/bench_ablation_rightsizing.cpp.o"
+  "CMakeFiles/bench_ablation_rightsizing.dir/bench_ablation_rightsizing.cpp.o.d"
+  "bench_ablation_rightsizing"
+  "bench_ablation_rightsizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rightsizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

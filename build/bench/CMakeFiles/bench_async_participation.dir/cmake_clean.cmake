@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_participation.dir/bench_async_participation.cpp.o"
+  "CMakeFiles/bench_async_participation.dir/bench_async_participation.cpp.o.d"
+  "bench_async_participation"
+  "bench_async_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

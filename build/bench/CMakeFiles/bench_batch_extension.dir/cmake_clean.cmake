@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_extension.dir/bench_batch_extension.cpp.o"
+  "CMakeFiles/bench_batch_extension.dir/bench_batch_extension.cpp.o.d"
+  "bench_batch_extension"
+  "bench_batch_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ufc_improvement.dir/bench_fig4_ufc_improvement.cpp.o"
+  "CMakeFiles/bench_fig4_ufc_improvement.dir/bench_fig4_ufc_improvement.cpp.o.d"
+  "bench_fig4_ufc_improvement"
+  "bench_fig4_ufc_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ufc_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forecast_robustness.dir/bench_forecast_robustness.cpp.o"
+  "CMakeFiles/bench_forecast_robustness.dir/bench_forecast_robustness.cpp.o.d"
+  "bench_forecast_robustness"
+  "bench_forecast_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forecast_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

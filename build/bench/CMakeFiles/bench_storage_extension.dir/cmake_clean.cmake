@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_extension.dir/bench_storage_extension.cpp.o"
+  "CMakeFiles/bench_storage_extension.dir/bench_storage_extension.cpp.o.d"
+  "bench_storage_extension"
+  "bench_storage_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

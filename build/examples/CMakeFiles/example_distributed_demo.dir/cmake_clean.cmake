@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_demo.dir/distributed_demo.cpp.o"
+  "CMakeFiles/example_distributed_demo.dir/distributed_demo.cpp.o.d"
+  "example_distributed_demo"
+  "example_distributed_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_extensions_tour.dir/extensions_tour.cpp.o"
+  "CMakeFiles/example_extensions_tour.dir/extensions_tour.cpp.o.d"
+  "example_extensions_tour"
+  "example_extensions_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_extensions_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_geo_week.dir/geo_week.cpp.o"
+  "CMakeFiles/example_geo_week.dir/geo_week.cpp.o.d"
+  "example_geo_week"
+  "example_geo_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_geo_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_study.dir/policy_study.cpp.o"
+  "CMakeFiles/example_policy_study.dir/policy_study.cpp.o.d"
+  "example_policy_study"
+  "example_policy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ufc_cli.dir/ufc_cli.cpp.o"
+  "CMakeFiles/example_ufc_cli.dir/ufc_cli.cpp.o.d"
+  "example_ufc_cli"
+  "example_ufc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ufc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/admm/admg.cpp" "src/CMakeFiles/ufc.dir/admm/admg.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/admm/admg.cpp.o.d"
+  "/root/repo/src/admm/async.cpp" "src/CMakeFiles/ufc.dir/admm/async.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/admm/async.cpp.o.d"
+  "/root/repo/src/admm/blocks.cpp" "src/CMakeFiles/ufc.dir/admm/blocks.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/admm/blocks.cpp.o.d"
+  "/root/repo/src/admm/centralized.cpp" "src/CMakeFiles/ufc.dir/admm/centralized.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/admm/centralized.cpp.o.d"
+  "/root/repo/src/admm/rightsizing.cpp" "src/CMakeFiles/ufc.dir/admm/rightsizing.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/admm/rightsizing.cpp.o.d"
+  "/root/repo/src/admm/strategy.cpp" "src/CMakeFiles/ufc.dir/admm/strategy.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/admm/strategy.cpp.o.d"
+  "/root/repo/src/math/dykstra.cpp" "src/CMakeFiles/ufc.dir/math/dykstra.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/dykstra.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/CMakeFiles/ufc.dir/math/matrix.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/matrix.cpp.o.d"
+  "/root/repo/src/math/projections.cpp" "src/CMakeFiles/ufc.dir/math/projections.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/projections.cpp.o.d"
+  "/root/repo/src/math/vector.cpp" "src/CMakeFiles/ufc.dir/math/vector.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/vector.cpp.o.d"
+  "/root/repo/src/model/battery.cpp" "src/CMakeFiles/ufc.dir/model/battery.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/model/battery.cpp.o.d"
+  "/root/repo/src/model/breakdown.cpp" "src/CMakeFiles/ufc.dir/model/breakdown.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/model/breakdown.cpp.o.d"
+  "/root/repo/src/model/emission.cpp" "src/CMakeFiles/ufc.dir/model/emission.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/model/emission.cpp.o.d"
+  "/root/repo/src/model/metrics.cpp" "src/CMakeFiles/ufc.dir/model/metrics.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/model/metrics.cpp.o.d"
+  "/root/repo/src/model/power.cpp" "src/CMakeFiles/ufc.dir/model/power.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/model/power.cpp.o.d"
+  "/root/repo/src/model/problem.cpp" "src/CMakeFiles/ufc.dir/model/problem.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/model/problem.cpp.o.d"
+  "/root/repo/src/model/queueing.cpp" "src/CMakeFiles/ufc.dir/model/queueing.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/model/queueing.cpp.o.d"
+  "/root/repo/src/model/utility.cpp" "src/CMakeFiles/ufc.dir/model/utility.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/model/utility.cpp.o.d"
+  "/root/repo/src/net/agents.cpp" "src/CMakeFiles/ufc.dir/net/agents.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/net/agents.cpp.o.d"
+  "/root/repo/src/net/bus.cpp" "src/CMakeFiles/ufc.dir/net/bus.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/net/bus.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/ufc.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/runtime.cpp" "src/CMakeFiles/ufc.dir/net/runtime.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/net/runtime.cpp.o.d"
+  "/root/repo/src/opt/fista.cpp" "src/CMakeFiles/ufc.dir/opt/fista.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/opt/fista.cpp.o.d"
+  "/root/repo/src/opt/kkt.cpp" "src/CMakeFiles/ufc.dir/opt/kkt.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/opt/kkt.cpp.o.d"
+  "/root/repo/src/opt/projected_gradient.cpp" "src/CMakeFiles/ufc.dir/opt/projected_gradient.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/opt/projected_gradient.cpp.o.d"
+  "/root/repo/src/opt/rank_one_qp.cpp" "src/CMakeFiles/ufc.dir/opt/rank_one_qp.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/opt/rank_one_qp.cpp.o.d"
+  "/root/repo/src/opt/scalar.cpp" "src/CMakeFiles/ufc.dir/opt/scalar.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/opt/scalar.cpp.o.d"
+  "/root/repo/src/sim/batch.cpp" "src/CMakeFiles/ufc.dir/sim/batch.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/batch.cpp.o.d"
+  "/root/repo/src/sim/forecast_study.cpp" "src/CMakeFiles/ufc.dir/sim/forecast_study.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/forecast_study.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/ufc.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/storage.cpp" "src/CMakeFiles/ufc.dir/sim/storage.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/storage.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/ufc.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/traces/forecast.cpp" "src/CMakeFiles/ufc.dir/traces/forecast.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/traces/forecast.cpp.o.d"
+  "/root/repo/src/traces/fuelmix.cpp" "src/CMakeFiles/ufc.dir/traces/fuelmix.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/traces/fuelmix.cpp.o.d"
+  "/root/repo/src/traces/geography.cpp" "src/CMakeFiles/ufc.dir/traces/geography.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/traces/geography.cpp.o.d"
+  "/root/repo/src/traces/price.cpp" "src/CMakeFiles/ufc.dir/traces/price.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/traces/price.cpp.o.d"
+  "/root/repo/src/traces/scenario.cpp" "src/CMakeFiles/ufc.dir/traces/scenario.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/traces/scenario.cpp.o.d"
+  "/root/repo/src/traces/scenario_io.cpp" "src/CMakeFiles/ufc.dir/traces/scenario_io.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/traces/scenario_io.cpp.o.d"
+  "/root/repo/src/traces/workload.cpp" "src/CMakeFiles/ufc.dir/traces/workload.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/traces/workload.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/ufc.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/ufc.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/ufc.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/ufc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/ufc.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ufc.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

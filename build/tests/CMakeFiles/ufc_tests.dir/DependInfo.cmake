@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/admm/test_admg.cpp" "tests/CMakeFiles/ufc_tests.dir/admm/test_admg.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/admm/test_admg.cpp.o.d"
+  "/root/repo/tests/admm/test_admg_edge_cases.cpp" "tests/CMakeFiles/ufc_tests.dir/admm/test_admg_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/admm/test_admg_edge_cases.cpp.o.d"
+  "/root/repo/tests/admm/test_admg_properties.cpp" "tests/CMakeFiles/ufc_tests.dir/admm/test_admg_properties.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/admm/test_admg_properties.cpp.o.d"
+  "/root/repo/tests/admm/test_async.cpp" "tests/CMakeFiles/ufc_tests.dir/admm/test_async.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/admm/test_async.cpp.o.d"
+  "/root/repo/tests/admm/test_blocks.cpp" "tests/CMakeFiles/ufc_tests.dir/admm/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/admm/test_blocks.cpp.o.d"
+  "/root/repo/tests/admm/test_centralized.cpp" "tests/CMakeFiles/ufc_tests.dir/admm/test_centralized.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/admm/test_centralized.cpp.o.d"
+  "/root/repo/tests/admm/test_rightsizing.cpp" "tests/CMakeFiles/ufc_tests.dir/admm/test_rightsizing.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/admm/test_rightsizing.cpp.o.d"
+  "/root/repo/tests/admm/test_strategy.cpp" "tests/CMakeFiles/ufc_tests.dir/admm/test_strategy.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/admm/test_strategy.cpp.o.d"
+  "/root/repo/tests/integration/test_distributed_week.cpp" "tests/CMakeFiles/ufc_tests.dir/integration/test_distributed_week.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/integration/test_distributed_week.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_claims.cpp" "tests/CMakeFiles/ufc_tests.dir/integration/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/integration/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/integration/test_public_api.cpp" "tests/CMakeFiles/ufc_tests.dir/integration/test_public_api.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/integration/test_public_api.cpp.o.d"
+  "/root/repo/tests/math/test_dykstra.cpp" "tests/CMakeFiles/ufc_tests.dir/math/test_dykstra.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/math/test_dykstra.cpp.o.d"
+  "/root/repo/tests/math/test_matrix.cpp" "tests/CMakeFiles/ufc_tests.dir/math/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/math/test_matrix.cpp.o.d"
+  "/root/repo/tests/math/test_projections.cpp" "tests/CMakeFiles/ufc_tests.dir/math/test_projections.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/math/test_projections.cpp.o.d"
+  "/root/repo/tests/math/test_vector.cpp" "tests/CMakeFiles/ufc_tests.dir/math/test_vector.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/math/test_vector.cpp.o.d"
+  "/root/repo/tests/model/test_battery.cpp" "tests/CMakeFiles/ufc_tests.dir/model/test_battery.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/model/test_battery.cpp.o.d"
+  "/root/repo/tests/model/test_breakdown.cpp" "tests/CMakeFiles/ufc_tests.dir/model/test_breakdown.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/model/test_breakdown.cpp.o.d"
+  "/root/repo/tests/model/test_emission.cpp" "tests/CMakeFiles/ufc_tests.dir/model/test_emission.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/model/test_emission.cpp.o.d"
+  "/root/repo/tests/model/test_metrics.cpp" "tests/CMakeFiles/ufc_tests.dir/model/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/model/test_metrics.cpp.o.d"
+  "/root/repo/tests/model/test_power.cpp" "tests/CMakeFiles/ufc_tests.dir/model/test_power.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/model/test_power.cpp.o.d"
+  "/root/repo/tests/model/test_problem.cpp" "tests/CMakeFiles/ufc_tests.dir/model/test_problem.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/model/test_problem.cpp.o.d"
+  "/root/repo/tests/model/test_queueing.cpp" "tests/CMakeFiles/ufc_tests.dir/model/test_queueing.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/model/test_queueing.cpp.o.d"
+  "/root/repo/tests/model/test_utility.cpp" "tests/CMakeFiles/ufc_tests.dir/model/test_utility.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/model/test_utility.cpp.o.d"
+  "/root/repo/tests/net/test_agents.cpp" "tests/CMakeFiles/ufc_tests.dir/net/test_agents.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/net/test_agents.cpp.o.d"
+  "/root/repo/tests/net/test_bus.cpp" "tests/CMakeFiles/ufc_tests.dir/net/test_bus.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/net/test_bus.cpp.o.d"
+  "/root/repo/tests/net/test_message.cpp" "tests/CMakeFiles/ufc_tests.dir/net/test_message.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/net/test_message.cpp.o.d"
+  "/root/repo/tests/net/test_runtime.cpp" "tests/CMakeFiles/ufc_tests.dir/net/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/net/test_runtime.cpp.o.d"
+  "/root/repo/tests/opt/test_fista.cpp" "tests/CMakeFiles/ufc_tests.dir/opt/test_fista.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/opt/test_fista.cpp.o.d"
+  "/root/repo/tests/opt/test_kkt.cpp" "tests/CMakeFiles/ufc_tests.dir/opt/test_kkt.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/opt/test_kkt.cpp.o.d"
+  "/root/repo/tests/opt/test_projected_gradient.cpp" "tests/CMakeFiles/ufc_tests.dir/opt/test_projected_gradient.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/opt/test_projected_gradient.cpp.o.d"
+  "/root/repo/tests/opt/test_rank_one_qp.cpp" "tests/CMakeFiles/ufc_tests.dir/opt/test_rank_one_qp.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/opt/test_rank_one_qp.cpp.o.d"
+  "/root/repo/tests/opt/test_scalar.cpp" "tests/CMakeFiles/ufc_tests.dir/opt/test_scalar.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/opt/test_scalar.cpp.o.d"
+  "/root/repo/tests/sim/test_batch.cpp" "tests/CMakeFiles/ufc_tests.dir/sim/test_batch.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/sim/test_batch.cpp.o.d"
+  "/root/repo/tests/sim/test_forecast_study.cpp" "tests/CMakeFiles/ufc_tests.dir/sim/test_forecast_study.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/sim/test_forecast_study.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/ufc_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_storage.cpp" "tests/CMakeFiles/ufc_tests.dir/sim/test_storage.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/sim/test_storage.cpp.o.d"
+  "/root/repo/tests/sim/test_sweep.cpp" "tests/CMakeFiles/ufc_tests.dir/sim/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/sim/test_sweep.cpp.o.d"
+  "/root/repo/tests/traces/test_forecast.cpp" "tests/CMakeFiles/ufc_tests.dir/traces/test_forecast.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/traces/test_forecast.cpp.o.d"
+  "/root/repo/tests/traces/test_fuelmix.cpp" "tests/CMakeFiles/ufc_tests.dir/traces/test_fuelmix.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/traces/test_fuelmix.cpp.o.d"
+  "/root/repo/tests/traces/test_geography.cpp" "tests/CMakeFiles/ufc_tests.dir/traces/test_geography.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/traces/test_geography.cpp.o.d"
+  "/root/repo/tests/traces/test_price.cpp" "tests/CMakeFiles/ufc_tests.dir/traces/test_price.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/traces/test_price.cpp.o.d"
+  "/root/repo/tests/traces/test_scenario.cpp" "tests/CMakeFiles/ufc_tests.dir/traces/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/traces/test_scenario.cpp.o.d"
+  "/root/repo/tests/traces/test_scenario_io.cpp" "tests/CMakeFiles/ufc_tests.dir/traces/test_scenario_io.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/traces/test_scenario_io.cpp.o.d"
+  "/root/repo/tests/traces/test_workload.cpp" "tests/CMakeFiles/ufc_tests.dir/traces/test_workload.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/traces/test_workload.cpp.o.d"
+  "/root/repo/tests/util/test_config.cpp" "tests/CMakeFiles/ufc_tests.dir/util/test_config.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/util/test_config.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/ufc_tests.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_csv_reader.cpp" "tests/CMakeFiles/ufc_tests.dir/util/test_csv_reader.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/util/test_csv_reader.cpp.o.d"
+  "/root/repo/tests/util/test_logging.cpp" "tests/CMakeFiles/ufc_tests.dir/util/test_logging.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/util/test_logging.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/ufc_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/ufc_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/ufc_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/util/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ufc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
