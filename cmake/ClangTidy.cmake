@@ -1,0 +1,20 @@
+# clang-tidy integration.
+#
+# UFC_CLANG_TIDY=ON wires clang-tidy into every compile via
+# CMAKE_CXX_CLANG_TIDY, using the checks in the repo-root .clang-tidy.
+# Findings are promoted to errors so a tidy build is pass/fail, not advisory.
+# Configuration fails loudly if the tool is missing — use
+# scripts/run_clang_tidy.sh for a standalone run that degrades gracefully.
+
+option(UFC_CLANG_TIDY "Run clang-tidy on every translation unit" OFF)
+
+if(UFC_CLANG_TIDY)
+  find_program(UFC_CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
+               clang-tidy-16 clang-tidy-15 clang-tidy-14)
+  if(NOT UFC_CLANG_TIDY_EXE)
+    message(FATAL_ERROR "UFC_CLANG_TIDY=ON but no clang-tidy executable found")
+  endif()
+  set(CMAKE_CXX_CLANG_TIDY
+      ${UFC_CLANG_TIDY_EXE} --warnings-as-errors=* --use-color)
+  message(STATUS "UFC: clang-tidy enabled (${UFC_CLANG_TIDY_EXE})")
+endif()

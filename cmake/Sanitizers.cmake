@@ -1,0 +1,40 @@
+# Sanitizer wiring for all UFC targets.
+#
+# UFC_SANITIZE is a cache string selecting a sanitizer stack:
+#   OFF                 - no instrumentation (default)
+#   address+undefined   - ASan + UBSan (UBSan non-recoverable: any finding aborts)
+#   thread              - TSan
+#   leak                - standalone LeakSanitizer
+#
+# Flags are applied globally (compile + link) so the static library, tests,
+# benches, and examples are all instrumented consistently; mixing an
+# uninstrumented libufc with instrumented tests would mask findings.
+
+set(UFC_SANITIZE "OFF" CACHE STRING
+    "Sanitizer stack: OFF, address+undefined, thread, or leak")
+set_property(CACHE UFC_SANITIZE PROPERTY STRINGS
+             "OFF" "address+undefined" "thread" "leak")
+
+if(NOT UFC_SANITIZE STREQUAL "OFF")
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "UFC_SANITIZE requires GCC or Clang, got ${CMAKE_CXX_COMPILER_ID}")
+  endif()
+
+  if(UFC_SANITIZE STREQUAL "address+undefined")
+    set(_ufc_san_flags -fsanitize=address,undefined -fno-sanitize-recover=all)
+  elseif(UFC_SANITIZE STREQUAL "thread")
+    set(_ufc_san_flags -fsanitize=thread)
+  elseif(UFC_SANITIZE STREQUAL "leak")
+    set(_ufc_san_flags -fsanitize=leak)
+  else()
+    message(FATAL_ERROR "Unknown UFC_SANITIZE value: ${UFC_SANITIZE}")
+  endif()
+
+  # Keep frames and symbols so sanitizer reports carry usable stacks.
+  list(APPEND _ufc_san_flags -fno-omit-frame-pointer -g)
+
+  add_compile_options(${_ufc_san_flags})
+  add_link_options(${_ufc_san_flags})
+  message(STATUS "UFC: sanitizers enabled (${UFC_SANITIZE})")
+  unset(_ufc_san_flags)
+endif()

@@ -2,17 +2,42 @@
 # Builds the project and regenerates every table/figure of the paper plus
 # the ablation/extension benches. CSVs land in the directory this script is
 # run from; pass a directory argument to collect them elsewhere.
+#
+# Builds happen in a dedicated build-bench/ directory so this script never
+# fights over the generator with a build/ tree configured by another flow
+# (e.g. the tier-1 Makefile run). Generator: Ninja when available, otherwise
+# whatever CMake picks as its default.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 out_dir="${1:-$PWD}"
+build_dir="$repo_root/build-bench"
 
-cmake -B "$repo_root/build" -G Ninja -S "$repo_root"
-cmake --build "$repo_root/build"
+generator_args=()
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  # Fresh configure: prefer Ninja, fall back to the default generator.
+  if command -v ninja > /dev/null 2>&1; then
+    generator_args=(-G Ninja)
+  else
+    echo "run_benches: ninja not found; using CMake's default generator" >&2
+  fi
+fi
+# An already-configured build dir keeps its generator; forcing -G onto it
+# would fail with a generator mismatch.
+
+cmake -B "$build_dir" -S "$repo_root" "${generator_args[@]}" \
+      -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j
 
 mkdir -p "$out_dir"
 cd "$out_dir"
-for bench in "$repo_root"/build/bench/*; do
+shopt -s nullglob
+benches=("$build_dir"/bench/*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "run_benches: no bench binaries found under $build_dir/bench" >&2
+  exit 1
+fi
+for bench in "${benches[@]}"; do
   if [[ -f "$bench" && -x "$bench" ]]; then
     echo "### $(basename "$bench")"
     "$bench"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the UFC sources using the repo-root .clang-tidy.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir] [extra clang-tidy args...]
+#
+# Needs a build dir with compile_commands.json (any CMakePresets.json preset
+# exports one). Degrades gracefully: exits 0 with a notice when clang-tidy is
+# not installed, so lint aggregators can call it unconditionally; CI installs
+# the tool and therefore gets the real check.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+tidy_bin=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" > /dev/null 2>&1; then
+    tidy_bin="$cand"
+    break
+  fi
+done
+if [[ -z "$tidy_bin" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (install LLVM to enable)" >&2
+  exit 0
+fi
+
+build_dir="${1:-}"
+if [[ $# -gt 0 ]]; then shift; fi
+if [[ -z "$build_dir" ]]; then
+  for cand in "$repo_root"/build-tidy "$repo_root"/build-release "$repo_root"/build; do
+    if [[ -f "$cand/compile_commands.json" ]]; then
+      build_dir="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$build_dir" || ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: no compile_commands.json found." >&2
+  echo "  Configure first, e.g.: cmake --preset release" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(
+  find "$repo_root/src" "$repo_root/examples" -name '*.cpp' | sort
+)
+
+echo "run_clang_tidy: $tidy_bin over ${#sources[@]} files (db: $build_dir)"
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet "$@" \
+    "^$repo_root/(src|examples)/"
+else
+  "$tidy_bin" -p "$build_dir" --quiet "$@" "${sources[@]}"
+fi
+echo "run_clang_tidy: clean"

@@ -1,0 +1,487 @@
+#!/usr/bin/env python3
+"""UFC repository lint: project invariants clang-tidy cannot express.
+
+Rules (each documented in docs/STATIC_ANALYSIS.md):
+
+  expects-guard     Public solver entry points (free functions declared in
+                    src/math, src/opt, src/admm headers) must validate their
+                    inputs with UFC_EXPECTS / UFC_ENSURES in the definition.
+  float-equal       No ==/!= against floating-point literals outside the
+                    tolerance helpers in src/util/stats.*; use approx_equal()
+                    or annotate an intentional exact-zero guard.
+  no-c-rand         No rand()/srand()/random_shuffle; use ufc::Rng so runs
+                    are reproducible and seeds flow through one place.
+  pragma-once       Every header starts with #pragma once.
+  using-namespace-header
+                    No `using namespace` at any scope in headers.
+  bench-csv-name    Benchmark binaries may only write ufc_*.csv files, so
+                    .gitignore and scripts/plot_figures.gp can rely on the
+                    prefix.
+
+Suppressing a finding: append `// ufc-lint: allow(<rule>)` (with a reason!)
+to the offending line, or place it alone on the line above.
+
+Usage:
+  scripts/ufc_lint.py              lint the repository, exit 1 on findings
+  scripts/ufc_lint.py PATH...      lint specific files or directories
+  scripts/ufc_lint.py --self-test  run the linter's own test suite
+  scripts/ufc_lint.py --list-rules print rule names and one-line summaries
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOTS = ("src", "tests", "bench", "examples")
+SOLVER_DIRS = ("src/math", "src/opt", "src/admm")
+TOLERANCE_HELPER_FILES = {"src/util/stats.hpp", "src/util/stats.cpp"}
+
+ALLOW_RE = re.compile(r"ufc-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _suppressed(lines: list[str], index: int, rule: str) -> bool:
+    """True if line `index` (0-based) carries an allow() marker, either on the
+    line itself or anywhere in the contiguous comment block above it."""
+    def carries(line: str) -> bool:
+        m = ALLOW_RE.search(line)
+        return bool(m) and m.group(1) == rule
+
+    if 0 <= index < len(lines) and carries(lines[index]):
+        return True
+    probe = index - 1
+    while probe >= 0 and lines[probe].strip().startswith("//"):
+        if carries(lines[probe]):
+            return True
+        probe -= 1
+    return False
+
+
+def _strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and "..." contents for matching."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//", 1)[0]
+
+
+# --------------------------------------------------------------------------
+# Rule: pragma-once
+# --------------------------------------------------------------------------
+def check_pragma_once(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.endswith(".hpp"):
+        return []
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped.startswith("#pragma once"):
+            return []
+        if stripped and not stripped.startswith("//") and not stripped.startswith("/*") and not stripped.startswith("*"):
+            break  # first real code line reached without the pragma
+    return [Finding(rel, 1, "pragma-once", "header does not start with #pragma once")]
+
+
+# --------------------------------------------------------------------------
+# Rule: using-namespace-header
+# --------------------------------------------------------------------------
+def check_using_namespace_header(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.endswith(".hpp"):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        code = _strip_comments_and_strings(line)
+        if re.search(r"\busing\s+namespace\b", code) and not _suppressed(lines, i, "using-namespace-header"):
+            findings.append(Finding(rel, i + 1, "using-namespace-header",
+                                    "`using namespace` in a header leaks into every includer"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: no-c-rand
+# --------------------------------------------------------------------------
+def check_no_c_rand(rel: str, lines: list[str]) -> list[Finding]:
+    findings = []
+    pattern = re.compile(r"(?<![\w:])(s?rand|random_shuffle)\s*\(")
+    for i, line in enumerate(lines):
+        code = _strip_comments_and_strings(line)
+        if pattern.search(code) and not _suppressed(lines, i, "no-c-rand"):
+            findings.append(Finding(rel, i + 1, "no-c-rand",
+                                    "use ufc::Rng instead of C rand()/srand()"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: float-equal
+# --------------------------------------------------------------------------
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+[eE][-+]?\d+|\d+\.\d*[eE][-+]?\d+)[fFlL]?"
+FLOAT_EQ_RE = re.compile(
+    rf"(?:{FLOAT_LITERAL}\s*[!=]=|[!=]=\s*{FLOAT_LITERAL})")
+
+
+def check_float_equal(rel: str, lines: list[str]) -> list[Finding]:
+    if rel in TOLERANCE_HELPER_FILES:
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        code = _strip_comments_and_strings(line)
+        if FLOAT_EQ_RE.search(code) and not _suppressed(lines, i, "float-equal"):
+            findings.append(Finding(
+                rel, i + 1, "float-equal",
+                "==/!= on a floating-point literal; use ufc::approx_equal or "
+                "annotate an intentional exact-zero guard"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: bench-csv-name
+# --------------------------------------------------------------------------
+CSV_LITERAL_RE = re.compile(r'"([^"]*\.csv)"')
+
+
+def check_bench_csv_name(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("bench/"):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        for m in CSV_LITERAL_RE.finditer(line.split("//", 1)[0]):
+            name = m.group(1).rsplit("/", 1)[-1]
+            if not re.fullmatch(r"ufc_[a-z0-9_]+\.csv", name) and not _suppressed(lines, i, "bench-csv-name"):
+                findings.append(Finding(
+                    rel, i + 1, "bench-csv-name",
+                    f'bench output "{name}" must match ufc_*.csv'))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: expects-guard
+# --------------------------------------------------------------------------
+# A public solver entry point is a free function declared at column 0 in a
+# header under SOLVER_DIRS. Its definition (in the sibling .cpp) must contain
+# UFC_EXPECTS/UFC_ENSURES: solver inputs are exactly where silent numerical
+# misuse (wrong sizes, negative caps, non-finite data) enters the system.
+DECL_NAME_RE = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*?\b([a-z_][a-z0-9_]*)\s*\(")
+
+
+def _public_solver_names(header_text: str) -> set[str]:
+    names = set()
+    for line in header_text.splitlines():
+        if line.startswith((" ", "\t", "//", "#", "}", "using ", "class ", "struct ", "enum ", "namespace ", "template")):
+            continue
+        m = DECL_NAME_RE.match(line)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def _function_bodies(text: str, names: set[str]):
+    """Yield (name, start_line, body) for definitions of `names` in `text`."""
+    for name in sorted(names):
+        for m in re.finditer(rf"\b{re.escape(name)}\s*\(", text):
+            # Find the matching ')' then require an opening '{' (definition,
+            # not a call or declaration).
+            depth, j = 0, m.end() - 1
+            while j < len(text):
+                if text[j] == "(":
+                    depth += 1
+                elif text[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            rest = text[j + 1:]
+            brace_rel = rest.find("{")
+            between = rest[:brace_rel] if brace_rel >= 0 else ""
+            if brace_rel < 0 or ";" in between or "=" in between:
+                continue
+            body_start = j + 1 + brace_rel
+            depth, k = 0, body_start
+            while k < len(text):
+                if text[k] == "{":
+                    depth += 1
+                elif text[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            start_line = text.count("\n", 0, m.start()) + 1
+            yield name, start_line, text[body_start:k + 1]
+            break  # first definition is enough
+
+
+def check_expects_guard(rel: str, lines: list[str], repo_root: Path = REPO_ROOT) -> list[Finding]:
+    if not rel.endswith(".cpp") or not any(rel.startswith(d + "/") for d in SOLVER_DIRS):
+        return []
+    header = repo_root / rel.replace(".cpp", ".hpp")
+    if not header.exists():
+        return []
+    names = _public_solver_names(header.read_text())
+    if not names:
+        return []
+    text = "\n".join(lines)
+    findings = []
+    for name, start_line, body in _function_bodies(text, names):
+        # Zero-argument entry points have no inputs to guard.
+        sig = text.splitlines()[start_line - 1]
+        if re.search(rf"\b{re.escape(name)}\s*\(\s*\)", sig):
+            continue
+        # A problem.validate() call counts: it is the canonical aggregated
+        # UFC_EXPECTS bundle for whole-problem inputs.
+        if "UFC_EXPECTS" in body or "UFC_ENSURES" in body or re.search(r"\bvalidate\s*\(", body):
+            continue
+        if _suppressed(lines, start_line - 1, "expects-guard"):
+            continue
+        findings.append(Finding(
+            rel, start_line, "expects-guard",
+            f"public solver entry point `{name}` does not guard its inputs "
+            "with UFC_EXPECTS"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+RULES = {
+    "pragma-once": (check_pragma_once, "headers must start with #pragma once"),
+    "using-namespace-header": (check_using_namespace_header, "no `using namespace` in headers"),
+    "no-c-rand": (check_no_c_rand, "use ufc::Rng, not rand()/srand()"),
+    "float-equal": (check_float_equal, "no ==/!= on float literals outside tolerance helpers"),
+    "bench-csv-name": (check_bench_csv_name, "bench binaries write only ufc_*.csv"),
+    "expects-guard": (check_expects_guard, "solver entry points must use UFC_EXPECTS"),
+}
+
+
+def lint_file(path: Path, repo_root: Path = REPO_ROOT) -> list[Finding]:
+    rel = path.resolve().relative_to(repo_root).as_posix()
+    lines = path.read_text(errors="replace").splitlines()
+    findings = []
+    for rule, (fn, _) in RULES.items():
+        if rule == "expects-guard":
+            findings.extend(fn(rel, lines, repo_root))
+        else:
+            findings.extend(fn(rel, lines))
+    return findings
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    files = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.hpp")) + sorted(p.rglob("*.cpp")))
+        elif p.suffix in (".hpp", ".cpp"):
+            if not p.exists():
+                raise SystemExit(f"ufc_lint: no such file: {p}")
+            if not p.resolve().is_relative_to(REPO_ROOT):
+                raise SystemExit(
+                    f"ufc_lint: {p} is outside the repository ({REPO_ROOT}); "
+                    "rules are defined on repo-relative paths")
+            files.append(p)
+        elif not p.exists():
+            raise SystemExit(f"ufc_lint: no such file or directory: {p}")
+    return files
+
+
+def run_lint(paths: list[Path]) -> int:
+    findings = []
+    for f in collect_files(paths):
+        findings.extend(lint_file(f))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"ufc_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"ufc_lint: clean ({len(collect_files(paths))} files)")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Self-test
+# --------------------------------------------------------------------------
+def self_test() -> int:
+    import tempfile
+    import unittest
+
+    class LintTests(unittest.TestCase):
+        def lint_source(self, rel: str, content: str, root_files: dict | None = None):
+            with tempfile.TemporaryDirectory() as tmp:
+                root = Path(tmp)
+                for extra_rel, extra_content in (root_files or {}).items():
+                    target = root / extra_rel
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    target.write_text(extra_content)
+                target = root / rel
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_text(content)
+                lines = content.splitlines()
+                findings = []
+                for rule, (fn, _) in RULES.items():
+                    if rule == "expects-guard":
+                        findings.extend(fn(rel, lines, root))
+                    else:
+                        findings.extend(fn(rel, lines))
+                return findings
+
+        def rules_of(self, findings):
+            return {f.rule for f in findings}
+
+        def test_pragma_once_missing(self):
+            findings = self.lint_source("src/x/a.hpp", "#include <vector>\nint f();\n")
+            self.assertIn("pragma-once", self.rules_of(findings))
+
+        def test_pragma_once_present_after_comment(self):
+            findings = self.lint_source("src/x/a.hpp", "// doc\n#pragma once\nint f();\n")
+            self.assertNotIn("pragma-once", self.rules_of(findings))
+
+        def test_pragma_once_ignores_cpp(self):
+            findings = self.lint_source("src/x/a.cpp", "int f() { return 1; }\n")
+            self.assertNotIn("pragma-once", self.rules_of(findings))
+
+        def test_using_namespace_in_header(self):
+            findings = self.lint_source("src/x/a.hpp", "#pragma once\nusing namespace std;\n")
+            self.assertIn("using-namespace-header", self.rules_of(findings))
+
+        def test_using_namespace_in_cpp_ok(self):
+            findings = self.lint_source("src/x/a.cpp", "using namespace std;\n")
+            self.assertNotIn("using-namespace-header", self.rules_of(findings))
+
+        def test_using_namespace_suppressed(self):
+            findings = self.lint_source(
+                "src/x/a.hpp",
+                "#pragma once\nusing namespace std;  // ufc-lint: allow(using-namespace-header)\n")
+            self.assertNotIn("using-namespace-header", self.rules_of(findings))
+
+        def test_c_rand_flagged(self):
+            findings = self.lint_source("src/x/a.cpp", "int f() { return rand(); }\n")
+            self.assertIn("no-c-rand", self.rules_of(findings))
+
+        def test_srand_flagged(self):
+            findings = self.lint_source("src/x/a.cpp", "void f() { srand(42); }\n")
+            self.assertIn("no-c-rand", self.rules_of(findings))
+
+        def test_rng_uniform_not_flagged(self):
+            findings = self.lint_source("src/x/a.cpp", "double f(Rng& r) { return r.grand(); }\n")
+            self.assertNotIn("no-c-rand", self.rules_of(findings))
+
+        def test_rand_in_comment_ignored(self):
+            findings = self.lint_source("src/x/a.cpp", "// calls rand() internally\n")
+            self.assertNotIn("no-c-rand", self.rules_of(findings))
+
+        def test_float_equal_flagged(self):
+            findings = self.lint_source("src/x/a.cpp", "bool f(double x) { return x == 1.5; }\n")
+            self.assertIn("float-equal", self.rules_of(findings))
+
+        def test_float_equal_zero_flagged(self):
+            findings = self.lint_source("src/x/a.cpp", "bool f(double x) { return x != 0.0; }\n")
+            self.assertIn("float-equal", self.rules_of(findings))
+
+        def test_float_equal_suppressed_line_above(self):
+            findings = self.lint_source(
+                "src/x/a.cpp",
+                "// ufc-lint: allow(float-equal)\nbool f(double x) { return x == 0.0; }\n")
+            self.assertNotIn("float-equal", self.rules_of(findings))
+
+        def test_float_equal_suppressed_multiline_comment(self):
+            findings = self.lint_source(
+                "src/x/a.cpp",
+                "// ufc-lint: allow(float-equal) — exact-zero guard,\n"
+                "// explained over two comment lines.\n"
+                "bool f(double x) { return x == 0.0; }\n")
+            self.assertNotIn("float-equal", self.rules_of(findings))
+
+        def test_float_equal_tolerance_helper_exempt(self):
+            findings = self.lint_source("src/util/stats.hpp", "#pragma once\nbool eq(double a) { return a == 0.0; }\n")
+            self.assertNotIn("float-equal", self.rules_of(findings))
+
+        def test_int_equal_not_flagged(self):
+            findings = self.lint_source("src/x/a.cpp", "bool f(int x) { return x == 15; }\n")
+            self.assertNotIn("float-equal", self.rules_of(findings))
+
+        def test_bench_csv_bad_name(self):
+            findings = self.lint_source("bench/bench_x.cpp", 'const char* out = "results.csv";\n')
+            self.assertIn("bench-csv-name", self.rules_of(findings))
+
+        def test_bench_csv_good_name(self):
+            findings = self.lint_source("bench/bench_x.cpp", 'const char* out = "ufc_fig1.csv";\n')
+            self.assertNotIn("bench-csv-name", self.rules_of(findings))
+
+        def test_bench_csv_rule_only_in_bench(self):
+            findings = self.lint_source("src/x/a.cpp", 'const char* out = "results.csv";\n')
+            self.assertNotIn("bench-csv-name", self.rules_of(findings))
+
+        def test_expects_guard_missing(self):
+            header = "#pragma once\nVec project_simplex(const Vec& v, double total);\n"
+            cpp = "Vec project_simplex(const Vec& v, double total) {\n  return v;\n}\n"
+            findings = self.lint_source("src/math/p.cpp", cpp, {"src/math/p.hpp": header})
+            self.assertIn("expects-guard", self.rules_of(findings))
+
+        def test_expects_guard_present(self):
+            header = "#pragma once\nVec project_simplex(const Vec& v, double total);\n"
+            cpp = ("Vec project_simplex(const Vec& v, double total) {\n"
+                   "  UFC_EXPECTS(total >= 0.0);\n  return v;\n}\n")
+            findings = self.lint_source("src/math/p.cpp", cpp, {"src/math/p.hpp": header})
+            self.assertNotIn("expects-guard", self.rules_of(findings))
+
+        def test_expects_guard_validate_call_counts(self):
+            header = "#pragma once\nVec entry(const Problem& p);\n"
+            cpp = "Vec entry(const Problem& p) {\n  p.validate();\n  return Vec();\n}\n"
+            findings = self.lint_source("src/admm/p.cpp", cpp, {"src/admm/p.hpp": header})
+            self.assertNotIn("expects-guard", self.rules_of(findings))
+
+        def test_expects_guard_private_helper_exempt(self):
+            header = "#pragma once\nVec entry(const Vec& v);\n"
+            cpp = ("static Vec helper(const Vec& v) { return v; }\n"
+                   "Vec entry(const Vec& v) {\n  UFC_EXPECTS(!v.empty());\n  return helper(v);\n}\n")
+            findings = self.lint_source("src/opt/p.cpp", cpp, {"src/opt/p.hpp": header})
+            self.assertNotIn("expects-guard", self.rules_of(findings))
+
+        def test_expects_guard_outside_solver_dirs_exempt(self):
+            header = "#pragma once\nvoid log_line(const char* msg);\n"
+            cpp = "void log_line(const char* msg) { (void)msg; }\n"
+            findings = self.lint_source("src/util/l.cpp", cpp, {"src/util/l.hpp": header})
+            self.assertNotIn("expects-guard", self.rules_of(findings))
+
+        def test_expects_guard_suppressed(self):
+            header = "#pragma once\nVec entry(const Vec& v);\n"
+            cpp = ("// ufc-lint: allow(expects-guard)\n"
+                   "Vec entry(const Vec& v) {\n  return v;\n}\n")
+            findings = self.lint_source("src/math/p.cpp", cpp, {"src/math/p.hpp": header})
+            self.assertNotIn("expects-guard", self.rules_of(findings))
+
+    suite = unittest.defaultTestLoader.loadTestsFromTestCase(LintTests)
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: repo source roots)")
+    parser.add_argument("--self-test", action="store_true", help="run the linter's test suite")
+    parser.add_argument("--list-rules", action="store_true", help="list rules and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.list_rules:
+        for rule, (_, summary) in RULES.items():
+            print(f"{rule:24s} {summary}")
+        return 0
+
+    paths = args.paths or [REPO_ROOT / root for root in SOURCE_ROOTS]
+    return run_lint(paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

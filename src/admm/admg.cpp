@@ -9,6 +9,7 @@
 namespace ufc::admm {
 
 double natural_workload_scale(const UfcProblem& problem) {
+  UFC_EXPECTS(problem.num_front_ends() > 0);
   const double mean_arrival =
       problem.total_arrivals() /
       static_cast<double>(problem.num_front_ends());
@@ -318,6 +319,8 @@ AdmgReport AdmgSolver::solve_warm() {
   return report;
 }
 
+// ufc-lint: allow(expects-guard) — AdmgSolver's constructor validates the
+// problem and every option before any work happens.
 AdmgReport solve_admg(const UfcProblem& problem, const AdmgOptions& options) {
   AdmgSolver solver(problem, options);
   return solver.solve();

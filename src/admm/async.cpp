@@ -16,6 +16,8 @@ AsyncReport solve_async_admg(const UfcProblem& original,
   UFC_EXPECTS(admg.epsilon > 0.5 && admg.epsilon <= 1.0);
   UFC_EXPECTS(options.participation > 0.0 && options.participation <= 1.0);
   UFC_EXPECTS(admg.pinning == BlockPinning::None ||
+              // ufc-lint: allow(float-equal) — 1.0 is an exact sentinel
+              // meaning "every agent participates", not a computed value.
               options.participation == 1.0);  // pinned baselines stay sync
 
   const double sigma = admg.workload_scale > 0.0

@@ -4,6 +4,8 @@
 
 namespace ufc::admm {
 
+// ufc-lint: allow(expects-guard) — total switch over the enum; the trailing
+// return covers out-of-range values defensively.
 std::string to_string(Strategy strategy) {
   switch (strategy) {
     case Strategy::Grid:     return "Grid";
@@ -13,6 +15,7 @@ std::string to_string(Strategy strategy) {
   return "?";
 }
 
+// ufc-lint: allow(expects-guard) — total switch over the enum.
 BlockPinning pinning_for(Strategy strategy) {
   switch (strategy) {
     case Strategy::Grid:     return BlockPinning::PinMu;
@@ -22,6 +25,8 @@ BlockPinning pinning_for(Strategy strategy) {
   return BlockPinning::None;
 }
 
+// ufc-lint: allow(expects-guard) — delegates to solve_admg, whose solver
+// constructor validates the problem and options.
 AdmgReport solve_strategy(const UfcProblem& problem, Strategy strategy,
                           AdmgOptions options) {
   options.pinning = pinning_for(strategy);

@@ -16,6 +16,8 @@ Vec project_box(Vec v, double lo, double hi) {
 Vec project_simplex(const Vec& v, double total) {
   UFC_EXPECTS(total >= 0.0);
   UFC_EXPECTS(!v.empty());
+  // ufc-lint: allow(float-equal) — exact-zero guard: the degenerate
+  // zero-mass simplex has the all-zeros point as its only member.
   if (total == 0.0) return Vec(v.size(), 0.0);
   // Sort descending, find the threshold tau with
   //   tau = (prefix_sum(k) - total) / k
@@ -69,6 +71,7 @@ Vec project_halfspace(Vec v, const Vec& a, double b) {
   return v;
 }
 
+// ufc-lint: allow(expects-guard) — total clamp, defined for any vector.
 Vec project_nonnegative(Vec v) {
   for (auto& x : v) x = std::max(x, 0.0);
   return v;

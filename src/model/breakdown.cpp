@@ -79,6 +79,7 @@ double min_objective(const UfcProblem& problem, const Mat& lambda,
 
 double improvement_percent(double ufc_x, double ufc_y) {
   const double denom = std::abs(ufc_y);
+  // ufc-lint: allow(float-equal) — exact-zero guard before division.
   if (denom == 0.0) return 0.0;
   return 100.0 * (ufc_x - ufc_y) / denom;
 }

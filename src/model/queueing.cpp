@@ -12,6 +12,7 @@ double erlang_c_wait_probability(double offered_load, double servers) {
   UFC_EXPECTS(offered_load >= 0.0);
   UFC_EXPECTS(servers > 0.0);
   UFC_EXPECTS(offered_load < servers);
+  // ufc-lint: allow(float-equal) — exact-zero guard before the recurrence.
   if (offered_load == 0.0) return 0.0;
 
   // Stable recurrence for the Erlang-B blocking probability:
@@ -40,6 +41,7 @@ double mmc_mean_wait_s(double lambda_rate, double mu_rate, double servers) {
   UFC_EXPECTS(servers > 0.0);
   const double offered = lambda_rate / mu_rate;
   if (offered >= servers) return std::numeric_limits<double>::infinity();
+  // ufc-lint: allow(float-equal) — exact-zero guard: no arrivals, no wait.
   if (lambda_rate == 0.0) return 0.0;
   const double wait_probability = erlang_c_wait_probability(offered, servers);
   return wait_probability / (servers * mu_rate - lambda_rate);

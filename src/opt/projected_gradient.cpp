@@ -47,6 +47,8 @@ SubgradientResult projected_subgradient(
   for (int k = 0; k < options.max_iterations; ++k) {
     Vec g = subgradient(x);
     const double gnorm = norm2(g);
+    // ufc-lint: allow(float-equal) — exact-zero guard: a truly zero
+    // subgradient is the only unconditionally safe early exit.
     if (gnorm == 0.0) {  // Stationary: x is optimal for convex objectives.
       result.best_x = x;
       result.best_value = value(x);

@@ -85,6 +85,7 @@ Vec solve_rank_one_qp_simplex(const RankOneQp& qp, double total) {
   check(qp);
   UFC_EXPECTS(total >= 0.0);
   const std::size_t n = qp.direction.size();
+  // ufc-lint: allow(float-equal) — exact-zero guard: zero budget pins x = 0.
   if (total == 0.0) return Vec(n, 0.0);
 
   double s = 0.0;
@@ -100,6 +101,7 @@ Vec solve_rank_one_qp_capped(const RankOneQp& qp, double cap) {
   check(qp);
   UFC_EXPECTS(cap >= 0.0);
   const std::size_t n = qp.direction.size();
+  // ufc-lint: allow(float-equal) — exact-zero guard: zero cap pins x = 0.
   if (cap == 0.0) return Vec(n, 0.0);
 
   // First try the sum constraint inactive (theta = 0).

@@ -27,6 +27,8 @@ double monotone_root(const std::function<double(double)>& g, double lo,
 double minimize_convex_scalar(const std::function<double(double)>& derivative,
                               double lo, double hi,
                               const ScalarMinimizeOptions& options) {
+  UFC_EXPECTS(lo <= hi);
+  UFC_EXPECTS(options.max_iterations > 0);
   // For convex f, f' is nondecreasing; the minimizer over [lo, hi] is the
   // projection of the root of f' onto the interval.
   return monotone_root(derivative, lo, hi, options);

@@ -71,6 +71,8 @@ double mape(std::span<const double> actual, std::span<const double> forecast,
   double total = 0.0;
   std::size_t count = 0;
   for (std::size_t t = skip; t < actual.size(); ++t) {
+    // ufc-lint: allow(float-equal) — exact-zero guard: MAPE is undefined
+    // at zero actuals, so those hours are skipped by definition.
     if (actual[t] == 0.0) continue;
     total += std::abs((forecast[t] - actual[t]) / actual[t]);
     ++count;

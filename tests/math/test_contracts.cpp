@@ -1,0 +1,103 @@
+// Death-style contract tests: misuse of the math kernels must throw
+// ufc::ContractViolation — a defined, catchable failure — rather than read or
+// write out of bounds. These are exactly the paths ASan/UBSan exercise in the
+// sanitizer presets; a contract that silently stopped firing would otherwise
+// only show up as memory corruption.
+#include <gtest/gtest.h>
+
+#include "math/matrix.hpp"
+#include "math/projections.hpp"
+#include "math/vector.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+namespace {
+
+TEST(VecContracts, OutOfRangeIndexThrows) {
+  Vec v(3, 1.0);
+  EXPECT_THROW(v[3], ContractViolation);
+  EXPECT_THROW(v[100], ContractViolation);
+  const Vec& cv = v;
+  EXPECT_THROW(cv[3], ContractViolation);
+}
+
+TEST(VecContracts, EmptyVectorAnyIndexThrows) {
+  Vec v;
+  EXPECT_THROW(v[0], ContractViolation);
+}
+
+TEST(VecContracts, MismatchedElementwiseOpsThrow) {
+  Vec a(3, 1.0);
+  Vec b(4, 1.0);
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW(a -= b, ContractViolation);
+  EXPECT_THROW(dot(a, b), ContractViolation);
+  EXPECT_THROW(axpy(2.0, a, b), ContractViolation);
+  EXPECT_THROW(max_abs_diff(a, b), ContractViolation);
+}
+
+TEST(VecContracts, InRangeAccessStillWorks) {
+  Vec v(3, 1.0);
+  v[2] = 5.0;
+  EXPECT_DOUBLE_EQ(v[2], 5.0);
+}
+
+TEST(MatContracts, OutOfRangeElementThrows) {
+  Mat m(2, 3, 0.0);
+  EXPECT_THROW(m(2, 0), ContractViolation);
+  EXPECT_THROW(m(0, 3), ContractViolation);
+  const Mat& cm = m;
+  EXPECT_THROW(cm(2, 0), ContractViolation);
+}
+
+TEST(MatContracts, RowColAccessorsOutOfRangeThrow) {
+  Mat m(2, 3, 0.0);
+  EXPECT_THROW(m.row(2), ContractViolation);
+  EXPECT_THROW(m.col(3), ContractViolation);
+  EXPECT_THROW(m.row_sum(2), ContractViolation);
+  EXPECT_THROW(m.col_sum(3), ContractViolation);
+}
+
+TEST(MatContracts, SetRowColDimensionMismatchThrows) {
+  Mat m(2, 3, 0.0);
+  EXPECT_THROW(m.set_row(0, Vec(2, 1.0)), ContractViolation);  // needs cols()=3
+  EXPECT_THROW(m.set_col(0, Vec(3, 1.0)), ContractViolation);  // needs rows()=2
+  EXPECT_THROW(m.set_row(2, Vec(3, 1.0)), ContractViolation);  // row OOR
+}
+
+TEST(MatContracts, MismatchedMatrixOpsThrow) {
+  Mat a(2, 3, 1.0);
+  Mat b(3, 2, 1.0);
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW(a -= b, ContractViolation);
+  EXPECT_THROW(max_abs_diff(a, b), ContractViolation);
+}
+
+TEST(ProjectionContracts, NegativeCapThrows) {
+  EXPECT_THROW(project_capped_simplex(Vec(4, 1.0), -1.0), ContractViolation);
+  EXPECT_THROW(project_capped_simplex(Vec(4, 1.0), -1e-9), ContractViolation);
+}
+
+TEST(ProjectionContracts, NegativeSimplexMassThrows) {
+  EXPECT_THROW(project_simplex(Vec(4, 1.0), -1.0), ContractViolation);
+  EXPECT_THROW(project_simplex(Vec(), 1.0), ContractViolation);  // empty input
+}
+
+TEST(ProjectionContracts, InvertedBoxThrows) {
+  EXPECT_THROW(project_box(Vec(3, 0.0), 1.0, -1.0), ContractViolation);
+}
+
+TEST(ProjectionContracts, ValidArgumentsDoNotThrow) {
+  EXPECT_NO_THROW(project_capped_simplex(Vec(4, 1.0), 0.0));
+  EXPECT_NO_THROW(project_simplex(Vec(4, 1.0), 0.0));
+}
+
+TEST(ContractViolationType, IsCatchableAsLogicError) {
+  // Library users recover from misuse via std::logic_error; verify the
+  // advertised inheritance so that contract stays intact.
+  Vec v(1, 0.0);
+  EXPECT_THROW(v[5], std::logic_error);
+}
+
+}  // namespace
+}  // namespace ufc

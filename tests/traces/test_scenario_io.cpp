@@ -11,7 +11,12 @@ namespace {
 
 class ScenarioIoTest : public ::testing::Test {
  protected:
-  std::string prefix_ = ::testing::TempDir() + "ufc_scenario_io";
+  // Each test gets its own file prefix: ctest runs the discovered cases as
+  // separate processes in parallel, and a shared prefix lets one test's
+  // TearDown delete CSVs another test is still reading.
+  std::string prefix_ =
+      ::testing::TempDir() + "ufc_scenario_io_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
   void TearDown() override {
     for (const auto& path : {prefix_ + "_workload.csv", prefix_ + "_prices.csv",
                              prefix_ + "_carbon.csv", prefix_ + "_sites.csv"})
