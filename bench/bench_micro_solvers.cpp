@@ -57,16 +57,17 @@ void BM_LambdaBlock(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(6);
   QuadraticUtility utility;
+  Vec latency(n), a_row(n), varphi_row(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    latency[j] = rng.uniform(0.002, 0.045);
+    a_row[j] = rng.uniform(0.0, 0.5);
+    varphi_row[j] = rng.uniform(-0.1, 0.1);
+  }
   admm::LambdaBlockInputs in;
   in.arrival = 1.0;
-  in.latency_row = Vec(n);
-  in.a_row = Vec(n);
-  in.varphi_row = Vec(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    in.latency_row[j] = rng.uniform(0.002, 0.045);
-    in.a_row[j] = rng.uniform(0.0, 0.5);
-    in.varphi_row[j] = rng.uniform(-0.1, 0.1);
-  }
+  in.latency_row = latency.span();
+  in.a_row = a_row.span();
+  in.varphi_row = varphi_row.span();
   in.rho = 10.0;
   in.latency_weight = 10.0;
   in.utility = &utility;
@@ -81,18 +82,19 @@ BENCHMARK(BM_LambdaBlock)->Arg(4)->Arg(16)->Arg(64);
 void BM_ABlock(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   Rng rng(8);
+  Vec varphi_col(m), lambda_col(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    varphi_col[i] = rng.uniform(-0.1, 0.1);
+    lambda_col[i] = rng.uniform(0.0, 0.5);
+  }
   admm::ABlockInputs in;
   in.alpha = 2.4;
   in.beta = 0.5;
   in.mu = 1.0;
   in.nu = 1.5;
   in.phi = 0.2;
-  in.varphi_col = Vec(m);
-  in.lambda_col = Vec(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    in.varphi_col[i] = rng.uniform(-0.1, 0.1);
-    in.lambda_col[i] = rng.uniform(0.0, 0.5);
-  }
+  in.varphi_col = varphi_col.span();
+  in.lambda_col = lambda_col.span();
   in.rho = 10.0;
   in.capacity = 4.0;
   const Vec warm(m, 0.0);
@@ -140,7 +142,8 @@ BENCHMARK(BM_AdmgIteration)
     ->Args({10, 4})
     ->Args({40, 4})
     ->Args({160, 4})
-    ->Args({40, 16});
+    ->Args({40, 16})
+    ->Args({64, 16});
 
 void BM_FullSlotSolve(benchmark::State& state) {
   const auto scenario = traces::Scenario::generate({});

@@ -1,0 +1,108 @@
+// Parallel scaling of the ADM-G step: per-iteration wall time vs. the
+// AdmgOptions::threads knob at three problem scales, against the pre-PR
+// serial baseline (the allocating, single-threaded step this optimization
+// replaced). Iterates are bit-identical across thread counts, so every row
+// times exactly the same arithmetic.
+#include "bench_common.hpp"
+
+#include <chrono>
+
+#include "admm/admg.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+ufc::UfcProblem random_problem(std::size_t m, std::size_t n) {
+  using namespace ufc;
+  Rng rng(1234);
+  UfcProblem p;
+  p.power = ServerPowerModel{100.0, 200.0};
+  p.fuel_cell_price = 80.0;
+  p.latency_weight = 10.0;
+  p.utility = std::make_shared<QuadraticUtility>();
+  double capacity = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    DatacenterSpec dc;
+    dc.name = "dc" + std::to_string(j);
+    dc.servers = rng.uniform(1.7e4, 2.3e4);
+    dc.grid_price = rng.uniform(15.0, 120.0);
+    dc.carbon_rate = rng.uniform(200.0, 900.0);
+    dc.fuel_cell_capacity_mw = dc.servers * 200.0 * 1.2 / 1e6;
+    dc.emission_cost = std::make_shared<AffineCarbonTax>(25.0);
+    capacity += dc.servers;
+    p.datacenters.push_back(std::move(dc));
+  }
+  Rng shares_rng(7);
+  p.arrivals =
+      normal_shares(shares_rng, static_cast<int>(m), 0.6 * capacity, 0.35);
+  p.latency_s = Mat(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      p.latency_s(i, j) = rng.uniform(0.002, 0.045);
+  return p;
+}
+
+double us_per_iteration(const ufc::UfcProblem& problem, int threads,
+                        int iterations) {
+  ufc::admm::AdmgOptions options;
+  options.threads = threads;
+  ufc::admm::AdmgSolver solver(problem, options);
+  // Warm the workspace and caches (the first step pays the allocations).
+  for (int k = 0; k < 5; ++k) solver.step();
+  const auto start = std::chrono::steady_clock::now();
+  for (int k = 0; k < iterations; ++k) solver.step();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() /
+         static_cast<double>(iterations);
+}
+
+struct Scale {
+  std::size_t m, n;
+  int iterations;
+  /// Pre-PR serial per-iteration time, microseconds: the allocating
+  /// single-threaded step() at commit 7f015e8, measured on this container
+  /// (release build, FISTA inner solver, same random_problem seeds).
+  double pre_pr_serial_us;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ufc;
+  bench::print_header(
+      "Parallel scaling - ADM-G step wall time vs. threads",
+      "n/a (engineering benchmark; iterates bit-identical across rows)");
+
+  const Scale scales[] = {
+      {16, 4, 2000, 60.3},
+      {64, 16, 200, 5424.5},
+      {256, 32, 40, 38758.2},
+  };
+  const int thread_counts[] = {1, 2, 4, 8};
+
+  TablePrinter table({"M", "N", "threads", "us/iter", "pre-PR serial us",
+                      "speedup vs pre-PR"});
+  CsvWriter csv("ufc_parallel.csv", {"m", "n", "threads", "us_per_iter",
+                                     "pre_pr_serial_us", "speedup_vs_pre_pr"});
+  for (const auto& scale : scales) {
+    const auto problem = random_problem(scale.m, scale.n);
+    for (int threads : thread_counts) {
+      const double us = us_per_iteration(problem, threads, scale.iterations);
+      const double speedup = scale.pre_pr_serial_us / us;
+      table.add_row(std::to_string(scale.m),
+                    {static_cast<double>(scale.n),
+                     static_cast<double>(threads), us, scale.pre_pr_serial_us,
+                     speedup},
+                    2);
+      csv.row({static_cast<double>(scale.m), static_cast<double>(scale.n),
+               static_cast<double>(threads), us, scale.pre_pr_serial_us,
+               speedup});
+    }
+  }
+  table.print();
+  std::cout << "\nNote: wall-clock thread scaling requires physical cores; "
+               "on a single-core host the threads>1 rows measure "
+               "synchronization overhead only.\n";
+  bench::note_csv(csv);
+  return 0;
+}

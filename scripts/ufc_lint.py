@@ -17,6 +17,9 @@ Rules (each documented in docs/STATIC_ANALYSIS.md):
   bench-csv-name    Benchmark binaries may only write ufc_*.csv files, so
                     .gitignore and scripts/plot_figures.gp can rely on the
                     prefix.
+  no-alloc-in-step  No Mat/Vec construction inside AdmgSolver::step — the hot
+                    path works entirely out of workspaces allocated in
+                    reset(), so steady-state iterations are allocation-free.
 
 Suppressing a finding: append `// ufc-lint: allow(<rule>)` (with a reason!)
 to the offending line, or place it alone on the line above.
@@ -165,6 +168,69 @@ def check_bench_csv_name(rel: str, lines: list[str]) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: no-alloc-in-step
+# --------------------------------------------------------------------------
+# AdmgSolver::step() is the per-iteration hot path; PR 2 moved every Mat/Vec
+# it needs into workspaces sized once in reset(). Constructing a Mat or Vec
+# inside the step body reintroduces per-iteration heap traffic, so any
+# `Mat(...)` / `Vec(...)` construction (temporary or named local) is flagged.
+# References and pointers (`const Vec&`, `Vec*`) do not allocate and pass.
+ALLOC_RE = re.compile(r"\b(Mat|Vec)\s*(?:[A-Za-z_]\w*\s*)?[({]")
+STEP_DEF_RE = re.compile(r"\bAdmgSolver\s*::\s*step\s*\(")
+
+
+def _body_span(text: str, open_paren: int) -> tuple[int, int] | None:
+    """Given the index of a '(' opening a parameter list, return the character
+    range [start, end) of the brace-delimited body that follows, or None if
+    this is a declaration/call rather than a definition."""
+    depth, j = 0, open_paren
+    while j < len(text):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        j += 1
+    rest = text[j + 1:]
+    brace_rel = rest.find("{")
+    if brace_rel < 0 or ";" in rest[:brace_rel]:
+        return None
+    start = j + 1 + brace_rel
+    depth, k = 0, start
+    while k < len(text):
+        if text[k] == "{":
+            depth += 1
+        elif text[k] == "}":
+            depth -= 1
+            if depth == 0:
+                return start, k + 1
+        k += 1
+    return None
+
+
+def check_no_alloc_in_step(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.endswith(".cpp"):
+        return []
+    text = "\n".join(lines)
+    findings = []
+    for m in STEP_DEF_RE.finditer(text):
+        span = _body_span(text, m.end() - 1)
+        if span is None:
+            continue
+        first = text.count("\n", 0, span[0])  # 0-based line of the '{'
+        last = text.count("\n", 0, span[1])
+        for i in range(first, min(last + 1, len(lines))):
+            code = _strip_comments_and_strings(lines[i])
+            if ALLOC_RE.search(code) and not _suppressed(lines, i, "no-alloc-in-step"):
+                findings.append(Finding(
+                    rel, i + 1, "no-alloc-in-step",
+                    "Mat/Vec constructed inside AdmgSolver::step; allocate it "
+                    "once in reset() and reuse the workspace"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: expects-guard
 # --------------------------------------------------------------------------
 # A public solver entry point is a free function declared at column 0 in a
@@ -258,6 +324,7 @@ RULES = {
     "no-c-rand": (check_no_c_rand, "use ufc::Rng, not rand()/srand()"),
     "float-equal": (check_float_equal, "no ==/!= on float literals outside tolerance helpers"),
     "bench-csv-name": (check_bench_csv_name, "bench binaries write only ufc_*.csv"),
+    "no-alloc-in-step": (check_no_alloc_in_step, "no Mat/Vec construction inside AdmgSolver::step"),
     "expects-guard": (check_expects_guard, "solver entry points must use UFC_EXPECTS"),
 }
 
@@ -418,6 +485,55 @@ def self_test() -> int:
         def test_bench_csv_rule_only_in_bench(self):
             findings = self.lint_source("src/x/a.cpp", 'const char* out = "results.csv";\n')
             self.assertNotIn("bench-csv-name", self.rules_of(findings))
+
+        def test_no_alloc_in_step_named_local_flagged(self):
+            cpp = ("void AdmgSolver::step() {\n"
+                   "  Vec scratch(n_);\n"
+                   "  use(scratch);\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertIn("no-alloc-in-step", self.rules_of(findings))
+
+        def test_no_alloc_in_step_temporary_flagged(self):
+            cpp = ("void AdmgSolver::step() {\n"
+                   "  a_ = Mat(m_, n_);\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertIn("no-alloc-in-step", self.rules_of(findings))
+
+        def test_no_alloc_outside_step_ok(self):
+            cpp = ("void AdmgSolver::reset() {\n"
+                   "  Vec scratch(n_);\n"
+                   "  use(scratch);\n"
+                   "}\n"
+                   "void AdmgSolver::step() {\n"
+                   "  scratch_.fill(0.0);\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertNotIn("no-alloc-in-step", self.rules_of(findings))
+
+        def test_no_alloc_in_step_reference_param_ok(self):
+            cpp = ("void AdmgSolver::step() {\n"
+                   "  pool_.parallel_for(0, m_, [&](const Vec& row) {\n"
+                   "    consume(row);\n"
+                   "  });\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertNotIn("no-alloc-in-step", self.rules_of(findings))
+
+        def test_no_alloc_in_step_declaration_not_matched(self):
+            cpp = "void AdmgSolver::step();\n"
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertNotIn("no-alloc-in-step", self.rules_of(findings))
+
+        def test_no_alloc_in_step_suppressed(self):
+            cpp = ("void AdmgSolver::step() {\n"
+                   "  // ufc-lint: allow(no-alloc-in-step)\n"
+                   "  Vec scratch(n_);\n"
+                   "  use(scratch);\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertNotIn("no-alloc-in-step", self.rules_of(findings))
 
         def test_expects_guard_missing(self):
             header = "#pragma once\nVec project_simplex(const Vec& v, double total);\n"

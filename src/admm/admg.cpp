@@ -16,30 +16,39 @@ double natural_workload_scale(const UfcProblem& problem) {
   return std::max(1.0, mean_arrival);
 }
 
-UfcProblem scale_workload_units(const UfcProblem& problem, double sigma) {
+void scale_workload_units_in_place(UfcProblem& problem, double sigma) {
   UFC_EXPECTS(sigma > 0.0);
-  UfcProblem scaled = problem;
-  scaled.power.idle_watts *= sigma;
-  scaled.power.peak_watts *= sigma;
-  scaled.latency_weight *= sigma;
-  for (auto& dc : scaled.datacenters) {
+  problem.power.idle_watts *= sigma;
+  problem.power.peak_watts *= sigma;
+  problem.latency_weight *= sigma;
+  for (auto& dc : problem.datacenters) {
     dc.servers /= sigma;
     if (dc.power_override) {
       dc.power_override->idle_watts *= sigma;
       dc.power_override->peak_watts *= sigma;
     }
   }
-  for (auto& a : scaled.arrivals) a /= sigma;
+  for (auto& a : problem.arrivals) a /= sigma;
+}
+
+// ufc-lint: allow(expects-guard) — thin wrapper; the in-place variant above
+// guards sigma before any work happens.
+UfcProblem scale_workload_units(const UfcProblem& problem, double sigma) {
+  UfcProblem scaled = problem;
+  scale_workload_units_in_place(scaled, sigma);
   return scaled;
 }
 
 AdmgSolver::AdmgSolver(const UfcProblem& problem, AdmgOptions options)
-    : original_(problem), options_(options) {
+    : original_(problem),
+      options_(options),
+      pool_(util::resolve_thread_count(options.threads)) {
   original_.validate();
   UFC_EXPECTS(options_.rho > 0.0);
   UFC_EXPECTS(options_.epsilon > 0.5 && options_.epsilon <= 1.0);
   UFC_EXPECTS(options_.max_iterations > 0);
   UFC_EXPECTS(options_.tolerance > 0.0);
+  UFC_EXPECTS(options_.threads >= 0);
 
   sigma_ = options_.workload_scale > 0.0 ? options_.workload_scale
                                          : natural_workload_scale(original_);
@@ -58,6 +67,11 @@ AdmgSolver::AdmgSolver(const UfcProblem& problem, AdmgOptions options)
     }
   }
 
+  update_residual_scales();
+  reset();
+}
+
+void AdmgSolver::update_residual_scales() {
   // Residual scales: copy residual lives in "servers routed" units, balance
   // residual in MW. Normalize by the largest arrival / peak demand so the
   // convergence test is dimensionless.
@@ -69,8 +83,6 @@ AdmgSolver::AdmgSolver(const UfcProblem& problem, AdmgOptions options)
     max_demand = std::max(
         max_demand, problem_.demand_mw(j, problem_.datacenters[j].servers));
   balance_scale_ = max_demand;
-
-  reset();
 }
 
 void AdmgSolver::reset() {
@@ -83,6 +95,19 @@ void AdmgSolver::reset() {
   phi_ = Vec(n_, 0.0);
   last_change_ = 0.0;
   stepped_ = false;
+
+  // Step workspace, allocated once here so step() itself never allocates:
+  // the tilde matrix, the column-sum cache and one scratch set per worker.
+  lambda_tilde_ = Mat(m_, n_, 0.0);
+  a_col_sum_.resize(n_);
+  scratch_.resize(pool_.thread_count());
+  for (auto& ws : scratch_) {
+    ws.varphi_col.resize(m_);
+    ws.lambda_col.resize(m_);
+    ws.a_col.resize(m_);
+    ws.a_new.resize(m_);
+  }
+  chunk_change_.assign(pool_.thread_count(), 0.0);
 }
 
 double AdmgSolver::balance_residual() const {
@@ -105,157 +130,176 @@ bool AdmgSolver::is_converged() const {
          last_change_ / copy_scale_ < options_.tolerance;
 }
 
+// The step runs two parallel passes over deterministic contiguous chunks:
+// one per front-end (lambda predictions) and one per datacenter (mu, nu, a,
+// duals and the Gaussian back substitution, fused column-wise exactly like
+// net::DatacenterAgent). Every item writes only its own row/column, so the
+// iterate sequence is bit-identical for every thread count — and identical
+// to the message-passing runtime, which tests pin exactly.
 void AdmgSolver::step() {
-  const Mat a_before = a_;
-  const Vec mu_before = mu_;
-  const Vec nu_before = nu_;
   const double rho = options_.rho;
   const bool pin_mu = options_.pinning == BlockPinning::PinMu;
   const bool pin_nu = options_.pinning == BlockPinning::PinNu;
+  const bool gbs = options_.gaussian_back_substitution;
+  const double eps = gbs ? options_.epsilon : 1.0;
 
-  // ---- Step 1: ADMM prediction pass, forward order. -----------------------
-
-  // 1.1 lambda-minimization, per front-end (uses a^k, varphi^k).
-  Mat lambda_tilde(m_, n_);
+  // Cache the column sums of a^k once per step. The row-major pass adds each
+  // column's entries in increasing-i order, which is bitwise the same as
+  // Mat::col_sum and as the runtime agent's sum(a_).
+  a_col_sum_.fill(0.0);
   for (std::size_t i = 0; i < m_; ++i) {
-    LambdaBlockInputs in;
-    in.arrival = problem_.arrivals[i];
-    in.latency_row = problem_.latency_s.row(i);
-    in.a_row = a_.row(i);
-    in.varphi_row = varphi_.row(i);
-    in.rho = rho;
-    in.latency_weight = problem_.latency_weight;
-    in.utility = problem_.utility.get();
-    lambda_tilde.set_row(
-        i, solve_lambda_block(in, lambda_.row(i), options_.inner));
+    const auto row = a_.row_span(i);
+    for (std::size_t j = 0; j < n_; ++j) a_col_sum_[j] += row[j];
   }
 
-  // 1.2 mu-minimization, per datacenter (uses a^k, nu^k, phi^k).
-  Vec mu_tilde(n_, 0.0);
-  if (!pin_mu) {
-    for (std::size_t j = 0; j < n_; ++j) {
-      MuBlockInputs in;
-      in.alpha = problem_.alpha_mw(j);
-      in.beta = problem_.beta_mw(j);
-      in.a_col_sum = a_.col_sum(j);
-      in.nu = nu_[j];
-      in.phi = phi_[j];
-      in.rho = rho;
-      in.fuel_cell_price = problem_.fuel_cell_price;
-      in.mu_max = problem_.datacenters[j].fuel_cell_capacity_mw;
-      mu_tilde[j] = solve_mu_block(in);
-    }
-  }
+  // ---- Step 1.1: lambda predictions, one independent task per front-end.
+  pool_.parallel_for_chunks(
+      0, m_, [&](std::size_t begin, std::size_t end, std::size_t c) {
+        BlockWorkspace& ws = scratch_[c].blocks;
+        for (std::size_t i = begin; i < end; ++i) {
+          LambdaBlockInputs in;
+          in.arrival = problem_.arrivals[i];
+          in.latency_row = problem_.latency_s.row_span(i);
+          in.a_row = a_.row_span(i);
+          in.varphi_row = varphi_.row_span(i);
+          in.rho = rho;
+          in.latency_weight = problem_.latency_weight;
+          in.utility = problem_.utility.get();
+          solve_lambda_block_into(in, lambda_.row_span(i),
+                                  lambda_tilde_.row_span(i), ws,
+                                  options_.inner);
+        }
+      });
 
-  // 1.3 nu-minimization, per datacenter (uses a^k, mu~, phi^k).
-  Vec nu_tilde(n_, 0.0);
-  if (!pin_nu) {
-    for (std::size_t j = 0; j < n_; ++j) {
-      NuBlockInputs in;
-      in.alpha = problem_.alpha_mw(j);
-      in.beta = problem_.beta_mw(j);
-      in.a_col_sum = a_.col_sum(j);
-      in.mu = mu_tilde[j];
-      in.phi = phi_[j];
-      in.rho = rho;
-      in.grid_price = problem_.datacenters[j].grid_price;
-      in.carbon_tons_per_mwh = problem_.datacenters[j].carbon_rate / 1000.0;
-      in.emission_cost = problem_.datacenters[j].emission_cost.get();
-      nu_tilde[j] = solve_nu_block(in);
-    }
-  }
+  // ---- Steps 1.2-1.5 + step 2, fused per datacenter. Each column task
+  // reads only iteration-k state of its own column (plus lambda~ and the
+  // column-sum cache, both finalized above), so tasks are independent.
+  std::fill(chunk_change_.begin(), chunk_change_.end(), 0.0);
+  pool_.parallel_for_chunks(
+      0, n_, [&](std::size_t begin, std::size_t end, std::size_t c) {
+        WorkerScratch& ws = scratch_[c];
+        double change = 0.0;
+        for (std::size_t j = begin; j < end; ++j) {
+          const double alpha = problem_.alpha_mw(j);
+          const double beta = problem_.beta_mw(j);
+          const double a_col_sum_k = a_col_sum_[j];
 
-  // 1.4 a-minimization, per datacenter (uses lambda~, mu~, nu~, phi^k,
-  // varphi^k).
-  Mat a_tilde(m_, n_);
-  for (std::size_t j = 0; j < n_; ++j) {
-    ABlockInputs in;
-    in.alpha = problem_.alpha_mw(j);
-    in.beta = problem_.beta_mw(j);
-    in.mu = mu_tilde[j];
-    in.nu = nu_tilde[j];
-    in.phi = phi_[j];
-    in.varphi_col = varphi_.col(j);
-    in.lambda_col = lambda_tilde.col(j);
-    in.rho = rho;
-    in.capacity = problem_.datacenters[j].servers;
-    a_tilde.set_col(j, solve_a_block(in, a_.col(j), options_.inner));
-  }
+          // 1.2 mu-minimization (uses a^k, nu^k, phi^k).
+          double mu_tilde = 0.0;
+          if (!pin_mu) {
+            MuBlockInputs in;
+            in.alpha = alpha;
+            in.beta = beta;
+            in.a_col_sum = a_col_sum_k;
+            in.nu = nu_[j];
+            in.phi = phi_[j];
+            in.rho = rho;
+            in.fuel_cell_price = problem_.fuel_cell_price;
+            in.mu_max = problem_.datacenters[j].fuel_cell_capacity_mw;
+            mu_tilde = solve_mu_block(in);
+          }
 
-  // 1.5 dual updates (use a~, lambda~, mu~, nu~).
-  Vec phi_tilde(n_);
-  for (std::size_t j = 0; j < n_; ++j) {
-    phi_tilde[j] = update_phi(phi_[j], rho, problem_.alpha_mw(j),
-                              problem_.beta_mw(j), a_tilde.col_sum(j),
-                              mu_tilde[j], nu_tilde[j]);
-  }
-  Mat varphi_tilde(m_, n_);
-  for (std::size_t i = 0; i < m_; ++i)
-    for (std::size_t j = 0; j < n_; ++j)
-      varphi_tilde(i, j) =
-          update_varphi(varphi_(i, j), rho, a_tilde(i, j), lambda_tilde(i, j));
+          // 1.3 nu-minimization (uses a^k, mu~, phi^k).
+          double nu_tilde = 0.0;
+          if (!pin_nu) {
+            NuBlockInputs in;
+            in.alpha = alpha;
+            in.beta = beta;
+            in.a_col_sum = a_col_sum_k;
+            in.mu = mu_tilde;
+            in.phi = phi_[j];
+            in.rho = rho;
+            in.grid_price = problem_.datacenters[j].grid_price;
+            in.carbon_tons_per_mwh =
+                problem_.datacenters[j].carbon_rate / 1000.0;
+            in.emission_cost = problem_.datacenters[j].emission_cost.get();
+            nu_tilde = solve_nu_block(in);
+          }
 
-  // ---- Step 2: Gaussian back substitution, backward order. ----------------
+          // 1.4 a-minimization (uses lambda~, mu~, nu~, phi^k, varphi^k).
+          varphi_.col_into(j, ws.varphi_col);
+          lambda_tilde_.col_into(j, ws.lambda_col);
+          a_.col_into(j, ws.a_col);
+          {
+            ABlockInputs in;
+            in.alpha = alpha;
+            in.beta = beta;
+            in.mu = mu_tilde;
+            in.nu = nu_tilde;
+            in.phi = phi_[j];
+            in.varphi_col = ws.varphi_col.span();
+            in.lambda_col = ws.lambda_col.span();
+            in.rho = rho;
+            in.capacity = problem_.datacenters[j].servers;
+            solve_a_block_into(in, ws.a_col.span(), ws.a_new.span(), ws.blocks,
+                               options_.inner);
+          }
 
-  const double eps =
-      options_.gaussian_back_substitution ? options_.epsilon : 1.0;
+          // 1.5 dual predictions (use a~, lambda~, mu~, nu~).
+          double a_tilde_sum = 0.0;
+          for (std::size_t i = 0; i < m_; ++i) a_tilde_sum += ws.a_new[i];
+          const double phi_tilde = update_phi(phi_[j], rho, alpha, beta,
+                                              a_tilde_sum, mu_tilde, nu_tilde);
 
-  if (!options_.gaussian_back_substitution) {
-    // Plain multi-block ADMM (ablation): accept the prediction unchanged.
-    lambda_ = std::move(lambda_tilde);
-    mu_ = std::move(mu_tilde);
-    nu_ = std::move(nu_tilde);
-    a_ = std::move(a_tilde);
-    phi_ = std::move(phi_tilde);
-    varphi_ = std::move(varphi_tilde);
-    last_change_ = std::max({max_abs_diff(a_, a_before),
-                             max_abs_diff(mu_, mu_before),
-                             max_abs_diff(nu_, nu_before)});
-    stepped_ = true;
-    return;
-  }
+          if (!gbs) {
+            // Plain multi-block ADMM (ablation): accept the prediction.
+            for (std::size_t i = 0; i < m_; ++i) {
+              varphi_(i, j) = update_varphi(varphi_(i, j), rho, ws.a_new[i],
+                                            lambda_tilde_(i, j));
+              change = std::max(change, std::abs(ws.a_new[i] - a_(i, j)));
+              a_(i, j) = ws.a_new[i];
+            }
+            phi_[j] = phi_tilde;
+            change = std::max(change, std::abs(nu_tilde - nu_[j]));
+            nu_[j] = nu_tilde;
+            change = std::max(change, std::abs(mu_tilde - mu_[j]));
+            mu_[j] = mu_tilde;
+            continue;
+          }
 
-  // Duals first (identity row of G).
-  for (std::size_t j = 0; j < n_; ++j)
-    phi_[j] += eps * (phi_tilde[j] - phi_[j]);
-  for (std::size_t i = 0; i < m_; ++i)
-    for (std::size_t j = 0; j < n_; ++j)
-      varphi_(i, j) += eps * (varphi_tilde(i, j) - varphi_(i, j));
+          // Step 2: Gaussian back substitution, backward order. Duals first
+          // (identity row of G), then a, then nu and mu with the cross-block
+          // correction terms derived from (K_i^T K_i)^{-1} K_i^T K_j for our
+          // constraint matrices (see DESIGN.md).
+          phi_[j] += eps * (phi_tilde - phi_[j]);
+          double delta_sum = 0.0;
+          for (std::size_t i = 0; i < m_; ++i) {
+            const double varphi_tilde = update_varphi(
+                varphi_(i, j), rho, ws.a_new[i], lambda_tilde_(i, j));
+            varphi_(i, j) += eps * (varphi_tilde - varphi_(i, j));
+            const double a_old = a_(i, j);
+            const double delta = eps * (ws.a_new[i] - a_old);
+            a_(i, j) = a_old + delta;
+            delta_sum += delta;
+            change = std::max(change, std::abs(a_(i, j) - a_old));
+          }
+          const double nu_old = nu_[j];
+          if (!pin_nu) {
+            nu_[j] += eps * (nu_tilde - nu_[j]) + beta * delta_sum;
+            change = std::max(change, std::abs(nu_[j] - nu_old));
+          }
+          if (!pin_mu) {
+            const double mu_old = mu_[j];
+            double correction = eps * (mu_tilde - mu_[j]);
+            if (!pin_nu) correction -= (nu_[j] - nu_old);
+            correction += beta * delta_sum;
+            mu_[j] = mu_old + correction;
+            change = std::max(change, std::abs(mu_[j] - mu_old));
+          }
+        }
+        chunk_change_[c] = change;
+      });
 
-  // a (last primal block; identity row of G).
-  Vec delta_a_col_sum(n_, 0.0);
-  for (std::size_t j = 0; j < n_; ++j) {
-    double delta_sum = 0.0;
-    for (std::size_t i = 0; i < m_; ++i) {
-      const double delta = eps * (a_tilde(i, j) - a_(i, j));
-      a_(i, j) += delta;
-      delta_sum += delta;
-    }
-    delta_a_col_sum[j] = delta_sum;
-  }
+  // lambda is the first block: accepted as predicted. Swapping (instead of
+  // moving) keeps lambda_tilde_'s storage for the next step; every row is
+  // fully rewritten by step 1.1.
+  std::swap(lambda_, lambda_tilde_);
 
-  // nu, then mu, with the cross-block correction terms derived from
-  // (K_i^T K_i)^{-1} K_i^T K_j for our constraint matrices (see DESIGN.md).
-  for (std::size_t j = 0; j < n_; ++j) {
-    const double beta = problem_.beta_mw(j);
-    const double nu_old = nu_[j];
-    if (!pin_nu) {
-      nu_[j] += eps * (nu_tilde[j] - nu_[j]) + beta * delta_a_col_sum[j];
-    }
-    if (!pin_mu) {
-      double correction = eps * (mu_tilde[j] - mu_[j]);
-      if (!pin_nu) correction -= (nu_[j] - nu_old);
-      correction += beta * delta_a_col_sum[j];
-      mu_[j] += correction;
-    }
-  }
-
-  // lambda is the first block: accepted as predicted.
-  lambda_ = std::move(lambda_tilde);
-
-  last_change_ = std::max({max_abs_diff(a_, a_before),
-                           max_abs_diff(mu_, mu_before),
-                           max_abs_diff(nu_, nu_before)});
+  // max is exact and order-insensitive, so the cross-chunk reduction is
+  // bit-identical for every chunking.
+  double change = 0.0;
+  for (double c : chunk_change_) change = std::max(change, c);
+  last_change_ = change;
   stepped_ = true;
 }
 
@@ -264,16 +308,12 @@ void AdmgSolver::set_problem(const UfcProblem& problem) {
   UFC_EXPECTS(problem.num_front_ends() == m_);
   UFC_EXPECTS(problem.num_datacenters() == n_);
   original_ = problem;
-  problem_ = scale_workload_units(original_, sigma_);
+  // Rescale into the existing problem_ storage; the previous implementation
+  // built a third full copy through scale_workload_units' return value.
+  problem_ = problem;
+  scale_workload_units_in_place(problem_, sigma_);
   // Residual scales track the new slot's magnitudes.
-  double max_arrival = 1.0;
-  for (double a : problem_.arrivals) max_arrival = std::max(max_arrival, a);
-  copy_scale_ = max_arrival;
-  double max_demand = 1.0;
-  for (std::size_t j = 0; j < n_; ++j)
-    max_demand = std::max(
-        max_demand, problem_.demand_mw(j, problem_.datacenters[j].servers));
-  balance_scale_ = max_demand;
+  update_residual_scales();
   stepped_ = false;  // convergence must be re-established on the new slot
 }
 
@@ -284,21 +324,29 @@ AdmgReport AdmgSolver::solve() {
 
 AdmgReport AdmgSolver::solve_warm() {
   AdmgReport report;
+  double balance = 0.0;
+  double copy = 0.0;
   for (int k = 0; k < options_.max_iterations; ++k) {
     step();
     report.iterations = k + 1;
+    // One residual evaluation per iteration, shared by the trace and the
+    // convergence test (each is an O(MN) pass over the iterate).
+    balance = balance_residual();
+    copy = copy_residual();
     if (options_.record_trace) {
-      report.trace.balance_residual.push_back(balance_residual());
-      report.trace.copy_residual.push_back(copy_residual());
+      report.trace.balance_residual.push_back(balance);
+      report.trace.copy_residual.push_back(copy);
       report.trace.objective.push_back(ufc_objective(problem_, lambda_, mu_));
     }
-    if (is_converged()) {
+    if (balance / balance_scale_ < options_.tolerance &&
+        copy / copy_scale_ < options_.tolerance &&
+        last_change_ / copy_scale_ < options_.tolerance) {
       report.converged = true;
       break;
     }
   }
-  report.balance_residual = balance_residual();
-  report.copy_residual = copy_residual();
+  report.balance_residual = balance;
+  report.copy_residual = copy;
 
   // Rescale routing back to server units and evaluate on the original
   // problem (the objective is invariant, but reported latencies/costs should

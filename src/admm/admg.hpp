@@ -19,6 +19,7 @@
 #include "admm/blocks.hpp"
 #include "model/breakdown.hpp"
 #include "model/problem.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ufc::admm {
 
@@ -57,6 +58,12 @@ struct AdmgOptions {
   /// Record per-iteration residuals/objective (costs one evaluate() per
   /// iteration; cheap at paper scale).
   bool record_trace = true;
+  /// Worker threads for the per-front-end and per-datacenter passes of each
+  /// step (the count includes the calling thread). 1 = serial (default);
+  /// 0 = std::thread::hardware_concurrency(). Iterates are bit-identical
+  /// for every thread count: the passes split into deterministic contiguous
+  /// chunks whose items write disjoint outputs.
+  int threads = 1;
 };
 
 /// Per-iteration diagnostics.
@@ -84,6 +91,11 @@ double natural_workload_scale(const UfcProblem& problem);
 /// per-server watts and the latency weight multiplied by sigma. The UFC
 /// objective value of corresponding points is identical.
 UfcProblem scale_workload_units(const UfcProblem& problem, double sigma);
+
+/// In-place variant of scale_workload_units: rescales `problem` directly
+/// without copying it (the per-slot warm-start path swaps problems every
+/// simulated hour, where the copy was measurable).
+void scale_workload_units_in_place(UfcProblem& problem, double sigma);
 
 class AdmgSolver {
  public:
@@ -138,7 +150,17 @@ class AdmgSolver {
   const AdmgOptions& options() const { return options_; }
 
  private:
+  /// Per-worker scratch: block-solver workspace plus the column gather
+  /// buffers of the fused datacenter pass. One instance per pool thread,
+  /// indexed by parallel_for_chunks' chunk index; every buffer reaches its
+  /// steady size in reset() and is never reallocated inside step().
+  struct WorkerScratch {
+    BlockWorkspace blocks;
+    Vec varphi_col, lambda_col, a_col, a_new;
+  };
+
   void reset();
+  void update_residual_scales();
 
   UfcProblem original_;  ///< As given (for the final evaluation).
   UfcProblem problem_;   ///< Workload-normalized.
@@ -153,6 +175,13 @@ class AdmgSolver {
   bool stepped_ = false;        ///< last_change_ is meaningful only after a step.
   double balance_scale_ = 1.0;  ///< Residual normalization, MW.
   double copy_scale_ = 1.0;     ///< Residual normalization, normalized units.
+
+  // Step workspace (hoisted out of step(); see reset()).
+  util::ThreadPool pool_;
+  Mat lambda_tilde_;                   ///< Swapped with lambda_ each step.
+  Vec a_col_sum_;                      ///< Per-step cache of a^k column sums.
+  std::vector<WorkerScratch> scratch_; ///< One per pool thread.
+  std::vector<double> chunk_change_;   ///< Per-chunk last-change maxima.
 };
 
 /// Convenience wrapper: construct, solve, return the report.

@@ -59,9 +59,10 @@ AsyncReport solve_async_admg(const UfcProblem& original,
       }
       LambdaBlockInputs in;
       in.arrival = problem.arrivals[i];
-      in.latency_row = problem.latency_s.row(i);
-      in.a_row = a.row(i);
-      in.varphi_row = varphi.row(i);
+      // row_span views stay valid for the whole solve (no temporaries).
+      in.latency_row = problem.latency_s.row_span(i);
+      in.a_row = a.row_span(i);
+      in.varphi_row = varphi.row_span(i);
       in.rho = rho;
       in.latency_weight = problem.latency_weight;
       in.utility = problem.utility.get();
@@ -101,17 +102,21 @@ AsyncReport solve_async_admg(const UfcProblem& original,
       }
     }
 
-    // a predictions against the cached lambda~ / varphi.
+    // a predictions against the cached lambda~ / varphi. The column views
+    // must outlive each solve, so gather them into named buffers.
     Mat a_tilde(m, n);
+    Vec varphi_col(m), lambda_col(m);
     for (std::size_t j = 0; j < n; ++j) {
+      varphi.col_into(j, varphi_col);
+      lambda_tilde.col_into(j, lambda_col);
       ABlockInputs in;
       in.alpha = problem.alpha_mw(j);
       in.beta = problem.beta_mw(j);
       in.mu = mu_tilde[j];
       in.nu = nu_tilde[j];
       in.phi = phi[j];
-      in.varphi_col = varphi.col(j);
-      in.lambda_col = lambda_tilde.col(j);
+      in.varphi_col = varphi_col.span();
+      in.lambda_col = lambda_col.span();
       in.rho = rho;
       in.capacity = problem.datacenters[j].servers;
       a_tilde.set_col(j, solve_a_block(in, a.col(j), admg.inner));

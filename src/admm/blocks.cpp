@@ -13,47 +13,54 @@ namespace ufc::admm {
 
 namespace {
 
-/// Runs the configured iterative inner solver (FISTA or plain PG); the
-/// Exact method is dispatched before reaching here and also falls back to
-/// FISTA for non-QP sub-problems.
-Vec run_inner(const Vec& x0, const std::function<Vec(const Vec&)>& gradient,
-              const std::function<Vec(const Vec&)>& project, double lipschitz,
-              const InnerSolverOptions& options) {
-  if (options.method == InnerMethod::ProjectedGradient) {
-    PgOptions pg;
-    pg.max_iterations = options.fista.max_iterations;
-    pg.tolerance = options.fista.tolerance;
-    return projected_gradient(x0, gradient, project, lipschitz, pg).x;
-  }
-  return fista_minimize(x0, gradient, project, lipschitz, options.fista).x;
+/// Runs the plain-PG ablation inner solver. The FISTA default goes through
+/// the allocation-free fista_minimize_ws path instead; Exact is dispatched
+/// before reaching here.
+Vec run_projected_gradient(const Vec& x0,
+                           const std::function<Vec(const Vec&)>& gradient,
+                           const std::function<Vec(const Vec&)>& project,
+                           double lipschitz,
+                           const InnerSolverOptions& options) {
+  PgOptions pg;
+  pg.max_iterations = options.fista.max_iterations;
+  pg.tolerance = options.fista.tolerance;
+  return projected_gradient(x0, gradient, project, lipschitz, pg).x;
 }
 
 }  // namespace
 
-Vec solve_lambda_block(const LambdaBlockInputs& in, const Vec& warm_start,
-                       const InnerSolverOptions& options) {
+void solve_lambda_block_into(const LambdaBlockInputs& in,
+                             std::span<const double> warm_start,
+                             std::span<double> out, BlockWorkspace& ws,
+                             const InnerSolverOptions& options) {
   UFC_EXPECTS(in.utility != nullptr);
   UFC_EXPECTS(in.rho > 0.0);
   UFC_EXPECTS(in.arrival >= 0.0);
   const std::size_t n = in.latency_row.size();
   UFC_EXPECTS(in.a_row.size() == n && in.varphi_row.size() == n);
   UFC_EXPECTS(warm_start.size() == n);
+  UFC_EXPECTS(out.size() == n);
 
   // A front-end with no arrivals routes nothing.
-  if (in.arrival <= 0.0) return Vec(n, 0.0);
+  if (in.arrival <= 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
 
   // Exact path: with the paper's quadratic utility the sub-problem is
   //   (w/A)(lambda . L)^2 + (rho/2)||lambda||^2 - (varphi + rho a).lambda
   // over the simplex — an identity-plus-rank-one QP.
   if (options.method == InnerMethod::Exact && in.utility->is_quadratic()) {
-    RankOneQp qp;
+    RankOneQp& qp = ws.qp;  // coefficient buffers reused across solves
     qp.curvature = 2.0 * in.latency_weight / in.arrival;
-    qp.direction = in.latency_row;
+    qp.direction.assign(in.latency_row);
     qp.tikhonov = in.rho;
-    qp.linear = Vec(n);
+    qp.linear.resize(n);
     for (std::size_t j = 0; j < n; ++j)
       qp.linear[j] = -in.varphi_row[j] - in.rho * in.a_row[j];
-    return solve_rank_one_qp_simplex(qp, in.arrival);
+    const Vec solution = solve_rank_one_qp_simplex(qp, in.arrival);
+    std::copy(solution.begin(), solution.end(), out.begin());
+    return;
   }
 
   // Gradient of
@@ -61,20 +68,6 @@ Vec solve_lambda_block(const LambdaBlockInputs& in, const Vec& warm_start,
   //               + (rho/2) sum_j (a_j - lambda_j)^2,
   // with l = dot(lambda, L) / A:
   //   df/dlambda_j = -w u'(l) L_j - varphi_j - rho (a_j - lambda_j).
-  auto gradient = [&](const Vec& lambda) {
-    double weighted = 0.0;
-    for (std::size_t j = 0; j < n; ++j) weighted += lambda[j] * in.latency_row[j];
-    const double avg_latency = weighted / in.arrival;
-    const double uprime = in.utility->derivative(avg_latency);
-    Vec g(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      g[j] = -in.latency_weight * uprime * in.latency_row[j] -
-             in.varphi_row[j] - in.rho * (in.a_row[j] - lambda[j]);
-    }
-    return g;
-  };
-
-  auto project = [&](const Vec& x) { return project_simplex(x, in.arrival); };
 
   // Hessian = (w |u''| / A) L L^T + rho I  =>  exact Lipschitz bound.
   double latency_norm_sq = 0.0;
@@ -87,7 +80,56 @@ Vec solve_lambda_block(const LambdaBlockInputs& in, const Vec& warm_start,
   const double lipschitz =
       in.latency_weight * curvature * latency_norm_sq / in.arrival + in.rho;
 
-  return run_inner(warm_start, gradient, project, lipschitz, options);
+  if (options.method == InnerMethod::ProjectedGradient) {
+    auto gradient = [&](const Vec& lambda) {
+      double weighted = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        weighted += lambda[j] * in.latency_row[j];
+      const double avg_latency = weighted / in.arrival;
+      const double uprime = in.utility->derivative(avg_latency);
+      Vec g(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        g[j] = -in.latency_weight * uprime * in.latency_row[j] -
+               in.varphi_row[j] - in.rho * (in.a_row[j] - lambda[j]);
+      }
+      return g;
+    };
+    auto project = [&](const Vec& x) { return project_simplex(x, in.arrival); };
+    const Vec solution = run_projected_gradient(Vec(warm_start), gradient,
+                                                project, lipschitz, options);
+    std::copy(solution.begin(), solution.end(), out.begin());
+    return;
+  }
+
+  // FISTA (default, and the Exact fallback for non-quadratic utilities):
+  // allocation-free against the workspace.
+  auto gradient_into = [&](const Vec& lambda, Vec& g) {
+    double weighted = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      weighted += lambda[j] * in.latency_row[j];
+    const double avg_latency = weighted / in.arrival;
+    const double uprime = in.utility->derivative(avg_latency);
+    for (std::size_t j = 0; j < n; ++j) {
+      g[j] = -in.latency_weight * uprime * in.latency_row[j] -
+             in.varphi_row[j] - in.rho * (in.a_row[j] - lambda[j]);
+    }
+  };
+  auto project_in_place = [&](Vec& x) {
+    project_simplex_into(x.span(), in.arrival, x.span(), ws.sort_scratch);
+  };
+  fista_minimize_ws(warm_start, gradient_into, project_in_place, lipschitz,
+                    options.fista, ws.fista);
+  std::copy(ws.fista.x.begin(), ws.fista.x.end(), out.begin());
+}
+
+// ufc-lint: allow(expects-guard) — thin wrapper; solve_lambda_block_into
+// guards every input before any work happens.
+Vec solve_lambda_block(const LambdaBlockInputs& in, const Vec& warm_start,
+                       const InnerSolverOptions& options) {
+  Vec out(in.latency_row.size());
+  BlockWorkspace ws;
+  solve_lambda_block_into(in, warm_start.span(), out.span(), ws, options);
+  return out;
 }
 
 double solve_mu_block(const MuBlockInputs& in) {
@@ -123,28 +165,34 @@ double solve_nu_block(const NuBlockInputs& in) {
   return monotone_root(h, 0.0, hi);
 }
 
-Vec solve_a_block(const ABlockInputs& in, const Vec& warm_start,
-                  const InnerSolverOptions& options) {
+void solve_a_block_into(const ABlockInputs& in,
+                        std::span<const double> warm_start,
+                        std::span<double> out, BlockWorkspace& ws,
+                        const InnerSolverOptions& options) {
   UFC_EXPECTS(in.rho > 0.0);
   UFC_EXPECTS(in.capacity >= 0.0);
   const std::size_t m = in.varphi_col.size();
   UFC_EXPECTS(in.lambda_col.size() == m);
   UFC_EXPECTS(warm_start.size() == m);
+  UFC_EXPECTS(out.size() == m);
 
   // Exact path: the a sub-problem is always an identity-plus-rank-one QP,
   //   (rho beta^2 / 2)(1 . a)^2 + (rho/2)||a||^2 + g . a,  with
   //   g_i = phi beta + varphi_i + rho beta (alpha - mu - nu) - rho lambda_i.
   if (options.method == InnerMethod::Exact) {
     const double shift = in.alpha - in.mu - in.nu;
-    RankOneQp qp;
+    RankOneQp& qp = ws.qp;
     qp.curvature = in.rho * in.beta * in.beta;
-    qp.direction = Vec(m, 1.0);
+    qp.direction.resize(m);
+    qp.direction.fill(1.0);
     qp.tikhonov = in.rho;
-    qp.linear = Vec(m);
+    qp.linear.resize(m);
     for (std::size_t i = 0; i < m; ++i)
       qp.linear[i] = in.phi * in.beta + in.varphi_col[i] +
                      in.rho * in.beta * shift - in.rho * in.lambda_col[i];
-    return solve_rank_one_qp_capped(qp, in.capacity);
+    const Vec solution = solve_rank_one_qp_capped(qp, in.capacity);
+    std::copy(solution.begin(), solution.end(), out.begin());
+    return;
   }
 
   // Gradient of
@@ -153,27 +201,59 @@ Vec solve_a_block(const ABlockInputs& in, const Vec& warm_start,
   //          + (rho/2) sum_i (a_i - lambda_i)^2:
   //   df/da_i = phi beta + varphi_i + rho beta (alpha + beta S - mu - nu)
   //             + rho (a_i - lambda_i),  S = sum_i a_i.
-  auto gradient = [&](const Vec& a) {
-    double a_sum = 0.0;
-    for (double x : a) a_sum += x;
-    const double balance = in.alpha + in.beta * a_sum - in.mu - in.nu;
-    Vec g(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      g[i] = in.phi * in.beta + in.varphi_col[i] +
-             in.rho * in.beta * balance + in.rho * (a[i] - in.lambda_col[i]);
-    }
-    return g;
-  };
-
-  auto project = [&](const Vec& x) {
-    return project_capped_simplex(x, in.capacity);
-  };
 
   // Hessian = rho (I + beta^2 1 1^T)  =>  L = rho (1 + beta^2 M).
   const double lipschitz =
       in.rho * (1.0 + in.beta * in.beta * static_cast<double>(m));
 
-  return run_inner(warm_start, gradient, project, lipschitz, options);
+  if (options.method == InnerMethod::ProjectedGradient) {
+    auto gradient = [&](const Vec& a) {
+      double a_sum = 0.0;
+      for (double x : a) a_sum += x;
+      const double balance = in.alpha + in.beta * a_sum - in.mu - in.nu;
+      Vec g(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        g[i] = in.phi * in.beta + in.varphi_col[i] +
+               in.rho * in.beta * balance + in.rho * (a[i] - in.lambda_col[i]);
+      }
+      return g;
+    };
+    auto project = [&](const Vec& x) {
+      return project_capped_simplex(x, in.capacity);
+    };
+    const Vec solution = run_projected_gradient(Vec(warm_start), gradient,
+                                                project, lipschitz, options);
+    std::copy(solution.begin(), solution.end(), out.begin());
+    return;
+  }
+
+  // FISTA (default): allocation-free against the workspace.
+  auto gradient_into = [&](const Vec& a, Vec& g) {
+    double a_sum = 0.0;
+    for (double x : a) a_sum += x;
+    const double balance = in.alpha + in.beta * a_sum - in.mu - in.nu;
+    for (std::size_t i = 0; i < m; ++i) {
+      g[i] = in.phi * in.beta + in.varphi_col[i] + in.rho * in.beta * balance +
+             in.rho * (a[i] - in.lambda_col[i]);
+    }
+  };
+  auto project_in_place = [&](Vec& x) {
+    project_capped_simplex_into(x.span(), in.capacity, x.span(),
+                                ws.sort_scratch);
+  };
+  fista_minimize_ws(warm_start, gradient_into, project_in_place, lipschitz,
+                    options.fista, ws.fista);
+  std::copy(ws.fista.x.begin(), ws.fista.x.end(), out.begin());
+}
+
+// ufc-lint: allow(expects-guard) — thin wrapper; solve_a_block_into guards
+// every input before any work happens.
+Vec solve_a_block(const ABlockInputs& in, const Vec& warm_start,
+                  const InnerSolverOptions& options) {
+  Vec out(in.varphi_col.size());
+  BlockWorkspace ws;
+  solve_a_block_into(in, warm_start.span(), out.span(), ws, options);
+  return out;
 }
 
 // ufc-lint: allow(expects-guard) — pure arithmetic on scalars already

@@ -12,10 +12,14 @@
 // form; the iterates coincide under phi -> -phi.)
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "math/vector.hpp"
 #include "model/emission.hpp"
 #include "model/utility.hpp"
 #include "opt/fista.hpp"
+#include "opt/rank_one_qp.hpp"
 
 namespace ufc::admm {
 
@@ -36,17 +40,30 @@ struct InnerSolverOptions {
   InnerMethod method = InnerMethod::Fista;
 };
 
+/// Reusable scratch for the *_into block solvers: FISTA iterate buffers, the
+/// simplex projection's sort scratch and the exact QP's coefficient vectors.
+/// One instance per worker thread; every buffer reaches its steady size
+/// after the first solve and is never reallocated again.
+struct BlockWorkspace {
+  FistaWorkspace fista;
+  std::vector<double> sort_scratch;
+  RankOneQp qp;
+};
+
 // ---------------------------------------------------------------------------
 // Step 1.1 — lambda-minimization, one sub-problem per front-end i (eq. (17)):
 //
 //   min_{lambda_i in simplex(A_i)}  -w A_i u(l_i)
 //        - sum_j varphi_ij lambda_ij + (rho/2) sum_j (a_ij - lambda_ij)^2
 
+// The row/column inputs are non-owning views (the solver hands out
+// Mat::row_span / workspace columns without copying): the backing storage
+// must outlive the solve call. Assigning a temporary Vec dangles.
 struct LambdaBlockInputs {
-  double arrival = 0.0;     ///< A_i.
-  Vec latency_row;          ///< L_i1..L_iN, seconds.
-  Vec a_row;                ///< a_i^k.
-  Vec varphi_row;           ///< varphi_i^k.
+  double arrival = 0.0;                ///< A_i.
+  std::span<const double> latency_row; ///< L_i1..L_iN, seconds.
+  std::span<const double> a_row;       ///< a_i^k.
+  std::span<const double> varphi_row;  ///< varphi_i^k.
   double rho = 0.3;
   double latency_weight = 0.0;              ///< w.
   const UtilityFunction* utility = nullptr; ///< non-owning, non-null.
@@ -55,6 +72,14 @@ struct LambdaBlockInputs {
 /// Solves the per-front-end sub-problem; `warm_start` seeds the inner solver.
 Vec solve_lambda_block(const LambdaBlockInputs& in, const Vec& warm_start,
                        const InnerSolverOptions& options);
+
+/// Allocation-free variant writing the minimizer into `out` (sized N). With
+/// the default FISTA method no heap allocation happens once `ws` is warm;
+/// iterates are bit-identical to solve_lambda_block.
+void solve_lambda_block_into(const LambdaBlockInputs& in,
+                             std::span<const double> warm_start,
+                             std::span<double> out, BlockWorkspace& ws,
+                             const InnerSolverOptions& options);
 
 // ---------------------------------------------------------------------------
 // Step 1.2 — mu-minimization, one scalar per datacenter j (eq. (18));
@@ -104,20 +129,28 @@ double solve_nu_block(const NuBlockInputs& in);
 //     + (rho/2)(alpha_j + beta_j sum_i a_ij - mu~_j - nu~_j)^2
 //     + (rho/2) sum_i (a_ij - lambda~_ij)^2
 
+// Column inputs are non-owning views; see LambdaBlockInputs.
 struct ABlockInputs {
   double alpha = 0.0;
   double beta = 0.0;
-  double mu = 0.0;            ///< mu~_j.
-  double nu = 0.0;            ///< nu~_j.
-  double phi = 0.0;           ///< phi_j^k.
-  Vec varphi_col;             ///< varphi_1j..varphi_Mj (^k).
-  Vec lambda_col;             ///< lambda~_1j..lambda~_Mj.
+  double mu = 0.0;                     ///< mu~_j.
+  double nu = 0.0;                     ///< nu~_j.
+  double phi = 0.0;                    ///< phi_j^k.
+  std::span<const double> varphi_col;  ///< varphi_1j..varphi_Mj (^k).
+  std::span<const double> lambda_col;  ///< lambda~_1j..lambda~_Mj.
   double rho = 0.3;
-  double capacity = 0.0;      ///< S_j, servers.
+  double capacity = 0.0;               ///< S_j, servers.
 };
 
 Vec solve_a_block(const ABlockInputs& in, const Vec& warm_start,
                   const InnerSolverOptions& options);
+
+/// Allocation-free variant writing the minimizer into `out` (sized M);
+/// bit-identical to solve_a_block. See solve_lambda_block_into.
+void solve_a_block_into(const ABlockInputs& in,
+                        std::span<const double> warm_start,
+                        std::span<double> out, BlockWorkspace& ws,
+                        const InnerSolverOptions& options);
 
 // ---------------------------------------------------------------------------
 // Step 1.5 — dual updates.

@@ -34,13 +34,29 @@ Vec Mat::col(std::size_t c) const {
   return out;
 }
 
-void Mat::set_row(std::size_t r, const Vec& values) {
+std::span<const double> Mat::row_span(std::size_t r) const {
+  UFC_EXPECTS(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<double> Mat::row_span(std::size_t r) {
+  UFC_EXPECTS(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Mat::col_into(std::size_t c, Vec& out) const {
+  UFC_EXPECTS(c < cols_);
+  out.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+}
+
+void Mat::set_row(std::size_t r, std::span<const double> values) {
   UFC_EXPECTS(r < rows_);
   UFC_EXPECTS(values.size() == cols_);
   for (std::size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
 }
 
-void Mat::set_col(std::size_t c, const Vec& values) {
+void Mat::set_col(std::size_t c, std::span<const double> values) {
   UFC_EXPECTS(c < cols_);
   UFC_EXPECTS(values.size() == rows_);
   for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "math/vector.hpp"
@@ -25,10 +26,16 @@ class Mat {
   Vec row(std::size_t r) const;
   /// Column c as a copy.
   Vec col(std::size_t c) const;
+  /// Row r as a view (rows are contiguous in the row-major layout); no copy.
+  std::span<const double> row_span(std::size_t r) const;
+  std::span<double> row_span(std::size_t r);
+  /// Copies column c into `out` (resized to rows()); columns are strided, so
+  /// a view is impossible — this is the allocation-free alternative to col().
+  void col_into(std::size_t c, Vec& out) const;
   /// Overwrites row r.
-  void set_row(std::size_t r, const Vec& values);
+  void set_row(std::size_t r, std::span<const double> values);
   /// Overwrites column c.
-  void set_col(std::size_t c, const Vec& values);
+  void set_col(std::size_t c, std::span<const double> values);
 
   double row_sum(std::size_t r) const;
   double col_sum(std::size_t c) const;

@@ -13,24 +13,30 @@ Vec project_box(Vec v, double lo, double hi) {
   return v;
 }
 
-Vec project_simplex(const Vec& v, double total) {
+void project_simplex_into(std::span<const double> v, double total,
+                          std::span<double> out,
+                          std::vector<double>& sort_scratch) {
   UFC_EXPECTS(total >= 0.0);
   UFC_EXPECTS(!v.empty());
+  UFC_EXPECTS(out.size() == v.size());
   // ufc-lint: allow(float-equal) — exact-zero guard: the degenerate
   // zero-mass simplex has the all-zeros point as its only member.
-  if (total == 0.0) return Vec(v.size(), 0.0);
+  if (total == 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
   // Sort descending, find the threshold tau with
   //   tau = (prefix_sum(k) - total) / k
   // for the largest k such that sorted[k-1] > tau.
-  std::vector<double> sorted(v.begin(), v.end());
-  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  sort_scratch.assign(v.begin(), v.end());
+  std::sort(sort_scratch.begin(), sort_scratch.end(), std::greater<>());
   double prefix = 0.0;
   double tau = 0.0;
   std::size_t support = 0;
-  for (std::size_t k = 0; k < sorted.size(); ++k) {
-    prefix += sorted[k];
+  for (std::size_t k = 0; k < sort_scratch.size(); ++k) {
+    prefix += sort_scratch[k];
     const double candidate = (prefix - total) / static_cast<double>(k + 1);
-    if (sorted[k] - candidate > 0.0) {
+    if (sort_scratch[k] - candidate > 0.0) {
       tau = candidate;
       support = k + 1;
     } else {
@@ -38,20 +44,44 @@ Vec project_simplex(const Vec& v, double total) {
     }
   }
   UFC_ENSURES(support > 0);
-  Vec out(v.size());
+  // tau depends only on the sorted copy, so out may alias v.
   for (std::size_t i = 0; i < v.size(); ++i)
     out[i] = std::max(v[i] - tau, 0.0);
+}
+
+Vec project_simplex(const Vec& v, double total) {
+  UFC_EXPECTS(total >= 0.0);
+  Vec out(v.size());
+  std::vector<double> scratch;
+  project_simplex_into(v.span(), total, out.span(), scratch);
   return out;
+}
+
+void project_capped_simplex_into(std::span<const double> v, double cap,
+                                 std::span<double> out,
+                                 std::vector<double>& sort_scratch) {
+  UFC_EXPECTS(cap >= 0.0);
+  UFC_EXPECTS(out.size() == v.size());
+  // Same addition order as sum(project_nonnegative(v)), so the branch below
+  // agrees bitwise with project_capped_simplex.
+  double clipped_sum = 0.0;
+  for (double x : v) clipped_sum += std::max(x, 0.0);
+  if (clipped_sum <= cap) {
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = std::max(v[i], 0.0);
+    return;
+  }
+  // Projection onto the intersection equals the simplex projection when the
+  // inequality is active (standard KKT argument: the multiplier of the sum
+  // constraint is positive, so the constraint binds).
+  project_simplex_into(v, cap, out, sort_scratch);
 }
 
 Vec project_capped_simplex(const Vec& v, double cap) {
   UFC_EXPECTS(cap >= 0.0);
-  Vec clipped = project_nonnegative(v);
-  if (sum(clipped) <= cap) return clipped;
-  // Projection onto the intersection equals the simplex projection when the
-  // inequality is active (standard KKT argument: the multiplier of the sum
-  // constraint is positive, so the constraint binds).
-  return project_simplex(v, cap);
+  Vec out(v.size());
+  std::vector<double> scratch;
+  project_capped_simplex_into(v.span(), cap, out.span(), scratch);
+  return out;
 }
 
 Vec project_affine_sum(Vec v, double total) {

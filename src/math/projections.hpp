@@ -11,6 +11,9 @@
 // = total.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "math/vector.hpp"
 
 namespace ufc {
@@ -23,6 +26,19 @@ Vec project_simplex(const Vec& v, double total);
 
 /// Projects v onto {x >= 0, sum x <= cap}. Requires cap >= 0.
 Vec project_capped_simplex(const Vec& v, double cap);
+
+/// Allocation-free simplex projection writing into `out` (out may alias v).
+/// `sort_scratch` is reused across calls and grows to v.size() once.
+/// Bit-identical to project_simplex on the same inputs.
+void project_simplex_into(std::span<const double> v, double total,
+                          std::span<double> out,
+                          std::vector<double>& sort_scratch);
+
+/// Allocation-free capped-simplex projection (out may alias v); bit-identical
+/// to project_capped_simplex on the same inputs.
+void project_capped_simplex_into(std::span<const double> v, double cap,
+                                 std::span<double> out,
+                                 std::vector<double>& sort_scratch);
 
 /// Projects v onto the affine set {x : sum x = total}.
 Vec project_affine_sum(Vec v, double total);

@@ -81,6 +81,12 @@ void axpy(double alpha, const Vec& x, Vec& y) {
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
+void add_scaled_into(double alpha, std::span<const double> x,
+                     std::span<double> y) {
+  UFC_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
 double max_abs_diff(const Vec& a, const Vec& b) {
   UFC_EXPECTS(a.size() == b.size());
   double m = 0.0;

@@ -18,6 +18,8 @@ class Vec {
   explicit Vec(std::size_t n, double fill = 0.0) : data_(n, fill) {}
   Vec(std::initializer_list<double> init) : data_(init) {}
   explicit Vec(std::vector<double> data) : data_(std::move(data)) {}
+  explicit Vec(std::span<const double> values)
+      : data_(values.begin(), values.end()) {}
 
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
@@ -44,6 +46,11 @@ class Vec {
 
   void fill(double value);
   void resize(std::size_t n, double fill = 0.0) { data_.resize(n, fill); }
+  /// Overwrites with `values` (resizing if needed; no allocation when the
+  /// size already matches — the workspace-reuse hot path).
+  void assign(std::span<const double> values) {
+    data_.assign(values.begin(), values.end());
+  }
 
  private:
   std::vector<double> data_;
@@ -60,6 +67,10 @@ double sum(const Vec& v);
 
 /// axpy: y += alpha * x.
 void axpy(double alpha, const Vec& x, Vec& y);
+
+/// Span axpy: y += alpha * x, for view-based hot paths (sizes must match).
+void add_scaled_into(double alpha, std::span<const double> x,
+                     std::span<double> y);
 
 /// Maximum absolute difference between two equal-sized vectors.
 double max_abs_diff(const Vec& a, const Vec& b);

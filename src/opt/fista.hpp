@@ -14,9 +14,13 @@
 // practice gives linear convergence on strongly convex QPs.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
+#include <span>
 
 #include "math/vector.hpp"
+#include "util/contract.hpp"
 
 namespace ufc {
 
@@ -43,5 +47,94 @@ FistaResult fista_minimize(const Vec& x0,
                            const std::function<Vec(const Vec&)>& gradient,
                            const std::function<Vec(const Vec&)>& project,
                            double lipschitz, const FistaOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Allocation-free variant for the ADM-G hot path.
+//
+// fista_minimize allocates ~6 vectors per iteration (gradient result,
+// candidate, projection output, iterate difference, plus the projection's
+// internals); at the solver's scale (tens of thousands of inner iterations
+// per ADM-G step) those mallocs dominate the sub-problem cost. The _ws
+// variant runs the *identical* iteration — same operations in the same
+// order, bit-identical iterates — against caller-owned workspace, and takes
+// its callbacks as template parameters so no std::function is constructed.
+
+/// Reusable FISTA buffers; resize() is a no-op after the first call at a
+/// given dimension.
+struct FistaWorkspace {
+  Vec x, y, grad, candidate, diff;
+  void resize(std::size_t n) {
+    x.resize(n);
+    y.resize(n);
+    grad.resize(n);
+    candidate.resize(n);
+    diff.resize(n);
+  }
+};
+
+struct FistaStatus {
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Workspace FISTA: `gradient_into(y, g)` writes the gradient of f at y into
+/// g (both pre-sized); `project_in_place(x)` projects x onto C in place. The
+/// minimizer is left in ws.x. Bit-identical to fista_minimize given
+/// callbacks that compute the same gradient/projection.
+template <typename GradientInto, typename ProjectInPlace>
+FistaStatus fista_minimize_ws(std::span<const double> x0,
+                              GradientInto&& gradient_into,
+                              ProjectInPlace&& project_in_place,
+                              double lipschitz, const FistaOptions& options,
+                              FistaWorkspace& ws) {
+  UFC_EXPECTS(lipschitz > 0.0);
+  UFC_EXPECTS(options.max_iterations > 0);
+
+  const double step = 1.0 / lipschitz;
+  const std::size_t n = x0.size();
+  ws.resize(n);
+  std::copy(x0.begin(), x0.end(), ws.x.begin());
+  project_in_place(ws.x);
+  ws.y = ws.x;
+  double t = 1.0;
+
+  FistaStatus status;
+  for (int k = 0; k < options.max_iterations; ++k) {
+    gradient_into(ws.y, ws.grad);
+    ws.candidate = ws.y;
+    axpy(-step, ws.grad, ws.candidate);
+    project_in_place(ws.candidate);  // candidate now holds x_next
+
+    const double move = max_abs_diff(ws.candidate, ws.x);
+
+    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    for (std::size_t i = 0; i < n; ++i) ws.diff[i] = ws.candidate[i] - ws.x[i];
+
+    bool restart = false;
+    if (options.adaptive_restart) {
+      // Gradient-based restart: if the (projected) gradient direction
+      // opposes the momentum step, kill the momentum.
+      restart = dot(ws.grad, ws.diff) > 0.0;
+    }
+
+    if (restart) {
+      t = 1.0;
+      ws.y = ws.candidate;
+    } else {
+      const double momentum = (t - 1.0) / t_next;
+      ws.y = ws.candidate;
+      axpy(momentum, ws.diff, ws.y);
+      t = t_next;
+    }
+
+    std::swap(ws.x, ws.candidate);  // x <- x_next without copying
+    status.iterations = k + 1;
+    if (move < options.tolerance) {
+      status.converged = true;
+      break;
+    }
+  }
+  return status;
+}
 
 }  // namespace ufc

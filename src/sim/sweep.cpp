@@ -2,6 +2,7 @@
 
 #include "util/contract.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ufc::sim {
 
@@ -33,14 +34,17 @@ std::vector<SweepPoint> sweep_fuel_cell_price(
     const traces::ScenarioConfig& base, std::span<const double> prices,
     const SimulatorOptions& options) {
   UFC_EXPECTS(!prices.empty());
-  std::vector<SweepPoint> points;
-  points.reserve(prices.size());
-  for (double p0 : prices) {
-    UFC_EXPECTS(p0 >= 0.0);
+  for (double p0 : prices) UFC_EXPECTS(p0 >= 0.0);
+  // Sweep points are fully independent (each regenerates its own scenario),
+  // so they share the solver's thread knob; every point writes only its own
+  // slot, keeping results identical to the serial sweep.
+  std::vector<SweepPoint> points(prices.size());
+  util::ThreadPool pool(util::resolve_thread_count(options.admg.threads));
+  pool.parallel_for(0, prices.size(), [&](std::size_t k) {
     traces::ScenarioConfig config = base;
-    config.fuel_cell_price = p0;
-    points.push_back(run_point(config, p0, options));
-  }
+    config.fuel_cell_price = prices[k];
+    points[k] = run_point(config, prices[k], options);
+  });
   return points;
 }
 
@@ -48,14 +52,14 @@ std::vector<SweepPoint> sweep_carbon_tax(const traces::ScenarioConfig& base,
                                          std::span<const double> taxes,
                                          const SimulatorOptions& options) {
   UFC_EXPECTS(!taxes.empty());
-  std::vector<SweepPoint> points;
-  points.reserve(taxes.size());
-  for (double tax : taxes) {
-    UFC_EXPECTS(tax >= 0.0);
+  for (double tax : taxes) UFC_EXPECTS(tax >= 0.0);
+  std::vector<SweepPoint> points(taxes.size());
+  util::ThreadPool pool(util::resolve_thread_count(options.admg.threads));
+  pool.parallel_for(0, taxes.size(), [&](std::size_t k) {
     traces::ScenarioConfig config = base;
-    config.carbon_tax = tax;
-    points.push_back(run_point(config, tax, options));
-  }
+    config.carbon_tax = taxes[k];
+    points[k] = run_point(config, taxes[k], options);
+  });
   return points;
 }
 

@@ -1,0 +1,134 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/contract.hpp"
+
+namespace ufc::util {
+
+std::size_t resolve_thread_count(int threads) {
+  if (threads > 0) return static_cast<std::size_t>(threads);
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t resolved =
+      threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : threads;
+  workers_.reserve(resolved - 1);
+  for (std::size_t t = 0; t + 1 < resolved; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  UFC_EXPECTS(begin <= end);
+  const std::size_t range = end - begin;
+  if (range == 0) return;
+
+  const std::size_t chunks = std::min(thread_count(), range);
+  if (chunks <= 1) {  // serial degradation: no queue, no synchronization
+    body(begin, end, 0);
+    return;
+  }
+
+  // Deterministic contiguous partition: chunk c covers
+  // [begin + c*range/chunks, begin + (c+1)*range/chunks).
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending;
+    std::vector<std::exception_ptr> errors;
+  } shared;
+  shared.pending = chunks - 1;
+  shared.errors.assign(chunks, nullptr);
+
+  auto chunk_bounds = [&](std::size_t c) {
+    return std::pair<std::size_t, std::size_t>{
+        begin + c * range / chunks, begin + (c + 1) * range / chunks};
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      queue_.emplace_back([&shared, &body, &chunk_bounds, c] {
+        try {
+          const auto [b, e] = chunk_bounds(c);
+          body(b, e, c);
+        } catch (...) {
+          std::lock_guard<std::mutex> g(shared.mutex);
+          shared.errors[c] = std::current_exception();
+        }
+        std::lock_guard<std::mutex> g(shared.mutex);
+        if (--shared.pending == 0) shared.done.notify_one();
+      });
+    }
+  }
+  wake_.notify_all();
+
+  // The calling thread takes chunk 0 instead of idling.
+  try {
+    const auto [b, e] = chunk_bounds(0);
+    body(b, e, 0);
+  } catch (...) {
+    shared.errors[0] = std::current_exception();
+  }
+
+  // Help drain the queue before blocking: with every worker busy (or in a
+  // nested parallel_for of its own) this keeps the system making progress,
+  // so nested calls cannot deadlock.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    shared.done.wait(lock, [&shared] { return shared.pending == 0; });
+  }
+
+  for (const auto& error : shared.errors)
+    if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(begin, end,
+                      [&body](std::size_t b, std::size_t e, std::size_t) {
+                        for (std::size_t i = b; i < e; ++i) body(i);
+                      });
+}
+
+}  // namespace ufc::util

@@ -1,0 +1,75 @@
+// Persistent-worker thread pool with a deterministic chunked parallel_for.
+//
+// Built for the ADM-G hot path: the per-front-end (lambda-row) and
+// per-datacenter (mu/nu/a-column) sub-problems are independent, so one
+// parallel_for per pass covers the whole prediction/correction step. Two
+// properties the solver relies on:
+//
+//  1. Determinism. parallel_for splits [begin, end) into at most
+//     thread_count() contiguous chunks and every index is processed by
+//     exactly one chunk, so any per-item work that writes disjoint outputs
+//     is bit-identical serial vs. threaded. Cross-chunk reductions must be
+//     order-insensitive (max over doubles is; float sums are not — keep
+//     per-item sums inside one chunk).
+//  2. Graceful degradation. With threads <= 1, or a range smaller than two
+//     items, the body runs inline on the calling thread: no workers are
+//     spawned, no synchronization happens, and exception behaviour is the
+//     ordinary call stack.
+//
+// Exceptions thrown by the body are captured per chunk and the lowest-chunk
+// exception is rethrown on the calling thread once every chunk finished, so
+// a throwing body never leaves work running concurrently with unwinding.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ufc::util {
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread too: 1 means fully serial (no
+  /// workers), 4 means the caller plus three workers. 0 picks
+  /// std::thread::hardware_concurrency() (floored at 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Threads participating in parallel_for, including the calling thread.
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs body(i) for every i in [begin, end). Blocks until all chunks
+  /// completed; rethrows the first (lowest-chunk) exception afterwards.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Chunk-granular variant: body(chunk_begin, chunk_end, chunk_index) with
+  /// chunk_index < thread_count(). Lets callers keep per-chunk scratch and
+  /// per-chunk reductions in a fixed order. Chunk boundaries depend only on
+  /// the range and thread_count(), never on scheduling.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+/// Resolves a user-facing thread knob: 0 = hardware concurrency, otherwise
+/// the value itself (floored at 1).
+std::size_t resolve_thread_count(int threads);
+
+}  // namespace ufc::util

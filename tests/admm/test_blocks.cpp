@@ -24,7 +24,10 @@ InnerSolverOptions tight_inner() {
 }
 
 double lambda_block_objective(const LambdaBlockInputs& in, const Vec& lambda) {
-  const double avg_latency = dot(lambda, in.latency_row) / in.arrival;
+  double weighted = 0.0;
+  for (std::size_t j = 0; j < lambda.size(); ++j)
+    weighted += lambda[j] * in.latency_row[j];
+  const double avg_latency = weighted / in.arrival;
   double obj = -in.latency_weight * in.arrival * in.utility->value(avg_latency);
   for (std::size_t j = 0; j < lambda.size(); ++j)
     obj += -in.varphi_row[j] * lambda[j] +
@@ -34,11 +37,13 @@ double lambda_block_objective(const LambdaBlockInputs& in, const Vec& lambda) {
 
 TEST(LambdaBlock, TwoDatacenterBruteForce) {
   QuadraticUtility utility;
+  // Named storage: the input spans are non-owning views.
+  const Vec latency{0.010, 0.030}, a_row{0.4, 0.6}, varphi_row{0.02, -0.05};
   LambdaBlockInputs in;
   in.arrival = 1.0;
-  in.latency_row = Vec{0.010, 0.030};
-  in.a_row = Vec{0.4, 0.6};
-  in.varphi_row = Vec{0.02, -0.05};
+  in.latency_row = latency.span();
+  in.a_row = a_row.span();
+  in.varphi_row = varphi_row.span();
   in.rho = 1.0;
   in.latency_weight = 10.0;
   in.utility = &utility;
@@ -61,11 +66,12 @@ TEST(LambdaBlock, TwoDatacenterBruteForce) {
 
 TEST(LambdaBlock, ZeroArrivalReturnsZeros) {
   QuadraticUtility utility;
+  const Vec latency{0.01, 0.02}, a_row{0.0, 0.0}, varphi_row{0.0, 0.0};
   LambdaBlockInputs in;
   in.arrival = 0.0;
-  in.latency_row = Vec{0.01, 0.02};
-  in.a_row = Vec{0.0, 0.0};
-  in.varphi_row = Vec{0.0, 0.0};
+  in.latency_row = latency.span();
+  in.a_row = a_row.span();
+  in.varphi_row = varphi_row.span();
   in.utility = &utility;
   const Vec solution = solve_lambda_block(in, Vec{0.0, 0.0}, tight_inner());
   EXPECT_DOUBLE_EQ(solution[0], 0.0);
@@ -78,16 +84,17 @@ TEST_P(LambdaBlockProperty, SatisfiesFirstOrderConditions) {
   Rng rng(GetParam());
   QuadraticUtility utility;
   const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+  Vec latency(n), a_row(n), varphi_row(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    latency[j] = rng.uniform(0.002, 0.05);
+    a_row[j] = rng.uniform(0.0, 1.0);
+    varphi_row[j] = rng.uniform(-0.5, 0.5);
+  }
   LambdaBlockInputs in;
   in.arrival = rng.uniform(0.2, 3.0);
-  in.latency_row = Vec(n);
-  in.a_row = Vec(n);
-  in.varphi_row = Vec(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    in.latency_row[j] = rng.uniform(0.002, 0.05);
-    in.a_row[j] = rng.uniform(0.0, 1.0);
-    in.varphi_row[j] = rng.uniform(-0.5, 0.5);
-  }
+  in.latency_row = latency.span();
+  in.a_row = a_row.span();
+  in.varphi_row = varphi_row.span();
   in.rho = rng.uniform(0.1, 20.0);
   in.latency_weight = 10.0;
   in.utility = &utility;
@@ -95,7 +102,7 @@ TEST_P(LambdaBlockProperty, SatisfiesFirstOrderConditions) {
   const Vec solution = solve_lambda_block(in, Vec(n, 0.0), tight_inner());
 
   auto gradient = [&](const Vec& lambda) {
-    const double avg_latency = dot(lambda, in.latency_row) / in.arrival;
+    const double avg_latency = dot(lambda, latency) / in.arrival;
     const double uprime = utility.derivative(avg_latency);
     Vec g(n);
     for (std::size_t j = 0; j < n; ++j)
@@ -271,18 +278,19 @@ class ABlockProperty : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(ABlockProperty, SatisfiesFirstOrderConditions) {
   Rng rng(GetParam() + 7);
   const std::size_t m = 2 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+  Vec varphi_col(m), lambda_col(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    varphi_col[i] = rng.uniform(-1.0, 1.0);
+    lambda_col[i] = rng.uniform(0.0, 1.0);
+  }
   ABlockInputs in;
   in.alpha = rng.uniform(0.0, 2.0);
   in.beta = rng.uniform(0.0, 1.0);
   in.mu = rng.uniform(0.0, 1.0);
   in.nu = rng.uniform(0.0, 1.0);
   in.phi = rng.uniform(-3.0, 3.0);
-  in.varphi_col = Vec(m);
-  in.lambda_col = Vec(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    in.varphi_col[i] = rng.uniform(-1.0, 1.0);
-    in.lambda_col[i] = rng.uniform(0.0, 1.0);
-  }
+  in.varphi_col = varphi_col.span();
+  in.lambda_col = lambda_col.span();
   in.rho = rng.uniform(0.2, 10.0);
   in.capacity = rng.uniform(0.5, 3.0);
 
@@ -340,11 +348,13 @@ TEST(DualUpdates, MatchDefinitions) {
 
 TEST(InnerSolverAblation, FistaAndPgAgree) {
   QuadraticUtility utility;
+  const Vec latency{0.01, 0.02, 0.04}, a_row{0.3, 0.3, 0.4},
+      varphi_row{0.05, -0.02, 0.0};
   LambdaBlockInputs in;
   in.arrival = 1.0;
-  in.latency_row = Vec{0.01, 0.02, 0.04};
-  in.a_row = Vec{0.3, 0.3, 0.4};
-  in.varphi_row = Vec{0.05, -0.02, 0.0};
+  in.latency_row = latency.span();
+  in.a_row = a_row.span();
+  in.varphi_row = varphi_row.span();
   in.rho = 2.0;
   in.latency_weight = 10.0;
   in.utility = &utility;
@@ -367,18 +377,19 @@ TEST(InnerSolverAblation, ExactMatchesFistaOnABlock) {
   Rng rng(123);
   for (int trial = 0; trial < 10; ++trial) {
     const std::size_t m = 2 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    Vec varphi_col(m), lambda_col(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      varphi_col[i] = rng.uniform(-1.0, 1.0);
+      lambda_col[i] = rng.uniform(0.0, 1.0);
+    }
     ABlockInputs in;
     in.alpha = rng.uniform(0.0, 2.0);
     in.beta = rng.uniform(0.0, 1.0);
     in.mu = rng.uniform(0.0, 1.0);
     in.nu = rng.uniform(0.0, 1.0);
     in.phi = rng.uniform(-3.0, 3.0);
-    in.varphi_col = Vec(m);
-    in.lambda_col = Vec(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      in.varphi_col[i] = rng.uniform(-1.0, 1.0);
-      in.lambda_col[i] = rng.uniform(0.0, 1.0);
-    }
+    in.varphi_col = varphi_col.span();
+    in.lambda_col = lambda_col.span();
     in.rho = rng.uniform(0.2, 10.0);
     in.capacity = rng.uniform(0.5, 3.0);
 
@@ -394,11 +405,12 @@ TEST(InnerSolverAblation, ExactFallsBackForNonQuadraticUtility) {
   // Exponential utility is not a QP: the exact method must fall back to
   // FISTA and still produce the right answer.
   ExponentialUtility utility(0.02);
+  const Vec latency{0.01, 0.03}, a_row{0.5, 0.5}, varphi_row{0.0, 0.0};
   LambdaBlockInputs in;
   in.arrival = 1.0;
-  in.latency_row = Vec{0.01, 0.03};
-  in.a_row = Vec{0.5, 0.5};
-  in.varphi_row = Vec{0.0, 0.0};
+  in.latency_row = latency.span();
+  in.a_row = a_row.span();
+  in.varphi_row = varphi_row.span();
   in.rho = 2.0;
   in.latency_weight = 10.0;
   in.utility = &utility;
