@@ -20,6 +20,11 @@ Rules (each documented in docs/STATIC_ANALYSIS.md):
   no-alloc-in-step  No Mat/Vec construction inside AdmgSolver::step — the hot
                     path works entirely out of workspaces allocated in
                     reset(), so steady-state iterations are allocation-free.
+  finite-iterate-guard
+                    The solver driver loops (AdmgSolver::solve_warm,
+                    DistributedAdmgRuntime::run) must route iterations through
+                    SolverWatchdog::observe so non-finite iterates and stalls
+                    are caught instead of corrupting reports or spinning.
 
 Suppressing a finding: append `// ufc-lint: allow(<rule>)` (with a reason!)
 to the offending line, or place it alone on the line above.
@@ -231,6 +236,43 @@ def check_no_alloc_in_step(rel: str, lines: list[str]) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: finite-iterate-guard
+# --------------------------------------------------------------------------
+# The two solver driver loops are the only places a non-finite iterate or a
+# residual stall can be caught before it corrupts a report or spins to
+# max_iterations: both must consult the shared SolverWatchdog
+# (`watchdog.observe(...)`) — see docs/ROBUSTNESS.md. A driver definition
+# without an observe call has silently lost its degradation path.
+GUARDED_DRIVER_RES = [
+    re.compile(r"\bAdmgSolver\s*::\s*solve_warm\s*\("),
+    re.compile(r"\bDistributedAdmgRuntime\s*::\s*run\s*\("),
+]
+
+
+def check_finite_iterate_guard(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.endswith(".cpp"):
+        return []
+    text = "\n".join(lines)
+    findings = []
+    for pattern in GUARDED_DRIVER_RES:
+        for m in pattern.finditer(text):
+            span = _body_span(text, m.end() - 1)
+            if span is None:
+                continue  # declaration or call, not a definition
+            start_line = text.count("\n", 0, m.start()) + 1
+            if ".observe(" in text[span[0]:span[1]]:
+                continue
+            if _suppressed(lines, start_line - 1, "finite-iterate-guard"):
+                continue
+            name = re.sub(r"\s+", "", m.group(0))[:-1]
+            findings.append(Finding(
+                rel, start_line, "finite-iterate-guard",
+                f"solver driver `{name}` never calls SolverWatchdog::observe; "
+                "non-finite iterates and stalls would go undetected"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: expects-guard
 # --------------------------------------------------------------------------
 # A public solver entry point is a free function declared at column 0 in a
@@ -325,6 +367,7 @@ RULES = {
     "float-equal": (check_float_equal, "no ==/!= on float literals outside tolerance helpers"),
     "bench-csv-name": (check_bench_csv_name, "bench binaries write only ufc_*.csv"),
     "no-alloc-in-step": (check_no_alloc_in_step, "no Mat/Vec construction inside AdmgSolver::step"),
+    "finite-iterate-guard": (check_finite_iterate_guard, "solver driver loops must consult SolverWatchdog::observe"),
     "expects-guard": (check_expects_guard, "solver entry points must use UFC_EXPECTS"),
 }
 
@@ -534,6 +577,54 @@ def self_test() -> int:
                    "}\n")
             findings = self.lint_source("src/admm/admg.cpp", cpp)
             self.assertNotIn("no-alloc-in-step", self.rules_of(findings))
+
+        def test_finite_iterate_guard_missing_observe_flagged(self):
+            cpp = ("AdmgReport AdmgSolver::solve_warm() {\n"
+                   "  for (int k = 0; k < max; ++k) step();\n"
+                   "  return report;\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertIn("finite-iterate-guard", self.rules_of(findings))
+
+        def test_finite_iterate_guard_runtime_run_flagged(self):
+            cpp = ("DistributedReport DistributedAdmgRuntime::run() {\n"
+                   "  for (int k = 0; k < max; ++k) round(k);\n"
+                   "  return report;\n"
+                   "}\n")
+            findings = self.lint_source("src/net/runtime.cpp", cpp)
+            self.assertIn("finite-iterate-guard", self.rules_of(findings))
+
+        def test_finite_iterate_guard_observe_present_ok(self):
+            cpp = ("AdmgReport AdmgSolver::solve_warm() {\n"
+                   "  SolverWatchdog watchdog(options_.watchdog);\n"
+                   "  for (int k = 0; k < max; ++k) {\n"
+                   "    step();\n"
+                   "    watchdog.observe(r, s, finite);\n"
+                   "  }\n"
+                   "  return report;\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertNotIn("finite-iterate-guard", self.rules_of(findings))
+
+        def test_finite_iterate_guard_declaration_not_matched(self):
+            cpp = "AdmgReport AdmgSolver::solve_warm();\n"
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertNotIn("finite-iterate-guard", self.rules_of(findings))
+
+        def test_finite_iterate_guard_other_functions_exempt(self):
+            cpp = ("void AdmgSolver::reset() {\n"
+                   "  for (int k = 0; k < max; ++k) clear(k);\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertNotIn("finite-iterate-guard", self.rules_of(findings))
+
+        def test_finite_iterate_guard_suppressed(self):
+            cpp = ("// ufc-lint: allow(finite-iterate-guard)\n"
+                   "AdmgReport AdmgSolver::solve_warm() {\n"
+                   "  return report;\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            self.assertNotIn("finite-iterate-guard", self.rules_of(findings))
 
         def test_expects_guard_missing(self):
             header = "#pragma once\nVec project_simplex(const Vec& v, double total);\n"

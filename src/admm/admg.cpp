@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "admm/centralized.hpp"
 #include "util/contract.hpp"
 #include "util/logging.hpp"
+#include "util/wire.hpp"
 
 namespace ufc::admm {
+
+namespace {
+
+// Checkpoint framing (see docs/ROBUSTNESS.md): magic + version guard the
+// decoder against foreign byte strings, dimensions + sigma guard against
+// restoring into a solver built on a different problem shape.
+constexpr std::uint32_t kCheckpointMagic = 0x55464343;  // "UFCC"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+bool all_finite(std::span<const double> values) {
+  for (double v : values)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace
 
 double natural_workload_scale(const UfcProblem& problem) {
   UFC_EXPECTS(problem.num_front_ends() > 0);
@@ -317,6 +336,51 @@ void AdmgSolver::set_problem(const UfcProblem& problem) {
   stepped_ = false;  // convergence must be re-established on the new slot
 }
 
+bool AdmgSolver::iterate_finite() const {
+  return all_finite(lambda_.raw()) && all_finite(a_.raw()) &&
+         all_finite(varphi_.raw()) && all_finite(mu_.span()) &&
+         all_finite(nu_.span()) && all_finite(phi_.span()) &&
+         std::isfinite(last_change_);
+}
+
+std::vector<std::byte> AdmgSolver::checkpoint() const {
+  std::vector<std::byte> out;
+  wire::append(out, kCheckpointMagic);
+  wire::append(out, kCheckpointVersion);
+  wire::append(out, static_cast<std::uint64_t>(m_));
+  wire::append(out, static_cast<std::uint64_t>(n_));
+  wire::append(out, sigma_);
+  wire::append(out, last_change_);
+  wire::append(out, static_cast<std::uint8_t>(stepped_ ? 1 : 0));
+  wire::append_f64s(out, lambda_.raw());
+  wire::append_f64s(out, a_.raw());
+  wire::append_f64s(out, varphi_.raw());
+  wire::append_f64s(out, mu_.span());
+  wire::append_f64s(out, nu_.span());
+  wire::append_f64s(out, phi_.span());
+  return out;
+}
+
+void AdmgSolver::restore(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  UFC_EXPECTS(wire::read<std::uint32_t>(bytes, offset) == kCheckpointMagic);
+  UFC_EXPECTS(wire::read<std::uint32_t>(bytes, offset) == kCheckpointVersion);
+  UFC_EXPECTS(wire::read<std::uint64_t>(bytes, offset) == m_);
+  UFC_EXPECTS(wire::read<std::uint64_t>(bytes, offset) == n_);
+  // Iterates are stored in normalized workload units; a different sigma
+  // would silently reinterpret them.
+  UFC_EXPECTS(wire::read<double>(bytes, offset) == sigma_);
+  last_change_ = wire::read<double>(bytes, offset);
+  stepped_ = wire::read<std::uint8_t>(bytes, offset) != 0;
+  wire::read_f64s(bytes, offset, {lambda_.data(), lambda_.size()});
+  wire::read_f64s(bytes, offset, {a_.data(), a_.size()});
+  wire::read_f64s(bytes, offset, {varphi_.data(), varphi_.size()});
+  wire::read_f64s(bytes, offset, mu_.span());
+  wire::read_f64s(bytes, offset, nu_.span());
+  wire::read_f64s(bytes, offset, phi_.span());
+  UFC_EXPECTS(offset == bytes.size());
+}
+
 AdmgReport AdmgSolver::solve() {
   reset();
   return solve_warm();
@@ -324,9 +388,17 @@ AdmgReport AdmgSolver::solve() {
 
 AdmgReport AdmgSolver::solve_warm() {
   AdmgReport report;
+  SolverWatchdog watchdog(options_.watchdog);
   double balance = 0.0;
   double copy = 0.0;
-  for (int k = 0; k < options_.max_iterations; ++k) {
+  // A poisoned warm start (e.g. a checkpoint whose payload was corrupted
+  // after framing) must be caught before step() feeds NaN into the block
+  // solvers, whose own contracts would throw instead of degrading.
+  if (options_.watchdog.check_finite && !iterate_finite()) {
+    watchdog.observe(0.0, 0.0, false);
+    report.watchdog_verdict = watchdog.verdict();
+  }
+  for (int k = 0; !watchdog.tripped() && k < options_.max_iterations; ++k) {
     step();
     report.iterations = k + 1;
     // One residual evaluation per iteration, shared by the trace and the
@@ -338,15 +410,42 @@ AdmgReport AdmgSolver::solve_warm() {
       report.trace.copy_residual.push_back(copy);
       report.trace.objective.push_back(ufc_objective(problem_, lambda_, mu_));
     }
+    // Convergence is tested first so that reaching tolerance on the same
+    // iteration a stall window fills still counts as success. NaN residuals
+    // can never pass the comparisons, so NonFinite is not maskable.
     if (balance / balance_scale_ < options_.tolerance &&
         copy / copy_scale_ < options_.tolerance &&
         last_change_ / copy_scale_ < options_.tolerance) {
       report.converged = true;
       break;
     }
+    const bool finite = !options_.watchdog.check_finite || iterate_finite();
+    if (watchdog.observe(balance / balance_scale_, copy / copy_scale_,
+                         finite) != WatchdogVerdict::Healthy) {
+      report.watchdog_verdict = watchdog.verdict();
+      break;
+    }
   }
   report.balance_residual = balance;
   report.copy_residual = copy;
+
+  if (report.watchdog_verdict != WatchdogVerdict::Healthy) {
+    log::warn("ADM-G watchdog tripped (",
+              report.watchdog_verdict == WatchdogVerdict::NonFinite
+                  ? "non-finite iterate"
+                  : "residual stall",
+              ") after ", report.iterations, " iterations");
+    if (options_.fallback_to_centralized) {
+      CentralizedOptions fallback;
+      fallback.grid_only = options_.pinning == BlockPinning::PinMu;
+      fallback.fuel_cell_only = options_.pinning == BlockPinning::PinNu;
+      const auto safe = solve_centralized(original_, fallback);
+      report.solution = safe.solution;
+      report.breakdown = safe.breakdown;
+      report.fallback_centralized = true;
+      return report;
+    }
+  }
 
   // Rescale routing back to server units and evaluate on the original
   // problem (the objective is invariant, but reported latencies/costs should

@@ -14,9 +14,12 @@
 // remaining blocks.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "admm/blocks.hpp"
+#include "admm/watchdog.hpp"
 #include "model/breakdown.hpp"
 #include "model/problem.hpp"
 #include "util/thread_pool.hpp"
@@ -64,6 +67,14 @@ struct AdmgOptions {
   /// for every thread count: the passes split into deterministic contiguous
   /// chunks whose items write disjoint outputs.
   int threads = 1;
+  /// Solver-health watchdog (shared with the distributed runtime; see
+  /// docs/ROBUSTNESS.md). The default checks finiteness only; stall
+  /// detection is opt-in via watchdog.stall_window. The watchdog never
+  /// modifies iterates, so healthy runs are bit-identical with it on.
+  WatchdogOptions watchdog;
+  /// When the watchdog trips, re-solve with the centralized reference
+  /// solver and return its plan instead of the untrusted iterate.
+  bool fallback_to_centralized = false;
 };
 
 /// Per-iteration diagnostics.
@@ -80,6 +91,10 @@ struct AdmgReport {
   bool converged = false;
   double balance_residual = 0.0;  ///< Final scaled-residual inputs, raw units.
   double copy_residual = 0.0;
+  /// Healthy unless the solve was cut short by the watchdog.
+  WatchdogVerdict watchdog_verdict = WatchdogVerdict::Healthy;
+  /// True when the returned solution came from the centralized fallback.
+  bool fallback_centralized = false;
   AdmgTrace trace;
 };
 
@@ -148,6 +163,18 @@ class AdmgSolver {
   /// The normalized problem the solver operates on.
   const UfcProblem& problem() const { return problem_; }
   const AdmgOptions& options() const { return options_; }
+
+  /// True iff every entry of every block (primal and dual) is finite.
+  bool iterate_finite() const;
+
+  /// Serializes the complete iterate (primal, dual, last-change tracking)
+  /// with the shared wire codec. A restored solver continues bit-identically
+  /// to one that never paused.
+  std::vector<std::byte> checkpoint() const;
+  /// Restores a checkpoint() image. The solver must hold a problem with the
+  /// same dimensions and workload normalization; anything else (including a
+  /// truncated or mutated image) throws ufc::ContractViolation.
+  void restore(std::span<const std::byte> bytes);
 
  private:
   /// Per-worker scratch: block-solver workspace plus the column gather

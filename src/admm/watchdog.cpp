@@ -1,0 +1,52 @@
+#include "admm/watchdog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+
+SolverWatchdog::SolverWatchdog(const WatchdogOptions& options)
+    : options_(options) {
+  UFC_EXPECTS(options_.stall_window >= 0);
+  UFC_EXPECTS(options_.min_decrease >= 0.0 && options_.min_decrease < 1.0);
+  reset();
+}
+
+void SolverWatchdog::reset() {
+  verdict_ = WatchdogVerdict::Healthy;
+  best_ = std::numeric_limits<double>::infinity();
+  stalled_observations_ = 0;
+  observations_ = 0;
+}
+
+WatchdogVerdict SolverWatchdog::observe(double scaled_balance,
+                                        double scaled_copy,
+                                        bool iterates_finite) {
+  if (tripped()) return verdict_;
+  ++observations_;
+
+  if (options_.check_finite &&
+      (!iterates_finite || !std::isfinite(scaled_balance) ||
+       !std::isfinite(scaled_copy))) {
+    verdict_ = WatchdogVerdict::NonFinite;
+    return verdict_;
+  }
+
+  if (options_.stall_window > 0) {
+    const double metric = std::max(scaled_balance, scaled_copy);
+    if (metric < best_ * (1.0 - options_.min_decrease)) {
+      best_ = metric;
+      stalled_observations_ = 0;
+    } else {
+      ++stalled_observations_;
+      if (stalled_observations_ >= options_.stall_window)
+        verdict_ = WatchdogVerdict::Stalled;
+    }
+  }
+  return verdict_;
+}
+
+}  // namespace ufc::admm

@@ -1,0 +1,69 @@
+// Divergence watchdog shared by the monolithic ADM-G solver and the
+// distributed runtime.
+//
+// ADM-G converges for the paper's convex program, but a production control
+// loop cannot assume its own health: corrupted state (a bad checkpoint
+// restore, a bit-flipped message that slipped through) can make iterates
+// non-finite, and fault-degraded protocols can stall short of tolerance
+// (e.g. a permanently partitioned link that keeps one copy constraint
+// unsatisfiable). The watchdog observes each iteration's scaled residuals
+// and a finiteness flag, and reports a sticky verdict:
+//
+//   NonFinite  an iterate or residual stopped being a real number;
+//   Stalled    stall_window consecutive observations without the best
+//              residual improving by at least min_decrease (relative).
+//
+// Callers treat any non-Healthy verdict as "this solve cannot be trusted"
+// and fall back to the centralized reference solver for a safe plan.
+// Healthy runs are untouched: the watchdog never modifies iterates, so
+// zero-fault trajectories remain bit-identical with it enabled.
+#pragma once
+
+namespace ufc::admm {
+
+struct WatchdogOptions {
+  /// Check iterates and residuals for NaN/Inf every observation.
+  bool check_finite = true;
+  /// Consecutive non-improving observations before declaring a stall.
+  /// 0 disables stall detection. ADMM residuals are not monotone, so keep
+  /// this comfortably above the oscillation scale (tens of iterations).
+  int stall_window = 0;
+  /// Relative decrease of the best residual that counts as progress.
+  double min_decrease = 1e-6;
+};
+
+enum class WatchdogVerdict {
+  Healthy,
+  NonFinite,
+  Stalled,
+};
+
+class SolverWatchdog {
+ public:
+  explicit SolverWatchdog(const WatchdogOptions& options = {});
+
+  /// Feeds one iteration: the two scaled primal residuals and whether the
+  /// caller's iterate (and these numbers) are finite. Returns the sticky
+  /// verdict — once tripped, the watchdog stays tripped until reset().
+  WatchdogVerdict observe(double scaled_balance, double scaled_copy,
+                          bool iterates_finite);
+
+  WatchdogVerdict verdict() const { return verdict_; }
+  bool tripped() const { return verdict_ != WatchdogVerdict::Healthy; }
+  int observations() const { return observations_; }
+  /// Best (smallest) max-residual seen so far; +inf before any observation.
+  double best_residual() const { return best_; }
+
+  /// Forgets all history (e.g. after the problem changed under the solver:
+  /// graceful degradation re-baselines progress on the reduced problem).
+  void reset();
+
+ private:
+  WatchdogOptions options_;
+  WatchdogVerdict verdict_ = WatchdogVerdict::Healthy;
+  double best_ = 0.0;  // set to +inf in reset()
+  int stalled_observations_ = 0;
+  int observations_ = 0;
+};
+
+}  // namespace ufc::admm

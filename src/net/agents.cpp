@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/contract.hpp"
+#include "util/wire.hpp"
 
 namespace ufc::net {
 
@@ -15,10 +16,25 @@ FrontEndAgent::FrontEndAgent(FrontEndLocalConfig config)
   UFC_EXPECTS(config_.utility != nullptr);
   UFC_EXPECTS(!config_.latency_row_s.empty());
   n_ = config_.latency_row_s.size();
+  if (config_.datacenter_ids.empty()) {
+    config_.datacenter_ids.reserve(n_);
+    for (std::size_t j = 0; j < n_; ++j)
+      config_.datacenter_ids.push_back(datacenter_id(j));
+  }
+  UFC_EXPECTS(config_.datacenter_ids.size() == n_);
   lambda_ = Vec(n_, 0.0);
   lambda_tilde_ = Vec(n_, 0.0);
   a_ = Vec(n_, 0.0);
   varphi_ = Vec(n_, 0.0);
+  a_tilde_cache_ = Vec(n_, 0.0);
+  last_assignment_round_.assign(n_, -1);
+}
+
+std::size_t FrontEndAgent::position_of(NodeId source) const {
+  const auto& ids = config_.datacenter_ids;
+  const auto it = std::find(ids.begin(), ids.end(), source);
+  UFC_EXPECTS(it != ids.end());
+  return static_cast<std::size_t>(it - ids.begin());
 }
 
 void FrontEndAgent::send_proposals(MessageBus& bus, int iteration) {
@@ -35,7 +51,7 @@ void FrontEndAgent::send_proposals(MessageBus& bus, int iteration) {
   for (std::size_t j = 0; j < n_; ++j) {
     Message msg;
     msg.source = id();
-    msg.destination = datacenter_id(j);
+    msg.destination = config_.datacenter_ids[j];
     msg.type = MessageType::RoutingProposal;
     msg.iteration = iteration;
     msg.payload = {lambda_tilde_[j], varphi_[j]};
@@ -44,17 +60,31 @@ void FrontEndAgent::send_proposals(MessageBus& bus, int iteration) {
 }
 
 void FrontEndAgent::process_assignments(MessageBus& bus, int iteration) {
-  Vec a_tilde(n_, 0.0);
+  const bool stale_ok = config_.protocol.allow_stale;
   std::size_t received = 0;
   for (auto& msg : bus.drain(id())) {
     UFC_EXPECTS(msg.type == MessageType::RoutingAssignment);
-    UFC_EXPECTS(msg.iteration == iteration);
     UFC_EXPECTS(msg.payload.size() == 1);
-    a_tilde[datacenter_index(msg.source)] = msg.payload[0];
-    ++received;
+    const std::size_t j = position_of(msg.source);
+    if (stale_ok) {
+      // Delayed deliveries can put several iterations of one link into a
+      // single drain; keep only the newest assignment per datacenter.
+      if (msg.iteration > last_assignment_round_[j]) {
+        last_assignment_round_[j] = msg.iteration;
+        a_tilde_cache_[j] = msg.payload[0];
+      }
+    } else {
+      UFC_EXPECTS(msg.iteration == iteration);
+      last_assignment_round_[j] = msg.iteration;
+      a_tilde_cache_[j] = msg.payload[0];
+      ++received;
+    }
   }
-  UFC_EXPECTS(received == n_);
+  if (!stale_ok) UFC_EXPECTS(received == n_);
+  for (std::size_t j = 0; j < n_; ++j)
+    if (last_assignment_round_[j] < iteration) ++stale_assignments_;
 
+  const Vec& a_tilde = a_tilde_cache_;
   const double rho = config_.protocol.rho;
   const bool gbs = config_.protocol.gaussian_back_substitution;
   const double eps = gbs ? config_.protocol.epsilon : 1.0;
@@ -86,6 +116,51 @@ void FrontEndAgent::process_assignments(MessageBus& bus, int iteration) {
   bus.send(std::move(report));
 }
 
+std::int32_t FrontEndAgent::oldest_input_round() const {
+  return *std::min_element(last_assignment_round_.begin(),
+                           last_assignment_round_.end());
+}
+
+void FrontEndAgent::append_state(std::vector<std::byte>& out) const {
+  wire::append(out, static_cast<std::uint64_t>(n_));
+  wire::append_f64s(out, lambda_.span());
+  wire::append_f64s(out, lambda_tilde_.span());
+  wire::append_f64s(out, a_.span());
+  wire::append_f64s(out, varphi_.span());
+  wire::append_f64s(out, a_tilde_cache_.span());
+  for (std::int32_t r : last_assignment_round_) wire::append(out, r);
+  wire::append(out, last_copy_residual_);
+  wire::append(out, stale_assignments_);
+}
+
+void FrontEndAgent::restore_state(std::span<const std::byte> bytes,
+                                  std::size_t& offset) {
+  UFC_EXPECTS(wire::read<std::uint64_t>(bytes, offset) == n_);
+  wire::read_f64s(bytes, offset, lambda_.span());
+  wire::read_f64s(bytes, offset, lambda_tilde_.span());
+  wire::read_f64s(bytes, offset, a_.span());
+  wire::read_f64s(bytes, offset, varphi_.span());
+  wire::read_f64s(bytes, offset, a_tilde_cache_.span());
+  for (auto& r : last_assignment_round_)
+    r = wire::read<std::int32_t>(bytes, offset);
+  last_copy_residual_ = wire::read<double>(bytes, offset);
+  stale_assignments_ = wire::read<std::uint64_t>(bytes, offset);
+}
+
+void FrontEndAgent::load_iterate(std::span<const double> lambda,
+                                 std::span<const double> a,
+                                 std::span<const double> varphi) {
+  UFC_EXPECTS(lambda.size() == n_);
+  UFC_EXPECTS(a.size() == n_);
+  UFC_EXPECTS(varphi.size() == n_);
+  lambda_.assign(lambda);
+  lambda_tilde_.assign(lambda);
+  a_.assign(a);
+  varphi_.assign(varphi);
+  a_tilde_cache_.assign(a);
+  std::fill(last_assignment_round_.begin(), last_assignment_round_.end(), -1);
+}
+
 // --------------------------------------------------------------------------
 // DatacenterAgent
 
@@ -95,23 +170,39 @@ DatacenterAgent::DatacenterAgent(DatacenterLocalConfig config)
   UFC_EXPECTS(config_.emission_cost != nullptr);
   UFC_EXPECTS(!(config_.protocol.pin_mu && config_.protocol.pin_nu));
   a_ = Vec(config_.num_front_ends, 0.0);
+  lambda_tilde_cache_ = Vec(config_.num_front_ends, 0.0);
+  varphi_cache_ = Vec(config_.num_front_ends, 0.0);
+  last_proposal_round_.assign(config_.num_front_ends, -1);
 }
 
 void DatacenterAgent::process_proposals(MessageBus& bus, int iteration) {
   const std::size_t m = config_.num_front_ends;
-  Vec lambda_tilde(m, 0.0);
-  Vec varphi(m, 0.0);
+  const bool stale_ok = config_.protocol.allow_stale;
   std::size_t received = 0;
   for (auto& msg : bus.drain(id())) {
     UFC_EXPECTS(msg.type == MessageType::RoutingProposal);
-    UFC_EXPECTS(msg.iteration == iteration);
     UFC_EXPECTS(msg.payload.size() == 2);
     const std::size_t i = front_end_index(msg.source);
-    lambda_tilde[i] = msg.payload[0];
-    varphi[i] = msg.payload[1];
-    ++received;
+    UFC_EXPECTS(i < m);
+    if (stale_ok) {
+      if (msg.iteration > last_proposal_round_[i]) {
+        last_proposal_round_[i] = msg.iteration;
+        lambda_tilde_cache_[i] = msg.payload[0];
+        varphi_cache_[i] = msg.payload[1];
+      }
+    } else {
+      UFC_EXPECTS(msg.iteration == iteration);
+      last_proposal_round_[i] = msg.iteration;
+      lambda_tilde_cache_[i] = msg.payload[0];
+      varphi_cache_[i] = msg.payload[1];
+      ++received;
+    }
   }
-  UFC_EXPECTS(received == m);
+  if (!stale_ok) UFC_EXPECTS(received == m);
+  for (std::size_t i = 0; i < m; ++i)
+    if (last_proposal_round_[i] < iteration) ++stale_proposals_;
+  const Vec& lambda_tilde = lambda_tilde_cache_;
+  const Vec& varphi = varphi_cache_;
 
   const auto& protocol = config_.protocol;
   const double rho = protocol.rho;
@@ -214,6 +305,57 @@ void DatacenterAgent::process_proposals(MessageBus& bus, int iteration) {
   report.iteration = iteration;
   report.payload = {last_balance_residual_};
   bus.send(std::move(report));
+}
+
+std::int32_t DatacenterAgent::oldest_input_round() const {
+  return *std::min_element(last_proposal_round_.begin(),
+                           last_proposal_round_.end());
+}
+
+void DatacenterAgent::append_state(std::vector<std::byte>& out) const {
+  wire::append(out, static_cast<std::uint64_t>(config_.num_front_ends));
+  wire::append_f64s(out, a_.span());
+  wire::append(out, mu_);
+  wire::append(out, nu_);
+  wire::append(out, phi_);
+  wire::append_f64s(out, lambda_tilde_cache_.span());
+  wire::append_f64s(out, varphi_cache_.span());
+  for (std::int32_t r : last_proposal_round_) wire::append(out, r);
+  wire::append(out, last_balance_residual_);
+  wire::append(out, stale_proposals_);
+}
+
+void DatacenterAgent::restore_state(std::span<const std::byte> bytes,
+                                    std::size_t& offset) {
+  UFC_EXPECTS(wire::read<std::uint64_t>(bytes, offset) ==
+              config_.num_front_ends);
+  wire::read_f64s(bytes, offset, a_.span());
+  mu_ = wire::read<double>(bytes, offset);
+  nu_ = wire::read<double>(bytes, offset);
+  phi_ = wire::read<double>(bytes, offset);
+  wire::read_f64s(bytes, offset, lambda_tilde_cache_.span());
+  wire::read_f64s(bytes, offset, varphi_cache_.span());
+  for (auto& r : last_proposal_round_)
+    r = wire::read<std::int32_t>(bytes, offset);
+  last_balance_residual_ = wire::read<double>(bytes, offset);
+  stale_proposals_ = wire::read<std::uint64_t>(bytes, offset);
+}
+
+void DatacenterAgent::load_iterate(std::span<const double> a_col,
+                                   std::span<const double> varphi_col,
+                                   double mu, double nu, double phi) {
+  UFC_EXPECTS(a_col.size() == config_.num_front_ends);
+  UFC_EXPECTS(varphi_col.size() == config_.num_front_ends);
+  a_.assign(a_col);
+  mu_ = mu;
+  nu_ = nu;
+  phi_ = phi;
+  // Seed the proposal caches with the near-converged approximation
+  // lambda~ ~= a so a front-end that stays silent after a rebuild still
+  // leaves this datacenter with a sane stale input.
+  lambda_tilde_cache_.assign(a_col);
+  varphi_cache_.assign(varphi_col);
+  std::fill(last_proposal_round_.begin(), last_proposal_round_.end(), -1);
 }
 
 }  // namespace ufc::net

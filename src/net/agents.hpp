@@ -9,7 +9,11 @@
 // this.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "admm/blocks.hpp"
 #include "net/bus.hpp"
@@ -23,6 +27,13 @@ struct ProtocolConfig {
   bool gaussian_back_substitution = true;
   bool pin_mu = false;  ///< Grid strategy.
   bool pin_nu = false;  ///< FuelCell strategy.
+  /// Degraded mode: a round may proceed on the last value received from a
+  /// peer instead of requiring a fresh message every iteration (the
+  /// generalization of admm/async.hpp's participation model to message
+  /// loss, delay and crashes). false = strict lockstep: every expected
+  /// message must arrive with the current iteration number, anything else
+  /// is a contract violation.
+  bool allow_stale = false;
   admm::InnerSolverOptions inner;
 };
 
@@ -33,6 +44,11 @@ struct FrontEndLocalConfig {
   Vec latency_row_s;                        ///< L_i1..L_iN.
   double latency_weight = 0.0;              ///< w.
   std::shared_ptr<const UtilityFunction> utility;
+  /// Bus ids of the datacenters this front-end talks to, positional with
+  /// latency_row_s. Empty = the identity layout datacenter_id(0..N-1);
+  /// graceful degradation passes the surviving original ids instead so
+  /// scripted faults keep addressing the same physical nodes.
+  std::vector<NodeId> datacenter_ids;
   ProtocolConfig protocol;
 };
 
@@ -55,15 +71,43 @@ class FrontEndAgent {
   const Vec& a_mirror() const { return a_; }
   const Vec& varphi() const { return varphi_; }
   double last_copy_residual() const { return last_copy_residual_; }
+  /// Datacenter slots filled from a previous iteration's value instead of a
+  /// fresh message, summed over all rounds (always 0 in strict mode).
+  std::uint64_t stale_assignments() const { return stale_assignments_; }
+  /// Iteration of the oldest input this agent is currently operating on
+  /// (-1 = some peer has never been heard from). The runtime bounds
+  /// current_round - oldest to declare convergence under staleness.
+  std::int32_t oldest_input_round() const;
+
+  /// Serializes the complete per-node state (iterate + staleness caches)
+  /// with the shared wire codec.
+  void append_state(std::vector<std::byte>& out) const;
+  /// Restores append_state() bytes, advancing `offset`; the dimension must
+  /// match or this throws ufc::ContractViolation.
+  void restore_state(std::span<const std::byte> bytes, std::size_t& offset);
+  /// Seeds the iterate directly (graceful degradation rebuilds agents on
+  /// the reduced problem from compacted state). Staleness caches restart
+  /// from the given values.
+  void load_iterate(std::span<const double> lambda, std::span<const double> a,
+                    std::span<const double> varphi);
 
  private:
+  /// Positional slot of the datacenter with bus id `source`.
+  std::size_t position_of(NodeId source) const;
+
   FrontEndLocalConfig config_;
   std::size_t n_ = 0;   ///< Number of datacenters (from the latency row).
   Vec lambda_;          ///< lambda_i^k (post-correction).
   Vec lambda_tilde_;    ///< This iteration's prediction.
   Vec a_;               ///< Local mirror of a_i^k.
   Vec varphi_;          ///< varphi_i^k (owned here).
+  /// Latest a~_ij received per datacenter and the iteration it came from
+  /// (-1 = never). In strict mode every round overwrites every slot; in
+  /// degraded mode missing/late messages leave the previous value standing.
+  Vec a_tilde_cache_;
+  std::vector<std::int32_t> last_assignment_round_;
   double last_copy_residual_ = 0.0;
+  std::uint64_t stale_assignments_ = 0;
 };
 
 /// Everything datacenter j knows locally.
@@ -97,6 +141,23 @@ class DatacenterAgent {
   double phi() const { return phi_; }
   const Vec& a_col() const { return a_; }
   double last_balance_residual() const { return last_balance_residual_; }
+  /// Front-end slots filled from a previous iteration's proposal instead of
+  /// a fresh message, summed over all rounds (always 0 in strict mode).
+  std::uint64_t stale_proposals() const { return stale_proposals_; }
+  /// Iteration of the oldest input this agent is currently operating on
+  /// (-1 = some peer has never been heard from); see FrontEndAgent.
+  std::int32_t oldest_input_round() const;
+
+  /// Serializes the complete per-node state (iterate + staleness caches).
+  void append_state(std::vector<std::byte>& out) const;
+  /// Restores append_state() bytes, advancing `offset`.
+  void restore_state(std::span<const std::byte> bytes, std::size_t& offset);
+  /// Seeds the iterate directly (graceful degradation / warm rebuild). The
+  /// proposal caches restart from (a_col, varphi_col) — the near-converged
+  /// approximation lambda ~= a.
+  void load_iterate(std::span<const double> a_col,
+                    std::span<const double> varphi_col, double mu, double nu,
+                    double phi);
 
  private:
   DatacenterLocalConfig config_;
@@ -104,7 +165,13 @@ class DatacenterAgent {
   double mu_ = 0.0;
   double nu_ = 0.0;
   double phi_ = 0.0;
+  /// Latest (lambda~_ij, varphi_ij) received per front-end and the
+  /// iteration it came from (-1 = never); see FrontEndAgent's cache.
+  Vec lambda_tilde_cache_;
+  Vec varphi_cache_;
+  std::vector<std::int32_t> last_proposal_round_;
   double last_balance_residual_ = 0.0;
+  std::uint64_t stale_proposals_ = 0;
 };
 
 }  // namespace ufc::net

@@ -1,36 +1,127 @@
 #include "net/bus.hpp"
 
+#include <algorithm>
+
 #include "util/contract.hpp"
 
 namespace ufc::net {
 
-MessageBus::MessageBus(double loss_rate, std::uint64_t seed)
-    : loss_rate_(loss_rate), rng_(seed) {
-  UFC_EXPECTS(loss_rate >= 0.0 && loss_rate < 1.0);
+namespace {
+
+BusConfig legacy_config(double loss_rate, std::uint64_t seed) {
+  BusConfig config;
+  config.seed = seed;
+  RandomFaults faults;
+  faults.loss_rate = loss_rate;
+  config.faults.random_faults(faults);
+  return config;
 }
 
-void MessageBus::send(Message message) {
+// Backoff before the k-th retry: 2^(k-1) rounds, capped so pathological
+// attempt caps cannot overflow the accounting.
+std::uint64_t backoff_rounds_before_retry(int failed_attempts) {
+  return std::uint64_t{1} << std::min(failed_attempts - 1, 10);
+}
+
+}  // namespace
+
+MessageBus::MessageBus(double loss_rate, std::uint64_t seed)
+    : MessageBus(legacy_config(loss_rate, seed)) {}
+
+MessageBus::MessageBus(BusConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  UFC_EXPECTS(config_.max_attempts >= 0);
+  // Scripted partitions/crashes and random corruption/delay make individual
+  // messages undeliverable; an unbounded retransmit loop would spin forever.
+  // Contract-check the cap against the plan up front.
+  UFC_EXPECTS(config_.max_attempts >= 1 ||
+              config_.faults.delivery_preserving());
+}
+
+void MessageBus::begin_round(int round) {
+  UFC_EXPECTS(round >= 0);
+  round_ = round;
+  while (!delayed_.empty() && delayed_.begin()->first.first <= round) {
+    auto node = delayed_.extract(delayed_.begin());
+    Message& msg = node.mapped();
+    queues_[msg.destination].push_back(std::move(msg));
+  }
+}
+
+SendOutcome MessageBus::send(Message message) {
   const std::size_t size = wire_size(message);
   auto& link = links_[{message.source, message.destination}];
+  const auto& rf = config_.faults.random();
+  const bool blocked =
+      config_.faults.link_blocked(message.source, message.destination,
+                                  round_) ||
+      config_.faults.node_down(message.source, round_) ||
+      config_.faults.node_down(message.destination, round_);
 
-  // Simulate transmission attempts until one gets through. Serialization +
-  // deserialization exercises the wire codec on every delivery.
+  // Transmission attempts. Every attempt is counted in bytes; a blocked
+  // link never consults the loss draw (the partition decides, not chance),
+  // so zero-fault and loss-only runs keep the legacy RNG sequence exactly.
+  int attempt = 0;
   while (true) {
+    ++attempt;
     link.bytes += size;
     total_.bytes += size;
-    if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
-      ++link.retransmissions;
-      ++total_.retransmissions;
-      continue;
+    const bool dropped =
+        blocked || (rf.loss_rate > 0.0 && rng_.bernoulli(rf.loss_rate));
+    if (!dropped) break;
+    ++link.retransmissions;
+    ++total_.retransmissions;
+    if (config_.max_attempts > 0 && attempt >= config_.max_attempts) {
+      ++link.delivery_failures;
+      ++total_.delivery_failures;
+      return SendOutcome::Failed;
     }
-    break;
+    // Round-based exponential backoff before the retry (accounting only:
+    // the simulated clock advances per protocol round, not per retry).
+    const std::uint64_t backoff = backoff_rounds_before_retry(attempt);
+    link.backoff_rounds += backoff;
+    total_.backoff_rounds += backoff;
   }
   ++link.messages;
   ++total_.messages;
 
-  const auto wire = serialize(message);
+  // Serialization + deserialization exercises the wire codec on every
+  // delivery.
+  auto wire = serialize(message);
+  if (rf.corruption_rate > 0.0 && rng_.bernoulli(rf.corruption_rate)) {
+    // Mutate 1-4 wire bytes. The receiver's integrity check discards the
+    // frame whether or not it still parses; decoding is attempted anyway so
+    // sanitizer builds exercise deserialize on hostile bytes continuously.
+    const auto flips = rng_.uniform_int(1, 4);
+    for (std::int64_t f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(wire.size()) - 1));
+      const auto mask =
+          static_cast<unsigned char>(rng_.uniform_int(1, 255));
+      wire[pos] ^= static_cast<std::byte>(mask);
+    }
+    try {
+      (void)deserialize(wire);
+    } catch (const ContractViolation&) {
+      // Expected for most mutations; the frame is discarded either way.
+    }
+    ++link.corrupted;
+    ++total_.corrupted;
+    return SendOutcome::Corrupted;
+  }
+
   Message delivered = deserialize(wire);
+  if (rf.delay_rate > 0.0 && rng_.bernoulli(rf.delay_rate)) {
+    const auto delay = static_cast<int>(
+        rng_.uniform_int(1, rf.max_delay_rounds));
+    ++link.delayed;
+    ++total_.delayed;
+    delayed_.emplace(std::pair{round_ + delay, send_sequence_++},
+                     std::move(delivered));
+    return SendOutcome::Delayed;
+  }
   queues_[delivered.destination].push_back(std::move(delivered));
+  return SendOutcome::Delivered;
 }
 
 std::optional<Message> MessageBus::receive(NodeId destination) {
@@ -54,6 +145,11 @@ std::vector<Message> MessageBus::drain(NodeId destination) {
 std::size_t MessageBus::pending(NodeId destination) const {
   auto it = queues_.find(destination);
   return it == queues_.end() ? 0 : it->second.size();
+}
+
+void MessageBus::clear_queues() {
+  queues_.clear();
+  delayed_.clear();
 }
 
 LinkStats MessageBus::link(NodeId source, NodeId destination) const {

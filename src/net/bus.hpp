@@ -1,12 +1,22 @@
-// In-process message bus with delivery accounting and loss injection.
+// In-process message bus with delivery accounting and fault injection.
 //
 // The bus models the WAN links between front-end proxies and datacenters:
 // every send serializes the message (so byte counts are wire-realistic),
-// optionally drops it with a configurable probability, and retransmits until
-// delivery — the reliable-transport abstraction a synchronous ADMM round
-// needs. Per-link and global statistics let benchmarks report the
-// communication cost of the distributed algorithm, and tests inject loss to
-// show the iterates are unaffected (only retransmission counts grow).
+// simulates per-attempt loss and scripted faults from a FaultPlan, and
+// enqueues at the destination. Two transport configurations exist:
+//
+//  * Legacy reliable transport (the default, max_attempts = 0): a lossy
+//    link retransmits until delivery — the abstraction a synchronous ADMM
+//    round needs. Iterates are unaffected by loss; only traffic grows.
+//  * Deadline transport (max_attempts > 0): at most max_attempts
+//    transmissions per message with round-based exponential backoff
+//    accounting; exhaustion surfaces as SendOutcome::Failed and a
+//    delivery_failures count instead of spinning forever. Scripted faults
+//    (partitions, crashes, corruption, delay) require this mode — the
+//    runtime's degraded protocol absorbs the resulting gaps.
+//
+// Per-link and global statistics let benchmarks report the communication
+// cost of the distributed algorithm under every fault mix.
 #pragma once
 
 #include <cstdint>
@@ -16,27 +26,59 @@
 #include <utility>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/message.hpp"
 #include "util/rng.hpp"
 
 namespace ufc::net {
 
 struct LinkStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t retransmissions = 0;
+  std::uint64_t messages = 0;           ///< Successful transmissions.
+  std::uint64_t bytes = 0;              ///< All attempts, including drops.
+  std::uint64_t retransmissions = 0;    ///< Failed attempts (loss/partition).
+  std::uint64_t delivery_failures = 0;  ///< Attempt cap exhausted.
+  std::uint64_t corrupted = 0;          ///< Frames discarded by integrity check.
+  std::uint64_t delayed = 0;            ///< Deliveries deferred >= 1 round.
+  std::uint64_t backoff_rounds = 0;     ///< Sum of exponential retry backoffs.
+};
+
+/// What became of one send() call.
+enum class SendOutcome {
+  Delivered,  ///< Enqueued at the destination this round.
+  Delayed,    ///< In flight; released by a later begin_round().
+  Corrupted,  ///< Transmitted but discarded by the receiver integrity check.
+  Failed,     ///< Attempt cap exhausted (loss, partition or crashed peer).
+};
+
+struct BusConfig {
+  std::uint64_t seed = 1;  ///< Drives every random fault draw.
+  /// Per-message transmission cap. 0 = legacy unbounded retransmit (only
+  /// valid for delivery-preserving plans); >= 1 enables the deadline
+  /// transport. Contract-checked against the plan in the constructor.
+  int max_attempts = 0;
+  FaultPlan faults;
 };
 
 class MessageBus {
  public:
-  /// loss_rate in [0, 1): probability that any single transmission attempt
-  /// is dropped (then retried; `seed` makes drops reproducible).
+  /// Legacy transport: loss_rate in [0, 1) is the probability that any
+  /// single transmission attempt is dropped (then retried; `seed` makes
+  /// drops reproducible).
   explicit MessageBus(double loss_rate = 0.0, std::uint64_t seed = 1);
 
-  /// Reliable send: serializes, simulates per-attempt loss, enqueues at the
-  /// destination. Every attempt is counted in bytes; drops are counted as
-  /// retransmissions.
-  void send(Message message);
+  /// Fault-injecting transport configured by `config.faults`.
+  explicit MessageBus(BusConfig config);
+
+  /// Advances the bus clock to `round`: releases every delayed message whose
+  /// release round has arrived (deterministic order: release round, then
+  /// send order) into its destination queue. Scripted fault windows are
+  /// evaluated against this clock.
+  void begin_round(int round);
+  int current_round() const { return round_; }
+
+  /// Sends under the configured transport. Every attempt is counted in
+  /// bytes; drops are counted as retransmissions. See SendOutcome.
+  SendOutcome send(Message message);
 
   /// Pops the next pending message for `destination`, FIFO per destination.
   std::optional<Message> receive(NodeId destination);
@@ -47,6 +89,14 @@ class MessageBus {
   /// Number of messages currently queued for `destination`.
   std::size_t pending(NodeId destination) const;
 
+  /// Messages in flight (delayed, not yet released).
+  std::size_t delayed_pending() const { return delayed_.size(); }
+
+  /// Drops every queued and delayed message (membership changes flush
+  /// in-flight traffic; the degraded protocol absorbs the loss).
+  void clear_queues();
+
+  const BusConfig& config() const { return config_; }
   const LinkStats& total() const { return total_; }
   /// Stats for the (source, destination) link; zeros if never used.
   LinkStats link(NodeId source, NodeId destination) const;
@@ -54,9 +104,13 @@ class MessageBus {
   void reset_stats();
 
  private:
-  double loss_rate_;
+  BusConfig config_;
   Rng rng_;
+  int round_ = 0;
+  std::uint64_t send_sequence_ = 0;
   std::map<NodeId, std::deque<Message>> queues_;
+  /// Keyed by (release round, send sequence) for deterministic release order.
+  std::map<std::pair<int, std::uint64_t>, Message> delayed_;
   std::map<std::pair<NodeId, NodeId>, LinkStats> links_;
   LinkStats total_;
 };

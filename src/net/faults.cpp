@@ -1,0 +1,64 @@
+#include "net/faults.hpp"
+
+#include "util/contract.hpp"
+
+namespace ufc::net {
+
+namespace {
+
+void check_window(const RoundWindow& window) {
+  UFC_EXPECTS(window.first >= 0);
+  UFC_EXPECTS(window.last > window.first);
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::partition(NodeId a, NodeId b, RoundWindow window) {
+  check_window(window);
+  UFC_EXPECTS(a != b);
+  partitions_.push_back({a, b, window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(NodeId node, RoundWindow window) {
+  check_window(window);
+  UFC_EXPECTS(node != kCoordinatorId);
+  crashes_.push_back({node, window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::random_faults(const RandomFaults& faults) {
+  UFC_EXPECTS(faults.loss_rate >= 0.0 && faults.loss_rate < 1.0);
+  UFC_EXPECTS(faults.corruption_rate >= 0.0 && faults.corruption_rate < 1.0);
+  UFC_EXPECTS(faults.delay_rate >= 0.0 && faults.delay_rate < 1.0);
+  UFC_EXPECTS(faults.max_delay_rounds >= 1);
+  random_ = faults;
+  return *this;
+}
+
+bool FaultPlan::empty() const {
+  return partitions_.empty() && crashes_.empty() && random_.loss_rate <= 0.0 &&
+         random_.corruption_rate <= 0.0 && random_.delay_rate <= 0.0;
+}
+
+bool FaultPlan::delivery_preserving() const {
+  return partitions_.empty() && crashes_.empty() &&
+         random_.corruption_rate <= 0.0 && random_.delay_rate <= 0.0;
+}
+
+bool FaultPlan::link_blocked(NodeId from, NodeId to, int round) const {
+  for (const auto& p : partitions_) {
+    const bool matches =
+        (p.a == from && p.b == to) || (p.a == to && p.b == from);
+    if (matches && p.window.contains(round)) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::node_down(NodeId node, int round) const {
+  for (const auto& c : crashes_)
+    if (c.node == node && c.window.contains(round)) return true;
+  return false;
+}
+
+}  // namespace ufc::net

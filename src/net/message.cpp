@@ -1,8 +1,7 @@
 #include "net/message.hpp"
 
-#include <cstring>
-
 #include "util/contract.hpp"
+#include "util/wire.hpp"
 
 namespace ufc::net {
 
@@ -11,20 +10,11 @@ namespace {
 // Node-id layout: front-end i -> i, datacenter j -> kDatacenterBase + j.
 constexpr NodeId kDatacenterBase = 1 << 20;
 
-template <typename T>
-void append(std::vector<std::byte>& out, const T& value) {
-  const auto* bytes = reinterpret_cast<const std::byte*>(&value);
-  out.insert(out.end(), bytes, bytes + sizeof(T));
-}
-
-template <typename T>
-T read(std::span<const std::byte> bytes, std::size_t& offset) {
-  UFC_EXPECTS(offset + sizeof(T) <= bytes.size());
-  T value;
-  std::memcpy(&value, bytes.data() + offset, sizeof(T));
-  offset += sizeof(T);
-  return value;
-}
+// Fixed-size message header: source, destination, type, iteration, count.
+constexpr std::size_t kHeaderBytes = sizeof(NodeId) * 2 +
+                                     sizeof(std::uint8_t) +
+                                     sizeof(std::int32_t) +
+                                     sizeof(std::uint32_t);
 
 }  // namespace
 
@@ -53,36 +43,43 @@ std::size_t datacenter_index(NodeId id) {
 }
 
 std::size_t wire_size(const Message& message) {
-  return sizeof(NodeId) * 2 + sizeof(std::uint8_t) + sizeof(std::int32_t) +
-         sizeof(std::uint32_t) + message.payload.size() * sizeof(double);
+  return kHeaderBytes + message.payload.size() * sizeof(double);
 }
 
 std::vector<std::byte> serialize(const Message& message) {
   std::vector<std::byte> out;
   out.reserve(wire_size(message));
-  append(out, message.source);
-  append(out, message.destination);
-  append(out, static_cast<std::uint8_t>(message.type));
-  append(out, message.iteration);
-  append(out, static_cast<std::uint32_t>(message.payload.size()));
-  for (double v : message.payload) append(out, v);
+  wire::append(out, message.source);
+  wire::append(out, message.destination);
+  wire::append(out, static_cast<std::uint8_t>(message.type));
+  wire::append(out, message.iteration);
+  wire::append(out, static_cast<std::uint32_t>(message.payload.size()));
+  wire::append_f64s(out, message.payload);
   return out;
 }
 
+// Hardened against arbitrary (truncated, mutated, adversarial) byte strings:
+// every branch either throws ContractViolation or produces a well-formed
+// Message. The fuzz tests feed random mutations of valid frames through here
+// under ASan/UBSan to keep this promise honest.
 Message deserialize(std::span<const std::byte> bytes) {
+  UFC_EXPECTS(bytes.size() >= kHeaderBytes);
   std::size_t offset = 0;
   Message message;
-  message.source = read<NodeId>(bytes, offset);
-  message.destination = read<NodeId>(bytes, offset);
-  const auto type = read<std::uint8_t>(bytes, offset);
+  message.source = wire::read<NodeId>(bytes, offset);
+  message.destination = wire::read<NodeId>(bytes, offset);
+  const auto type = wire::read<std::uint8_t>(bytes, offset);
   UFC_EXPECTS(type >= 1 && type <= 3);
   message.type = static_cast<MessageType>(type);
-  message.iteration = read<std::int32_t>(bytes, offset);
-  const auto count = read<std::uint32_t>(bytes, offset);
-  UFC_EXPECTS(offset + count * sizeof(double) == bytes.size());
-  message.payload.reserve(count);
-  for (std::uint32_t k = 0; k < count; ++k)
-    message.payload.push_back(read<double>(bytes, offset));
+  message.iteration = wire::read<std::int32_t>(bytes, offset);
+  const auto count = wire::read<std::uint32_t>(bytes, offset);
+  // Exact-length check before any allocation, phrased so a garbage `count`
+  // cannot overflow the arithmetic (count <= 2^32 - 1, so count * 8 fits in
+  // 64 bits) or trigger a multi-gigabyte reserve.
+  UFC_EXPECTS(bytes.size() - offset ==
+              static_cast<std::size_t>(count) * sizeof(double));
+  message.payload.resize(count);
+  wire::read_f64s(bytes, offset, message.payload);
   return message;
 }
 

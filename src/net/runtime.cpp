@@ -3,35 +3,114 @@
 #include <algorithm>
 #include <cmath>
 
+#include "admm/centralized.hpp"
 #include "util/contract.hpp"
+#include "util/logging.hpp"
+#include "util/wire.hpp"
 
 namespace ufc::net {
+
+namespace {
+
+// Checkpoint framing, mirroring AdmgSolver's (docs/ROBUSTNESS.md).
+constexpr std::uint32_t kRuntimeCheckpointMagic = 0x55464352;  // "UFCR"
+constexpr std::uint32_t kRuntimeCheckpointVersion = 1;
+
+BusConfig make_bus_config(const DistributedOptions& options) {
+  BusConfig config;
+  config.seed = options.loss_seed;
+  config.max_attempts = options.max_attempts;
+  config.faults = options.faults;
+  // ufc-lint: allow(float-equal) — exact-zero guard: "knob untouched".
+  if (options.loss_rate != 0.0) {
+    // The legacy loss knob and a plan-level loss rate are alternatives, not
+    // additive; routing the knob through the plan keeps one validation path.
+    // ufc-lint: allow(float-equal) — exact-zero guard: "plan untouched".
+    UFC_EXPECTS(config.faults.random().loss_rate == 0.0);
+    RandomFaults random = config.faults.random();
+    random.loss_rate = options.loss_rate;
+    config.faults.random_faults(random);
+  }
+  return config;
+}
+
+void remove_datacenter_from_problem(UfcProblem& problem, std::size_t pos) {
+  const std::size_t m = problem.num_front_ends();
+  const std::size_t n = problem.num_datacenters();
+  problem.datacenters.erase(problem.datacenters.begin() +
+                            static_cast<std::ptrdiff_t>(pos));
+  Mat reduced(m, n - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = problem.latency_s.row_span(i);
+    auto out = reduced.row_span(i);
+    std::size_t c = 0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != pos) out[c++] = row[j];
+  }
+  problem.latency_s = std::move(reduced);
+}
+
+bool all_finite(std::span<const double> values) {
+  for (double v : values)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace
 
 DistributedAdmgRuntime::DistributedAdmgRuntime(const UfcProblem& problem,
                                                DistributedOptions options)
     : original_(problem),
-      options_(options),
-      bus_(options.loss_rate, options.loss_seed) {
+      options_(std::move(options)),
+      bus_(make_bus_config(options_)) {
   original_.validate();
   const auto& admg = options_.admg;
   UFC_EXPECTS(admg.rho > 0.0);
+  UFC_EXPECTS(options_.dead_after_rounds >= 1);
+  // Strict lockstep assumes every message arrives within its round; only a
+  // delivery-preserving plan on the unbounded-retransmit transport promises
+  // that. Every other fault environment needs the degraded protocol.
+  UFC_EXPECTS(options_.degraded || (options_.faults.delivery_preserving() &&
+                                    options_.max_attempts == 0));
+  UFC_EXPECTS(options_.max_stale_rounds >= 0);
+  // Eventual delivery (loss with retries, bounded delay) keeps input ages
+  // bounded; the auto gate admits exactly that envelope.
+  const auto& rf = options_.faults.random();
+  stale_bound_ = options_.max_stale_rounds > 0
+                     ? options_.max_stale_rounds
+                     : 1 + (rf.delay_rate > 0.0 ? rf.max_delay_rounds : 0);
 
   // Same workload normalization as AdmgSolver so iterates are bit-identical.
   sigma_ = admg.workload_scale > 0.0 ? admg.workload_scale
                                      : admm::natural_workload_scale(original_);
   problem_ = admm::scale_workload_units(original_, sigma_);
 
-  ProtocolConfig protocol;
-  protocol.rho = admg.rho;
-  protocol.epsilon = admg.epsilon;
-  protocol.gaussian_back_substitution = admg.gaussian_back_substitution;
-  protocol.pin_mu = admg.pinning == admm::BlockPinning::PinMu;
-  protocol.pin_nu = admg.pinning == admm::BlockPinning::PinNu;
-  protocol.inner = admg.inner;
+  protocol_.rho = admg.rho;
+  protocol_.epsilon = admg.epsilon;
+  protocol_.gaussian_back_substitution = admg.gaussian_back_substitution;
+  protocol_.pin_mu = admg.pinning == admm::BlockPinning::PinMu;
+  protocol_.pin_nu = admg.pinning == admm::BlockPinning::PinNu;
+  protocol_.allow_stale = options_.degraded;
+  protocol_.inner = admg.inner;
 
+  active_dcs_.resize(problem_.num_datacenters());
+  for (std::size_t j = 0; j < active_dcs_.size(); ++j) active_dcs_[j] = j;
+
+  build_agents();
+  update_residual_scales();
+}
+
+void DistributedAdmgRuntime::build_agents() {
   const std::size_t m = problem_.num_front_ends();
   const std::size_t n = problem_.num_datacenters();
+  UFC_EXPECTS(active_dcs_.size() == n);
 
+  std::vector<NodeId> dc_ids;
+  dc_ids.reserve(n);
+  for (std::size_t original : active_dcs_)
+    dc_ids.push_back(datacenter_id(original));
+
+  front_ends_.clear();
   front_ends_.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
     FrontEndLocalConfig cfg;
@@ -40,15 +119,17 @@ DistributedAdmgRuntime::DistributedAdmgRuntime(const UfcProblem& problem,
     cfg.latency_row_s = problem_.latency_s.row(i);
     cfg.latency_weight = problem_.latency_weight;
     cfg.utility = problem_.utility;
-    cfg.protocol = protocol;
+    cfg.datacenter_ids = dc_ids;
+    cfg.protocol = protocol_;
     front_ends_.emplace_back(std::move(cfg));
   }
 
+  datacenters_.clear();
   datacenters_.reserve(n);
   for (std::size_t j = 0; j < n; ++j) {
     const auto& dc = problem_.datacenters[j];
     DatacenterLocalConfig cfg;
-    cfg.index = j;
+    cfg.index = active_dcs_[j];  // keeps the original bus id after removals
     cfg.num_front_ends = m;
     cfg.alpha_mw = problem_.alpha_mw(j);
     cfg.beta_mw = problem_.beta_mw(j);
@@ -58,29 +139,141 @@ DistributedAdmgRuntime::DistributedAdmgRuntime(const UfcProblem& problem,
     cfg.grid_price = dc.grid_price;
     cfg.carbon_tons_per_mwh = dc.carbon_rate / 1000.0;
     cfg.emission_cost = dc.emission_cost;
-    cfg.protocol = protocol;
+    cfg.protocol = protocol_;
     datacenters_.emplace_back(std::move(cfg));
   }
+}
 
+void DistributedAdmgRuntime::update_residual_scales() {
   double max_arrival = 1.0;
   for (double a : problem_.arrivals) max_arrival = std::max(max_arrival, a);
   copy_scale_ = max_arrival;
   double max_demand = 1.0;
-  for (std::size_t j = 0; j < n; ++j)
+  for (std::size_t j = 0; j < problem_.num_datacenters(); ++j)
     max_demand = std::max(
         max_demand, problem_.demand_mw(j, problem_.datacenters[j].servers));
   balance_scale_ = max_demand;
 }
 
 void DistributedAdmgRuntime::round(int iteration) {
-  for (auto& fe : front_ends_) fe.send_proposals(bus_, iteration);
-  for (auto& dc : datacenters_) dc.process_proposals(bus_, iteration);
-  for (auto& fe : front_ends_) fe.process_assignments(bus_, iteration);
+  bus_.begin_round(iteration);
+  const auto& faults = bus_.config().faults;
+  for (auto& fe : front_ends_)
+    if (!faults.node_down(fe.id(), iteration))
+      fe.send_proposals(bus_, iteration);
+  for (auto& dc : datacenters_)
+    if (!faults.node_down(dc.id(), iteration))
+      dc.process_proposals(bus_, iteration);
+  for (auto& fe : front_ends_)
+    if (!faults.node_down(fe.id(), iteration))
+      fe.process_assignments(bus_, iteration);
   // The coordinator consumes the residual reports (values are also exposed
-  // on the agents for tests).
+  // on the agents for tests) and keeps its health table: receipt of any
+  // report this round proves the sender was recently alive.
   for (auto& msg : bus_.drain(kCoordinatorId)) {
     UFC_EXPECTS(msg.type == MessageType::ConvergenceReport);
+    last_seen_[msg.source] = iteration;
   }
+}
+
+bool DistributedAdmgRuntime::remove_dead(int round) {
+  bool removed = false;
+  for (;;) {
+    const std::size_t n = datacenters_.size();
+    std::size_t dead = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto it = last_seen_.find(datacenters_[j].id());
+      const int last = it == last_seen_.end() ? -1 : it->second;
+      if (round - last >= options_.dead_after_rounds) {
+        dead = j;
+        break;
+      }
+    }
+    if (dead == n) break;
+    if (!remove_datacenter(dead)) break;
+    removed = true;
+  }
+  return removed;
+}
+
+bool DistributedAdmgRuntime::remove_datacenter(std::size_t pos) {
+  const std::size_t m = front_ends_.size();
+  const std::size_t n = datacenters_.size();
+  UFC_EXPECTS(pos < n);
+  const std::size_t original_index = active_dcs_[pos];
+  if (n <= 1) {
+    log::warn("cannot remove datacenter ", original_index,
+              ": it is the last one standing");
+    return false;
+  }
+  double remaining_capacity = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    if (j != pos) remaining_capacity += original_.datacenters[j].servers;
+  if (original_.total_arrivals() > remaining_capacity) {
+    log::warn("cannot remove datacenter ", original_index,
+              ": reduced problem infeasible (capacity ", remaining_capacity,
+              " servers < load ", original_.total_arrivals(), ")");
+    return false;
+  }
+  log::warn("removing datacenter ", original_index, "; warm-restarting on ",
+            n - 1, " datacenters");
+
+  // Capture the surviving iterate (normalized units), compacted past `pos`.
+  struct FeState {
+    std::vector<double> lambda, a, varphi;
+  };
+  std::vector<FeState> fe_state(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto& st = fe_state[i];
+    const Vec& lambda = front_ends_[i].lambda();
+    const Vec& a = front_ends_[i].a_mirror();
+    const Vec& varphi = front_ends_[i].varphi();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == pos) continue;
+      st.lambda.push_back(lambda[j]);
+      st.a.push_back(a[j]);
+      st.varphi.push_back(varphi[j]);
+    }
+  }
+  struct DcState {
+    Vec a_col, varphi_col;
+    double mu = 0.0, nu = 0.0, phi = 0.0;
+  };
+  std::vector<DcState> dc_state;
+  dc_state.reserve(n - 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == pos) continue;
+    DcState st;
+    st.a_col = datacenters_[j].a_col();
+    st.varphi_col = Vec(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+      st.varphi_col[i] = front_ends_[i].varphi()[j];
+    st.mu = datacenters_[j].mu();
+    st.nu = datacenters_[j].nu();
+    st.phi = datacenters_[j].phi();
+    dc_state.push_back(std::move(st));
+  }
+
+  remove_datacenter_from_problem(original_, pos);
+  remove_datacenter_from_problem(problem_, pos);
+  active_dcs_.erase(active_dcs_.begin() + static_cast<std::ptrdiff_t>(pos));
+  removed_dcs_.push_back(original_index);
+  last_seen_.erase(datacenter_id(original_index));
+
+  build_agents();
+  for (std::size_t i = 0; i < m; ++i)
+    front_ends_[i].load_iterate(fe_state[i].lambda, fe_state[i].a,
+                                fe_state[i].varphi);
+  for (std::size_t j = 0; j + 1 < n; ++j)
+    datacenters_[j].load_iterate(dc_state[j].a_col.span(),
+                                 dc_state[j].varphi_col.span(), dc_state[j].mu,
+                                 dc_state[j].nu, dc_state[j].phi);
+
+  // In-flight traffic addressed the old topology; flush it. The degraded
+  // protocol treats the flushed messages as lost.
+  bus_.clear_queues();
+  update_residual_scales();
+  return true;
 }
 
 Mat DistributedAdmgRuntime::lambda() const {
@@ -124,29 +317,109 @@ double DistributedAdmgRuntime::copy_residual() const {
   return r;
 }
 
+bool DistributedAdmgRuntime::iterate_finite() const {
+  for (const auto& fe : front_ends_) {
+    if (!all_finite(fe.lambda().span()) || !all_finite(fe.a_mirror().span()) ||
+        !all_finite(fe.varphi().span()))
+      return false;
+  }
+  for (const auto& dc : datacenters_) {
+    if (!all_finite(dc.a_col().span()) || !std::isfinite(dc.mu()) ||
+        !std::isfinite(dc.nu()) || !std::isfinite(dc.phi()))
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t DistributedAdmgRuntime::stale_inputs() const {
+  std::uint64_t total = 0;
+  for (const auto& fe : front_ends_) total += fe.stale_assignments();
+  for (const auto& dc : datacenters_) total += dc.stale_proposals();
+  return total;
+}
+
 DistributedReport DistributedAdmgRuntime::run() {
   DistributedReport report;
   const auto& admg = options_.admg;
-  for (int k = 0; k < admg.max_iterations; ++k) {
+  admm::SolverWatchdog watchdog(admg.watchdog);
+  // Mirror AdmgSolver::solve_warm: a poisoned restore must trip the
+  // watchdog before round() feeds NaN into the agents' block solvers.
+  if (admg.watchdog.check_finite && !iterate_finite()) {
+    watchdog.observe(0.0, 0.0, false);
+    report.watchdog_verdict = watchdog.verdict();
+  }
+  const int first = next_round_;
+  for (int k = first; !watchdog.tripped() && k < first + admg.max_iterations;
+       ++k) {
     const Mat a_before = a();
     const Vec mu_before = mu();
     const Vec nu_before = nu();
     round(k);
-    report.iterations = k + 1;
+    next_round_ = k + 1;
+    ++report.iterations;
+    if (options_.degraded && remove_dead(k)) {
+      // Topology changed under the iterate: the dimensions and residual
+      // scales this round's checks would use are gone. Re-baseline the
+      // watchdog on the reduced problem and move on.
+      watchdog.reset();
+      continue;
+    }
     // Same three-part criterion as AdmgSolver: primal residuals plus the
-    // successive-change (dual residual proxy).
+    // successive-change (dual residual proxy). A round may declare
+    // convergence only when every input it consumed is recent — oldest
+    // cached round within stale_bound_ of the current round. Under eventual
+    // delivery (loss, bounded delay) ages stay within the bound, so
+    // persistent random faults cannot starve convergence; a silent (crashed
+    // or partitioned) peer grows the age without bound and keeps blocking
+    // it until the health tracker removes the node or the watchdog trips.
     const double change =
         std::max({max_abs_diff(a(), a_before), max_abs_diff(mu(), mu_before),
                   max_abs_diff(nu(), nu_before)});
-    if (balance_residual() / balance_scale_ < admg.tolerance &&
+    std::int32_t oldest = static_cast<std::int32_t>(k);
+    for (const auto& fe : front_ends_)
+      oldest = std::min(oldest, fe.oldest_input_round());
+    for (const auto& dc : datacenters_)
+      oldest = std::min(oldest, dc.oldest_input_round());
+    const bool fresh = k - oldest <= stale_bound_;
+    if (fresh && balance_residual() / balance_scale_ < admg.tolerance &&
         copy_residual() / copy_scale_ < admg.tolerance &&
         change / copy_scale_ < admg.tolerance) {
       report.converged = true;
       break;
     }
+    const bool finite = !admg.watchdog.check_finite || iterate_finite();
+    if (watchdog.observe(balance_residual() / balance_scale_,
+                         copy_residual() / copy_scale_,
+                         finite) != admm::WatchdogVerdict::Healthy) {
+      report.watchdog_verdict = watchdog.verdict();
+      break;
+    }
   }
   report.balance_residual = balance_residual();
   report.copy_residual = copy_residual();
+  report.stale_inputs = stale_inputs();
+  report.active_datacenters = active_dcs_;
+  report.removed_datacenters = removed_dcs_;
+  report.network = bus_.total();
+
+  if (report.watchdog_verdict != admm::WatchdogVerdict::Healthy) {
+    log::warn("distributed ADM-G watchdog tripped (",
+              report.watchdog_verdict == admm::WatchdogVerdict::NonFinite
+                  ? "non-finite iterate"
+                  : "residual stall",
+              ") after round ", next_round_ - 1);
+    if (admg.fallback_to_centralized) {
+      admm::CentralizedOptions fallback;
+      fallback.grid_only = admg.pinning == admm::BlockPinning::PinMu;
+      fallback.fuel_cell_only = admg.pinning == admm::BlockPinning::PinNu;
+      const auto safe = admm::solve_centralized(original_, fallback);
+      report.solution = safe.solution;
+      report.breakdown = safe.breakdown;
+      report.fallback_centralized = true;
+      return report;
+    }
+  }
+
   Mat lambda_servers = lambda();
   lambda_servers *= sigma_;
   report.solution.lambda = std::move(lambda_servers);
@@ -155,8 +428,83 @@ DistributedReport DistributedAdmgRuntime::run() {
                                     report.solution.mu);
   report.breakdown =
       evaluate(original_, report.solution.lambda, report.solution.mu);
-  report.network = bus_.total();
   return report;
+}
+
+std::vector<std::byte> DistributedAdmgRuntime::checkpoint() const {
+  std::vector<std::byte> out;
+  wire::append(out, kRuntimeCheckpointMagic);
+  wire::append(out, kRuntimeCheckpointVersion);
+  wire::append(out, static_cast<std::uint64_t>(front_ends_.size()));
+  wire::append(out, static_cast<std::uint64_t>(datacenters_.size()));
+  wire::append(out, sigma_);
+  wire::append(out, static_cast<std::int32_t>(next_round_));
+  for (std::size_t idx : active_dcs_)
+    wire::append(out, static_cast<std::uint64_t>(idx));
+  wire::append(out, static_cast<std::uint64_t>(removed_dcs_.size()));
+  for (std::size_t idx : removed_dcs_)
+    wire::append(out, static_cast<std::uint64_t>(idx));
+  wire::append(out, static_cast<std::uint64_t>(last_seen_.size()));
+  for (const auto& [node, seen] : last_seen_) {
+    wire::append(out, node);
+    wire::append(out, static_cast<std::int32_t>(seen));
+  }
+  for (const auto& fe : front_ends_) fe.append_state(out);
+  for (const auto& dc : datacenters_) dc.append_state(out);
+  return out;
+}
+
+void DistributedAdmgRuntime::restore(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  UFC_EXPECTS(wire::read<std::uint32_t>(bytes, offset) ==
+              kRuntimeCheckpointMagic);
+  UFC_EXPECTS(wire::read<std::uint32_t>(bytes, offset) ==
+              kRuntimeCheckpointVersion);
+  UFC_EXPECTS(wire::read<std::uint64_t>(bytes, offset) == front_ends_.size());
+  const auto n =
+      static_cast<std::size_t>(wire::read<std::uint64_t>(bytes, offset));
+  UFC_EXPECTS(n >= 1 && n <= datacenters_.size());
+  // Iterates are stored in normalized units; a different sigma would
+  // silently reinterpret them.
+  UFC_EXPECTS(wire::read<double>(bytes, offset) == sigma_);
+  const int next_round = wire::read<std::int32_t>(bytes, offset);
+  UFC_EXPECTS(next_round >= 0);
+  std::vector<std::size_t> active(n);
+  for (auto& idx : active)
+    idx = static_cast<std::size_t>(wire::read<std::uint64_t>(bytes, offset));
+  const auto removed_count =
+      static_cast<std::size_t>(wire::read<std::uint64_t>(bytes, offset));
+  std::vector<std::size_t> removed(removed_count);
+  for (auto& idx : removed)
+    idx = static_cast<std::size_t>(wire::read<std::uint64_t>(bytes, offset));
+  const auto seen_count =
+      static_cast<std::size_t>(wire::read<std::uint64_t>(bytes, offset));
+  std::map<NodeId, int> seen;
+  for (std::size_t s = 0; s < seen_count; ++s) {
+    const auto node = wire::read<NodeId>(bytes, offset);
+    seen[node] = wire::read<std::int32_t>(bytes, offset);
+  }
+
+  // Replay the membership reduction so agent shapes match the image.
+  for (std::size_t pos = 0; pos < active_dcs_.size();) {
+    if (std::find(active.begin(), active.end(), active_dcs_[pos]) ==
+        active.end()) {
+      UFC_EXPECTS(remove_datacenter(pos));
+    } else {
+      ++pos;
+    }
+  }
+  UFC_EXPECTS(active_dcs_ == active);
+
+  removed_dcs_ = std::move(removed);
+  last_seen_ = std::move(seen);
+  next_round_ = next_round;
+  for (auto& fe : front_ends_) fe.restore_state(bytes, offset);
+  for (auto& dc : datacenters_) dc.restore_state(bytes, offset);
+  UFC_EXPECTS(offset == bytes.size());
+  // Whatever was in flight when the image was taken is gone; anything
+  // queued locally belongs to a different timeline.
+  bus_.clear_queues();
 }
 
 }  // namespace ufc::net

@@ -4,20 +4,60 @@
 // solver. This is the executable demonstration that the paper's algorithm
 // is *fully distributed*: strip away the bus and each node touches only its
 // Fig. 2 tuple.
+//
+// Two operating modes (docs/ROBUSTNESS.md):
+//
+//  * Strict lockstep (default): every message arrives within its round
+//    (legacy reliable transport) and rounds are bit-identical to
+//    AdmgSolver::step(). Requires a delivery-preserving fault plan.
+//  * Degraded (options.degraded): rounds proceed on the latest value
+//    received from each peer — the generalization of admm/async.hpp's
+//    stale-bounded participation model to message loss, delay, partitions
+//    and crashes. The coordinator declares a datacenter dead after
+//    dead_after_rounds silent rounds and gracefully degrades: the dead
+//    datacenter's capacity is removed and the surviving agents warm-restart
+//    on the reduced problem. A solver watchdog (shared with AdmgSolver)
+//    catches non-finite iterates and residual stalls and can fall back to
+//    the centralized reference solver.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
 #include <vector>
 
 #include "admm/admg.hpp"
 #include "net/agents.hpp"
 #include "net/bus.hpp"
+#include "net/faults.hpp"
 
 namespace ufc::net {
 
 struct DistributedOptions {
-  admm::AdmgOptions admg;     ///< Same knobs as the monolithic solver.
+  admm::AdmgOptions admg;     ///< Same knobs as the monolithic solver; the
+                              ///< watchdog / fallback fields govern the
+                              ///< runtime's watchdog too.
   double loss_rate = 0.0;     ///< Per-attempt message-loss probability.
   std::uint64_t loss_seed = 1;
+  /// Scripted + seeded-random fault environment for the bus.
+  FaultPlan faults;
+  /// Per-message transmission cap (see BusConfig). Must stay 0 in strict
+  /// mode; must be >= 1 when the plan is not delivery-preserving.
+  int max_attempts = 0;
+  /// Enables the degraded (stale-tolerant) protocol described above.
+  bool degraded = false;
+  /// Silent rounds after which the coordinator declares a datacenter dead
+  /// (degraded mode only).
+  int dead_after_rounds = 5;
+  /// Degraded-mode convergence gate: a round may declare convergence only
+  /// when every agent input is at most this many rounds old — the bounded
+  /// input-age criterion, the message-level analog of admm/async.hpp's
+  /// stale-bounded participation model (docs/ROBUSTNESS.md). Silence from a
+  /// crashed or partitioned peer grows the age without bound and keeps
+  /// blocking convergence until the health tracker or the watchdog acts.
+  /// 0 = auto: 1 + max_delay_rounds when random delay is active, else 1.
+  int max_stale_rounds = 0;
 };
 
 struct DistributedReport {
@@ -27,6 +67,16 @@ struct DistributedReport {
   bool converged = false;
   double balance_residual = 0.0;
   double copy_residual = 0.0;
+  /// Healthy unless the watchdog cut the run short.
+  admm::WatchdogVerdict watchdog_verdict = admm::WatchdogVerdict::Healthy;
+  /// True when the returned solution came from the centralized fallback.
+  bool fallback_centralized = false;
+  /// Agent inputs served from a previous iteration's value (0 in strict mode).
+  std::uint64_t stale_inputs = 0;
+  /// Original datacenter indices still participating / removed by
+  /// graceful degradation (removal order preserved).
+  std::vector<std::size_t> active_datacenters;
+  std::vector<std::size_t> removed_datacenters;
   LinkStats network;   ///< Total traffic including retransmissions.
 };
 
@@ -36,15 +86,18 @@ class DistributedAdmgRuntime {
                          DistributedOptions options = {});
 
   /// Runs rounds until the coordinator sees both scaled residuals below
-  /// tolerance, or max_iterations.
+  /// tolerance, or max_iterations. Resumable: a second call (or a call
+  /// after restore()) continues from the next round.
   DistributedReport run();
 
-  /// One synchronous protocol round. Exposed so tests can compare against
-  /// AdmgSolver::step() iterate-by-iterate.
+  /// One protocol round. Exposed so tests can compare against
+  /// AdmgSolver::step() iterate-by-iterate. Crashed nodes skip their
+  /// procedures; the coordinator records who reported.
   void round(int iteration);
 
   /// Assembles the current global iterate from the agents' local state,
   /// in normalized workload units (matching AdmgSolver's accessors).
+  /// Columns are positional over the *active* datacenters.
   Mat lambda() const;
   Vec mu() const;
   Vec nu() const;
@@ -54,14 +107,66 @@ class DistributedAdmgRuntime {
   double copy_residual() const;     ///< Max over front-end reports.
   const MessageBus& bus() const { return bus_; }
 
+  /// True iff every agent's local state is finite.
+  bool iterate_finite() const;
+  /// Total stale-input count across all agents (see DistributedReport).
+  std::uint64_t stale_inputs() const;
+  /// Original indices of the datacenters still participating.
+  const std::vector<std::size_t>& active_datacenters() const {
+    return active_dcs_;
+  }
+  const std::vector<std::size_t>& removed_datacenters() const {
+    return removed_dcs_;
+  }
+  /// The (possibly reduced) problem the runtime currently optimizes, in the
+  /// caller's original units.
+  const UfcProblem& current_problem() const { return original_; }
+  int next_round() const { return next_round_; }
+
+  /// Serializes the complete solver-relevant state: active membership,
+  /// every agent's iterate and caches, coordinator health table and round
+  /// counter — via the shared wire codec. In-flight bus messages are part
+  /// of the fault environment, not solver state, and are NOT captured
+  /// (after restore they count as lost; the degraded protocol absorbs
+  /// that, and zero-fault checkpoints are taken at round boundaries where
+  /// nothing is in flight).
+  std::vector<std::byte> checkpoint() const;
+  /// Restores a checkpoint() image into a runtime constructed with the same
+  /// problem and options. The image's active set must be reachable from
+  /// this runtime's (a subset); anything malformed throws
+  /// ufc::ContractViolation.
+  void restore(std::span<const std::byte> bytes);
+
  private:
-  UfcProblem original_;  ///< As given.
+  void update_residual_scales();
+  /// (Re)creates all agents for the current problem_/active_dcs_, with
+  /// cold-start state.
+  void build_agents();
+  /// Declares and removes every datacenter silent for dead_after_rounds as
+  /// of `round`; returns true if the topology changed.
+  bool remove_dead(int round);
+  /// Removes the datacenter at active position `pos`, warm-restarting the
+  /// survivors on the reduced problem. Returns false (and keeps the
+  /// datacenter) when removal would make the problem infeasible or empty.
+  bool remove_datacenter(std::size_t pos);
+
+  UfcProblem original_;  ///< As given, minus removed datacenters.
   UfcProblem problem_;   ///< Workload-normalized (agents see this).
   DistributedOptions options_;
+  ProtocolConfig protocol_;
   double sigma_ = 1.0;
   MessageBus bus_;
   std::vector<FrontEndAgent> front_ends_;
   std::vector<DatacenterAgent> datacenters_;
+  /// Original index of each active datacenter, positional with
+  /// datacenters_; removal order of the dead ones.
+  std::vector<std::size_t> active_dcs_;
+  std::vector<std::size_t> removed_dcs_;
+  /// Coordinator health table: last round a ConvergenceReport from this
+  /// node was received (absent = never).
+  std::map<NodeId, int> last_seen_;
+  int stale_bound_ = 1;  ///< Resolved max_stale_rounds (see DistributedOptions).
+  int next_round_ = 0;
   double balance_scale_ = 1.0;
   double copy_scale_ = 1.0;
 };

@@ -19,6 +19,16 @@ std::vector<double> series(const std::vector<SlotResult>& slots,
   return out;
 }
 
+void apply_outages(UfcProblem& problem,
+                   const std::vector<FuelCellOutage>& outages, int hour) {
+  for (const auto& outage : outages) {
+    UFC_EXPECTS(outage.datacenter < problem.num_datacenters());
+    UFC_EXPECTS(outage.last_hour >= outage.first_hour);
+    if (outage.covers(hour))
+      problem.datacenters[outage.datacenter].fuel_cell_capacity_mw = 0.0;
+  }
+}
+
 }  // namespace
 
 double WeekResult::total_energy_cost() const {
@@ -115,7 +125,8 @@ WeekResult run_strategy_week(const traces::Scenario& scenario,
   std::optional<admm::AdmgSolver> warm_solver;
 
   for (int t = 0; t < scenario.hours(); t += options.stride) {
-    const UfcProblem problem = scenario.problem_at(t);
+    UfcProblem problem = scenario.problem_at(t);
+    apply_outages(problem, options.outages, t);
     admm::AdmgReport report;
     if (options.warm_start) {
       if (!warm_solver) {

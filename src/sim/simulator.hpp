@@ -42,6 +42,20 @@ struct WeekResult {
   std::vector<double> iteration_series() const;
 };
 
+/// Scenario-level fault event: the fuel cells at one datacenter produce
+/// nothing over hours [first_hour, last_hour) — mu_max_j = 0 — modeling a
+/// generation outage. Quantifies the UFC degradation of losing on-site
+/// generation (docs/ROBUSTNESS.md). Not meaningful under the FuelCell
+/// strategy, which requires full fuel-cell capacity by construction.
+struct FuelCellOutage {
+  std::size_t datacenter = 0;
+  int first_hour = 0;  ///< Inclusive.
+  int last_hour = 0;   ///< Exclusive.
+  bool covers(int hour) const {
+    return hour >= first_hour && hour < last_hour;
+  }
+};
+
 struct SimulatorOptions {
   SimulatorOptions() {
     // Simulation default: the paper-scale stopping accuracy (UFC changes by
@@ -62,6 +76,8 @@ struct SimulatorOptions {
   /// iterations severalfold. Off by default: the paper cold-starts each run
   /// (its Fig. 11 counts cold-start iterations).
   bool warm_start = false;
+  /// Fuel-cell outage windows applied to the per-slot problems.
+  std::vector<FuelCellOutage> outages;
 };
 
 /// Builds SimulatorOptions from INI [solver]/[simulate] sections (missing

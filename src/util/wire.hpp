@@ -1,0 +1,61 @@
+// Low-level binary wire codec shared by the message layer and the solver
+// checkpoints.
+//
+// Encoding is little-endian host layout of trivially copyable scalars (the
+// repo targets a single ABI; messages and checkpoints never cross machines
+// with different endianness in the simulation). Every read is bounds-checked
+// and throws ufc::ContractViolation on truncated input, so arbitrary byte
+// strings can be fed to decoders without undefined behavior — the fuzz tests
+// rely on this.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace ufc::wire {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void append(std::vector<std::byte>& out, const T& value) {
+  const std::size_t old_size = out.size();
+  out.resize(old_size + sizeof(T));
+  std::memcpy(out.data() + old_size, &value, sizeof(T));
+}
+
+/// Reads one scalar at `offset`, advancing it. Overflow-safe: the bounds
+/// check cannot wrap even for adversarial offsets.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T read(std::span<const std::byte> bytes, std::size_t& offset) {
+  UFC_EXPECTS(sizeof(T) <= bytes.size());
+  UFC_EXPECTS(offset <= bytes.size() - sizeof(T));
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+inline void append_f64s(std::vector<std::byte>& out,
+                        std::span<const double> values) {
+  const std::size_t want = values.size() * sizeof(double);
+  const std::size_t old_size = out.size();
+  out.resize(old_size + want);
+  if (want > 0) std::memcpy(out.data() + old_size, values.data(), want);
+}
+
+/// Fills `into` from consecutive doubles at `offset`, advancing it.
+inline void read_f64s(std::span<const std::byte> bytes, std::size_t& offset,
+                      std::span<double> into) {
+  const std::size_t want = into.size() * sizeof(double);
+  UFC_EXPECTS(want <= bytes.size());
+  UFC_EXPECTS(offset <= bytes.size() - want);
+  if (want > 0) std::memcpy(into.data(), bytes.data() + offset, want);
+  offset += want;
+}
+
+}  // namespace ufc::wire

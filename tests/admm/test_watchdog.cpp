@@ -1,0 +1,205 @@
+// SolverWatchdog verdict semantics, AdmgSolver checkpoint/restore, and the
+// watchdog-triggered centralized fallback of the monolithic solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "admm/admg.hpp"
+#include "admm/watchdog.hpp"
+#include "helpers.hpp"
+#include "math/matrix.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+TEST(SolverWatchdog, HealthyWhileResidualsImprove) {
+  WatchdogOptions options;
+  options.stall_window = 3;
+  SolverWatchdog dog(options);
+  double r = 1.0;
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(dog.observe(r, r, true), WatchdogVerdict::Healthy);
+    r *= 0.5;
+  }
+  EXPECT_FALSE(dog.tripped());
+  EXPECT_EQ(dog.observations(), 20);
+}
+
+TEST(SolverWatchdog, NonFiniteTripsImmediatelyAndSticks) {
+  SolverWatchdog dog;
+  EXPECT_EQ(dog.observe(1.0, 1.0, true), WatchdogVerdict::Healthy);
+  EXPECT_EQ(dog.observe(std::numeric_limits<double>::quiet_NaN(), 1.0, true),
+            WatchdogVerdict::NonFinite);
+  // Sticky: healthy observations cannot un-trip it.
+  EXPECT_EQ(dog.observe(0.1, 0.1, true), WatchdogVerdict::NonFinite);
+  EXPECT_TRUE(dog.tripped());
+}
+
+TEST(SolverWatchdog, CallerFinitenessFlagTrips) {
+  SolverWatchdog dog;
+  EXPECT_EQ(dog.observe(1.0, 1.0, false), WatchdogVerdict::NonFinite);
+}
+
+TEST(SolverWatchdog, StallWindowCountsConsecutiveNonImprovement) {
+  WatchdogOptions options;
+  options.stall_window = 3;
+  options.min_decrease = 0.01;
+  SolverWatchdog dog(options);
+  EXPECT_EQ(dog.observe(1.0, 1.0, true), WatchdogVerdict::Healthy);
+  // Two flat observations: still under the window.
+  EXPECT_EQ(dog.observe(1.0, 1.0, true), WatchdogVerdict::Healthy);
+  EXPECT_EQ(dog.observe(1.0, 1.0, true), WatchdogVerdict::Healthy);
+  // A real improvement (> 1% of best) resets the stall counter.
+  EXPECT_EQ(dog.observe(0.5, 0.5, true), WatchdogVerdict::Healthy);
+  EXPECT_EQ(dog.observe(0.5, 0.5, true), WatchdogVerdict::Healthy);
+  EXPECT_EQ(dog.observe(0.5, 0.5, true), WatchdogVerdict::Healthy);
+  // Third consecutive non-improving observation fills the window.
+  EXPECT_EQ(dog.observe(0.5, 0.5, true), WatchdogVerdict::Stalled);
+  EXPECT_TRUE(dog.tripped());
+}
+
+TEST(SolverWatchdog, SubMinDecreaseImprovementStillStalls) {
+  WatchdogOptions options;
+  options.stall_window = 2;
+  options.min_decrease = 0.1;
+  SolverWatchdog dog(options);
+  EXPECT_EQ(dog.observe(1.0, 1.0, true), WatchdogVerdict::Healthy);
+  // 1% improvements are below the 10% min_decrease: they count as stalled.
+  EXPECT_EQ(dog.observe(0.99, 0.99, true), WatchdogVerdict::Healthy);
+  EXPECT_EQ(dog.observe(0.98, 0.98, true), WatchdogVerdict::Stalled);
+}
+
+TEST(SolverWatchdog, ZeroWindowDisablesStallDetection) {
+  SolverWatchdog dog;  // default stall_window = 0
+  for (int k = 0; k < 1000; ++k)
+    EXPECT_EQ(dog.observe(1.0, 1.0, true), WatchdogVerdict::Healthy);
+}
+
+TEST(SolverWatchdog, ResetForgetsVerdictAndBest) {
+  WatchdogOptions options;
+  options.stall_window = 1;
+  SolverWatchdog dog(options);
+  dog.observe(1.0, 1.0, true);
+  EXPECT_EQ(dog.observe(1.0, 1.0, true), WatchdogVerdict::Stalled);
+  dog.reset();
+  EXPECT_FALSE(dog.tripped());
+  EXPECT_EQ(dog.observations(), 0);
+  EXPECT_EQ(dog.best_residual(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dog.observe(5.0, 5.0, true), WatchdogVerdict::Healthy);
+}
+
+TEST(AdmgCheckpoint, RestoreResumesBitIdentically) {
+  const auto problem = make_tiny_problem();
+  AdmgOptions options;
+  options.tolerance = 1e-6;
+  options.max_iterations = 5000;
+
+  AdmgSolver uninterrupted(problem, options);
+  const auto full = uninterrupted.solve();
+
+  AdmgSolver paused(problem, options);
+  for (int k = 0; k < 10; ++k) paused.step();
+  const auto image = paused.checkpoint();
+
+  AdmgSolver resumed(problem, options);
+  resumed.restore(image);
+  EXPECT_EQ(max_abs_diff(resumed.lambda(), paused.lambda()), 0.0);
+  EXPECT_EQ(max_abs_diff(resumed.varphi(), paused.varphi()), 0.0);
+  EXPECT_EQ(resumed.last_change(), paused.last_change());
+
+  const auto rest = resumed.solve_warm();
+  EXPECT_TRUE(rest.converged);
+  EXPECT_EQ(rest.iterations + 10, full.iterations);
+  EXPECT_EQ(max_abs_diff(rest.solution.lambda, full.solution.lambda), 0.0);
+  EXPECT_EQ(max_abs_diff(rest.solution.mu, full.solution.mu), 0.0);
+  EXPECT_EQ(max_abs_diff(rest.solution.nu, full.solution.nu), 0.0);
+  EXPECT_EQ(rest.breakdown.ufc, full.breakdown.ufc);
+}
+
+TEST(AdmgCheckpoint, RejectsMalformedImages) {
+  const auto problem = make_tiny_problem();
+  AdmgSolver source(problem);
+  source.step();
+  const auto image = source.checkpoint();
+
+  {
+    AdmgSolver target(problem);
+    auto truncated = image;
+    truncated.pop_back();
+    EXPECT_THROW(target.restore(truncated), ContractViolation);
+  }
+  {
+    AdmgSolver target(problem);
+    auto mutated = image;
+    mutated[0] ^= std::byte{0xFF};  // breaks the magic
+    EXPECT_THROW(target.restore(mutated), ContractViolation);
+  }
+  {
+    AdmgSolver target(problem);
+    auto trailing = image;
+    trailing.push_back(std::byte{0});
+    EXPECT_THROW(target.restore(trailing), ContractViolation);
+  }
+  {
+    // Wrong dimensions: a 4x3 solver cannot load a 2x2 image.
+    AdmgSolver other(::ufc::testing::make_random_problem(7, 4, 3));
+    EXPECT_THROW(other.restore(image), ContractViolation);
+  }
+}
+
+TEST(AdmgWatchdog, PoisonedRestoreIsCaughtAndFallsBackToCentralized) {
+  const auto problem = make_tiny_problem();
+  AdmgOptions options;
+  options.tolerance = 1e-6;
+  options.fallback_to_centralized = true;
+
+  AdmgSolver victim(problem, options);
+  for (int k = 0; k < 5; ++k) victim.step();
+  // Corrupt one lambda entry in the checkpoint image with NaN — the framing
+  // is intact, so restore() accepts it; only the watchdog can catch it.
+  auto image = victim.checkpoint();
+  const double poison = std::numeric_limits<double>::quiet_NaN();
+  // Layout: magic u32, version u32, m u64, n u64, sigma f64, last_change
+  // f64, stepped u8, then lambda row-major.
+  const std::size_t lambda_offset = 4 + 4 + 8 + 8 + 8 + 8 + 1;
+  std::memcpy(image.data() + lambda_offset, &poison, sizeof(poison));
+  victim.restore(image);
+  EXPECT_FALSE(victim.iterate_finite());
+
+  const auto report = victim.solve_warm();
+  EXPECT_EQ(report.watchdog_verdict, WatchdogVerdict::NonFinite);
+  EXPECT_TRUE(report.fallback_centralized);
+  EXPECT_FALSE(report.converged);
+  // The fallback plan is trustworthy: finite and near the oracle optimum.
+  EXPECT_TRUE(std::isfinite(report.breakdown.ufc));
+  const auto healthy = solve_admg(problem, options);
+  EXPECT_NEAR(report.breakdown.ufc, healthy.breakdown.ufc,
+              0.01 * std::abs(healthy.breakdown.ufc));
+}
+
+TEST(AdmgWatchdog, HealthyRunIsUnaffectedByStallDetection) {
+  const auto problem = make_tiny_problem();
+  AdmgOptions plain;
+  plain.tolerance = 1e-6;
+  AdmgOptions watched = plain;
+  // Wider than the whole run: ADMM residuals oscillate, so a window at the
+  // oscillation scale would fire on a healthy trajectory (see WatchdogOptions).
+  watched.watchdog.stall_window = 100;
+
+  const auto a = solve_admg(problem, plain);
+  const auto b = solve_admg(problem, watched);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(max_abs_diff(a.solution.lambda, b.solution.lambda), 0.0);
+  EXPECT_EQ(a.breakdown.ufc, b.breakdown.ufc);
+  EXPECT_EQ(b.watchdog_verdict, WatchdogVerdict::Healthy);
+}
+
+}  // namespace
+}  // namespace ufc::admm

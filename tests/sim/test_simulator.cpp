@@ -146,6 +146,91 @@ TEST(SimulatorOptionsFromIni, AppliesOverridesAndDefaults) {
   EXPECT_DOUBLE_EQ(options.admg.epsilon, defaults.admg.epsilon);
 }
 
+TEST(FuelCellOutage, CoversIsHalfOpen) {
+  const FuelCellOutage outage{.datacenter = 0, .first_hour = 3,
+                              .last_hour = 6};
+  EXPECT_FALSE(outage.covers(2));
+  EXPECT_TRUE(outage.covers(3));
+  EXPECT_TRUE(outage.covers(5));
+  EXPECT_FALSE(outage.covers(6));
+}
+
+TEST(FuelCellOutageWeek, SlotsOutsideTheWindowAreUntouched) {
+  const auto scenario = small_scenario();
+  const auto base =
+      run_strategy_week(scenario, admm::Strategy::Hybrid, fast_options());
+
+  auto options = fast_options();
+  options.outages.push_back({.datacenter = 0, .first_hour = 8,
+                             .last_hour = 16});
+  const auto degraded =
+      run_strategy_week(scenario, admm::Strategy::Hybrid, options);
+
+  ASSERT_EQ(degraded.slots.size(), base.slots.size());
+  for (std::size_t t = 0; t < base.slots.size(); ++t) {
+    const int hour = base.slots[t].slot;
+    if (hour >= 8 && hour < 16) {
+      // Losing generation capacity can only shrink the feasible set: the
+      // UFC must not improve (solver-tolerance slack).
+      EXPECT_LE(degraded.slots[t].breakdown.ufc,
+                base.slots[t].breakdown.ufc +
+                    3e-3 * std::abs(base.slots[t].breakdown.ufc))
+          << "hour " << hour;
+    } else {
+      // The per-slot problems are identical outside the window and each
+      // slot cold-starts: bitwise-equal outcomes.
+      EXPECT_EQ(degraded.slots[t].breakdown.ufc, base.slots[t].breakdown.ufc)
+          << "hour " << hour;
+      EXPECT_EQ(degraded.slots[t].iterations, base.slots[t].iterations);
+    }
+  }
+  EXPECT_LE(degraded.total_ufc(), base.total_ufc());
+}
+
+TEST(FuelCellOutageWeek, TotalOutageReducesHybridToGridStrategy) {
+  const auto scenario = small_scenario();
+  const auto n = scenario.problem_at(0).num_datacenters();
+
+  auto options = fast_options();
+  for (std::size_t j = 0; j < n; ++j)
+    options.outages.push_back({.datacenter = j, .first_hour = 0,
+                               .last_hour = 24});
+  const auto blacked_out =
+      run_strategy_week(scenario, admm::Strategy::Hybrid, options);
+  const auto grid =
+      run_strategy_week(scenario, admm::Strategy::Grid, fast_options());
+
+  // With every fuel cell down, Hybrid's extra degree of freedom is pinned
+  // to zero: slot by slot it must land on the Grid strategy's objective.
+  ASSERT_EQ(blacked_out.slots.size(), grid.slots.size());
+  for (std::size_t t = 0; t < grid.slots.size(); ++t)
+    EXPECT_NEAR(blacked_out.slots[t].breakdown.ufc,
+                grid.slots[t].breakdown.ufc,
+                0.01 * std::abs(grid.slots[t].breakdown.ufc))
+        << "slot " << t;
+  EXPECT_NEAR(blacked_out.average_utilization(), 0.0, 1e-4);
+}
+
+TEST(FuelCellOutageWeek, InvalidOutagesThrow) {
+  const auto scenario = small_scenario();
+  {
+    SimulatorOptions options = fast_options();
+    options.outages.push_back({.datacenter = 1000, .first_hour = 0,
+                               .last_hour = 4});
+    EXPECT_THROW(
+        run_strategy_week(scenario, admm::Strategy::Hybrid, options),
+        ContractViolation);
+  }
+  {
+    SimulatorOptions options = fast_options();
+    options.outages.push_back({.datacenter = 0, .first_hour = 5,
+                               .last_hour = 2});
+    EXPECT_THROW(
+        run_strategy_week(scenario, admm::Strategy::Hybrid, options),
+        ContractViolation);
+  }
+}
+
 TEST(RunStrategyWeek, InvalidStrideThrows) {
   const auto scenario = small_scenario();
   SimulatorOptions options = fast_options();
