@@ -26,6 +26,7 @@
 #include <iostream>
 #include <string>
 
+#include "admm/options.hpp"
 #include "model/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
@@ -50,7 +51,10 @@ int cmd_solve(const Config& config) {
   const auto scenario = traces::Scenario::generate(scenario_from(config));
   const int slot = config.get_int("simulate.slot", 64);
   const auto problem = scenario.problem_at(slot);
-  const auto options = simulator_from(config);
+  // One slot, no simulation loop: bind the [solver] keys straight to
+  // AdmgOptions, starting from the simulator's paper-scale defaults.
+  const auto admg =
+      admm::options_from_config(config, sim::SimulatorOptions{}.admg);
 
   std::cout << "Slot " << slot << " (" << problem.num_front_ends()
             << " front-ends, " << problem.num_datacenters()
@@ -60,7 +64,7 @@ int cmd_solve(const Config& config) {
   TablePrinter table({"Strategy", "UFC $", "energy $", "carbon $",
                       "latency ms", "fuel cell %", "CUE kg/kWh", "iters"});
   for (const auto strategy : admm::kAllStrategies) {
-    const auto report = admm::solve_strategy(problem, strategy, options.admg);
+    const auto report = admm::solve_strategy(problem, strategy, admg);
     const auto& b = report.breakdown;
     const auto idx = complementary_indexes(problem, report.solution.lambda,
                                            report.solution.mu);

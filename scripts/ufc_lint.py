@@ -17,14 +17,20 @@ Rules (each documented in docs/STATIC_ANALYSIS.md):
   bench-csv-name    Benchmark binaries may only write ufc_*.csv files, so
                     .gitignore and scripts/plot_figures.gp can rely on the
                     prefix.
-  no-alloc-in-step  No Mat/Vec construction inside AdmgSolver::step — the hot
-                    path works entirely out of workspaces allocated in
-                    reset(), so steady-state iterations are allocation-free.
+  no-alloc-in-step  No Mat/Vec construction inside the ADM-G step hot path
+                    (InProcessExecutor::step / the legacy AdmgSolver::step) —
+                    it works entirely out of workspaces allocated in reset(),
+                    so steady-state iterations are allocation-free.
   finite-iterate-guard
-                    The solver driver loops (AdmgSolver::solve_warm,
-                    DistributedAdmgRuntime::run) must route iterations through
-                    SolverWatchdog::observe so non-finite iterates and stalls
-                    are caught instead of corrupting reports or spinning.
+                    The one solver iteration loop (AdmgEngine::solve) must
+                    route iterations through SolverWatchdog::observe so
+                    non-finite iterates and stalls are caught instead of
+                    corrupting reports or spinning.
+  engine-single-loop
+                    The GBS correction-step arithmetic (`x += eps * (...)`)
+                    may appear only in src/admm/engine.cpp; every other file
+                    must call the shared correct_* helpers, so all four
+                    drivers provably run the same prediction/correction loop.
 
 Suppressing a finding: append `// ufc-lint: allow(<rule>)` (with a reason!)
 to the offending line, or place it alone on the line above.
@@ -175,13 +181,14 @@ def check_bench_csv_name(rel: str, lines: list[str]) -> list[Finding]:
 # --------------------------------------------------------------------------
 # Rule: no-alloc-in-step
 # --------------------------------------------------------------------------
-# AdmgSolver::step() is the per-iteration hot path; PR 2 moved every Mat/Vec
-# it needs into workspaces sized once in reset(). Constructing a Mat or Vec
-# inside the step body reintroduces per-iteration heap traffic, so any
-# `Mat(...)` / `Vec(...)` construction (temporary or named local) is flagged.
-# References and pointers (`const Vec&`, `Vec*`) do not allocate and pass.
+# InProcessExecutor::step() (and the legacy AdmgSolver::step facade) is the
+# per-iteration hot path; PR 2 moved every Mat/Vec it needs into workspaces
+# sized once in reset(). Constructing a Mat or Vec inside the step body
+# reintroduces per-iteration heap traffic, so any `Mat(...)` / `Vec(...)`
+# construction (temporary or named local) is flagged. References and pointers
+# (`const Vec&`, `Vec*`) do not allocate and pass.
 ALLOC_RE = re.compile(r"\b(Mat|Vec)\s*(?:[A-Za-z_]\w*\s*)?[({]")
-STEP_DEF_RE = re.compile(r"\bAdmgSolver\s*::\s*step\s*\(")
+STEP_DEF_RE = re.compile(r"\b(?:AdmgSolver|InProcessExecutor)\s*::\s*step\s*\(")
 
 
 def _body_span(text: str, open_paren: int) -> tuple[int, int] | None:
@@ -230,22 +237,24 @@ def check_no_alloc_in_step(rel: str, lines: list[str]) -> list[Finding]:
             if ALLOC_RE.search(code) and not _suppressed(lines, i, "no-alloc-in-step"):
                 findings.append(Finding(
                     rel, i + 1, "no-alloc-in-step",
-                    "Mat/Vec constructed inside AdmgSolver::step; allocate it "
-                    "once in reset() and reuse the workspace"))
+                    "Mat/Vec constructed inside the ADM-G step hot path; "
+                    "allocate it once in reset() and reuse the workspace"))
     return findings
 
 
 # --------------------------------------------------------------------------
 # Rule: finite-iterate-guard
 # --------------------------------------------------------------------------
-# The two solver driver loops are the only places a non-finite iterate or a
+# The engine's iteration loop is the only place a non-finite iterate or a
 # residual stall can be caught before it corrupts a report or spins to
-# max_iterations: both must consult the shared SolverWatchdog
-# (`watchdog.observe(...)`) — see docs/ROBUSTNESS.md. A driver definition
-# without an observe call has silently lost its degradation path.
+# max_iterations: it must consult the shared SolverWatchdog
+# (`watchdog.observe(...)`) — see docs/ROBUSTNESS.md. Every driver
+# (AdmgSolver, solve_async_admg, DistributedAdmgRuntime::run) delegates its
+# loop to AdmgEngine::solve, so guarding that one definition covers them all;
+# a solve definition without an observe call has silently lost the
+# degradation path.
 GUARDED_DRIVER_RES = [
-    re.compile(r"\bAdmgSolver\s*::\s*solve_warm\s*\("),
-    re.compile(r"\bDistributedAdmgRuntime\s*::\s*run\s*\("),
+    re.compile(r"\bAdmgEngine\s*::\s*solve\s*\("),
 ]
 
 
@@ -269,6 +278,34 @@ def check_finite_iterate_guard(rel: str, lines: list[str]) -> list[Finding]:
                 rel, start_line, "finite-iterate-guard",
                 f"solver driver `{name}` never calls SolverWatchdog::observe; "
                 "non-finite iterates and stalls would go undetected"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: engine-single-loop
+# --------------------------------------------------------------------------
+# The bit-identity guarantee across the four drivers (monolithic, async,
+# message-passing agents, legacy facade) rests on all of them executing the
+# same Gaussian-back-substitution correction arithmetic. That arithmetic —
+# recognizable as `x += eps * (...)` relaxation updates — lives in the
+# correct_* helpers in src/admm/engine.cpp and nowhere else; a copy anywhere
+# else will drift and break the equivalence tests one rounding mode at a time.
+ENGINE_LOOP_FILE = "src/admm/engine.cpp"
+ENGINE_LOOP_RE = re.compile(r"\+=\s*eps\w*\s*\*\s*\(")
+
+
+def check_engine_single_loop(rel: str, lines: list[str]) -> list[Finding]:
+    if rel == ENGINE_LOOP_FILE:
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        code = _strip_comments_and_strings(line)
+        if ENGINE_LOOP_RE.search(code) and not _suppressed(lines, i, "engine-single-loop"):
+            findings.append(Finding(
+                rel, i + 1, "engine-single-loop",
+                "GBS correction arithmetic outside admm/engine.cpp; call the "
+                "shared admm::correct_* helpers so every driver runs the same "
+                "loop"))
     return findings
 
 
@@ -366,8 +403,9 @@ RULES = {
     "no-c-rand": (check_no_c_rand, "use ufc::Rng, not rand()/srand()"),
     "float-equal": (check_float_equal, "no ==/!= on float literals outside tolerance helpers"),
     "bench-csv-name": (check_bench_csv_name, "bench binaries write only ufc_*.csv"),
-    "no-alloc-in-step": (check_no_alloc_in_step, "no Mat/Vec construction inside AdmgSolver::step"),
-    "finite-iterate-guard": (check_finite_iterate_guard, "solver driver loops must consult SolverWatchdog::observe"),
+    "no-alloc-in-step": (check_no_alloc_in_step, "no Mat/Vec construction inside the ADM-G step hot path"),
+    "finite-iterate-guard": (check_finite_iterate_guard, "the engine iteration loop must consult SolverWatchdog::observe"),
+    "engine-single-loop": (check_engine_single_loop, "GBS correction arithmetic only in src/admm/engine.cpp"),
     "expects-guard": (check_expects_guard, "solver entry points must use UFC_EXPECTS"),
 }
 
@@ -537,6 +575,14 @@ def self_test() -> int:
             findings = self.lint_source("src/admm/admg.cpp", cpp)
             self.assertIn("no-alloc-in-step", self.rules_of(findings))
 
+        def test_no_alloc_in_step_executor_flagged(self):
+            cpp = ("void InProcessExecutor::step(int iteration) {\n"
+                   "  Vec scratch(n_);\n"
+                   "  use(scratch, iteration);\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/engine.cpp", cpp)
+            self.assertIn("no-alloc-in-step", self.rules_of(findings))
+
         def test_no_alloc_in_step_temporary_flagged(self):
             cpp = ("void AdmgSolver::step() {\n"
                    "  a_ = Mat(m_, n_);\n"
@@ -579,52 +625,81 @@ def self_test() -> int:
             self.assertNotIn("no-alloc-in-step", self.rules_of(findings))
 
         def test_finite_iterate_guard_missing_observe_flagged(self):
-            cpp = ("AdmgReport AdmgSolver::solve_warm() {\n"
-                   "  for (int k = 0; k < max; ++k) step();\n"
-                   "  return report;\n"
+            cpp = ("SolveCore AdmgEngine::solve(BlockExecutor& executor, int first) {\n"
+                   "  for (int k = first; k < max; ++k) executor.step(k);\n"
+                   "  return core;\n"
                    "}\n")
-            findings = self.lint_source("src/admm/admg.cpp", cpp)
-            self.assertIn("finite-iterate-guard", self.rules_of(findings))
-
-        def test_finite_iterate_guard_runtime_run_flagged(self):
-            cpp = ("DistributedReport DistributedAdmgRuntime::run() {\n"
-                   "  for (int k = 0; k < max; ++k) round(k);\n"
-                   "  return report;\n"
-                   "}\n")
-            findings = self.lint_source("src/net/runtime.cpp", cpp)
+            findings = self.lint_source("src/admm/engine.cpp", cpp)
             self.assertIn("finite-iterate-guard", self.rules_of(findings))
 
         def test_finite_iterate_guard_observe_present_ok(self):
-            cpp = ("AdmgReport AdmgSolver::solve_warm() {\n"
+            cpp = ("SolveCore AdmgEngine::solve(BlockExecutor& executor, int first) {\n"
                    "  SolverWatchdog watchdog(options_.watchdog);\n"
-                   "  for (int k = 0; k < max; ++k) {\n"
-                   "    step();\n"
+                   "  for (int k = first; k < max; ++k) {\n"
+                   "    executor.step(k);\n"
                    "    watchdog.observe(r, s, finite);\n"
                    "  }\n"
-                   "  return report;\n"
+                   "  return core;\n"
                    "}\n")
-            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            findings = self.lint_source("src/admm/engine.cpp", cpp)
             self.assertNotIn("finite-iterate-guard", self.rules_of(findings))
 
         def test_finite_iterate_guard_declaration_not_matched(self):
-            cpp = "AdmgReport AdmgSolver::solve_warm();\n"
-            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            cpp = "SolveCore AdmgEngine::solve(BlockExecutor& executor, int first);\n"
+            findings = self.lint_source("src/admm/engine.cpp", cpp)
             self.assertNotIn("finite-iterate-guard", self.rules_of(findings))
 
         def test_finite_iterate_guard_other_functions_exempt(self):
-            cpp = ("void AdmgSolver::reset() {\n"
+            cpp = ("void InProcessExecutor::reset() {\n"
                    "  for (int k = 0; k < max; ++k) clear(k);\n"
                    "}\n")
-            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            findings = self.lint_source("src/admm/engine.cpp", cpp)
             self.assertNotIn("finite-iterate-guard", self.rules_of(findings))
 
         def test_finite_iterate_guard_suppressed(self):
             cpp = ("// ufc-lint: allow(finite-iterate-guard)\n"
-                   "AdmgReport AdmgSolver::solve_warm() {\n"
-                   "  return report;\n"
+                   "SolveCore AdmgEngine::solve(BlockExecutor& executor, int first) {\n"
+                   "  return core;\n"
                    "}\n")
-            findings = self.lint_source("src/admm/admg.cpp", cpp)
+            findings = self.lint_source("src/admm/engine.cpp", cpp)
             self.assertNotIn("finite-iterate-guard", self.rules_of(findings))
+
+        def test_engine_single_loop_copy_flagged(self):
+            cpp = ("void DatacenterAgent::correct() {\n"
+                   "  phi_ += eps * (phi_tilde - phi_);\n"
+                   "}\n")
+            findings = self.lint_source("src/net/agents.cpp", cpp)
+            self.assertIn("engine-single-loop", self.rules_of(findings))
+
+        def test_engine_single_loop_epsilon_variable_flagged(self):
+            cpp = "void f() { x += epsilon * (y - x); }\n"
+            findings = self.lint_source("src/admm/other.cpp", cpp)
+            self.assertIn("engine-single-loop", self.rules_of(findings))
+
+        def test_engine_single_loop_engine_file_exempt(self):
+            cpp = ("void correct_varphi_block() {\n"
+                   "  varphi[i] += eps * (varphi_tilde - varphi[i]);\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/engine.cpp", cpp)
+            self.assertNotIn("engine-single-loop", self.rules_of(findings))
+
+        def test_engine_single_loop_other_updates_ok(self):
+            cpp = "void f() { total += weight * (hi - lo); }\n"
+            findings = self.lint_source("src/sim/x.cpp", cpp)
+            self.assertNotIn("engine-single-loop", self.rules_of(findings))
+
+        def test_engine_single_loop_comment_ignored(self):
+            cpp = "// the engine applies x += eps * (tilde - x) here\nint f();\n"
+            findings = self.lint_source("src/net/agents.cpp", cpp)
+            self.assertNotIn("engine-single-loop", self.rules_of(findings))
+
+        def test_engine_single_loop_suppressed(self):
+            cpp = ("void f() {\n"
+                   "  // ufc-lint: allow(engine-single-loop)\n"
+                   "  x += eps * (y - x);\n"
+                   "}\n")
+            findings = self.lint_source("src/net/agents.cpp", cpp)
+            self.assertNotIn("engine-single-loop", self.rules_of(findings))
 
         def test_expects_guard_missing(self):
             header = "#pragma once\nVec project_simplex(const Vec& v, double total);\n"

@@ -1,468 +1,16 @@
 #include "admm/admg.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
-
-#include "admm/centralized.hpp"
-#include "util/contract.hpp"
-#include "util/logging.hpp"
-#include "util/wire.hpp"
-
 namespace ufc::admm {
 
-namespace {
-
-// Checkpoint framing (see docs/ROBUSTNESS.md): magic + version guard the
-// decoder against foreign byte strings, dimensions + sigma guard against
-// restoring into a solver built on a different problem shape.
-constexpr std::uint32_t kCheckpointMagic = 0x55464343;  // "UFCC"
-constexpr std::uint32_t kCheckpointVersion = 1;
-
-bool all_finite(std::span<const double> values) {
-  for (double v : values)
-    if (!std::isfinite(v)) return false;
-  return true;
-}
-
-}  // namespace
-
-double natural_workload_scale(const UfcProblem& problem) {
-  UFC_EXPECTS(problem.num_front_ends() > 0);
-  const double mean_arrival =
-      problem.total_arrivals() /
-      static_cast<double>(problem.num_front_ends());
-  return std::max(1.0, mean_arrival);
-}
-
-void scale_workload_units_in_place(UfcProblem& problem, double sigma) {
-  UFC_EXPECTS(sigma > 0.0);
-  problem.power.idle_watts *= sigma;
-  problem.power.peak_watts *= sigma;
-  problem.latency_weight *= sigma;
-  for (auto& dc : problem.datacenters) {
-    dc.servers /= sigma;
-    if (dc.power_override) {
-      dc.power_override->idle_watts *= sigma;
-      dc.power_override->peak_watts *= sigma;
-    }
-  }
-  for (auto& a : problem.arrivals) a /= sigma;
-}
-
-// ufc-lint: allow(expects-guard) — thin wrapper; the in-place variant above
-// guards sigma before any work happens.
-UfcProblem scale_workload_units(const UfcProblem& problem, double sigma) {
-  UfcProblem scaled = problem;
-  scale_workload_units_in_place(scaled, sigma);
-  return scaled;
-}
-
-AdmgSolver::AdmgSolver(const UfcProblem& problem, AdmgOptions options)
-    : original_(problem),
-      options_(options),
-      pool_(util::resolve_thread_count(options.threads)) {
-  original_.validate();
-  UFC_EXPECTS(options_.rho > 0.0);
-  UFC_EXPECTS(options_.epsilon > 0.5 && options_.epsilon <= 1.0);
-  UFC_EXPECTS(options_.max_iterations > 0);
-  UFC_EXPECTS(options_.tolerance > 0.0);
-  UFC_EXPECTS(options_.threads >= 0);
-
-  sigma_ = options_.workload_scale > 0.0 ? options_.workload_scale
-                                         : natural_workload_scale(original_);
-  problem_ = scale_workload_units(original_, sigma_);
-
-  m_ = problem_.num_front_ends();
-  n_ = problem_.num_datacenters();
-
-  if (options_.pinning == BlockPinning::PinNu) {
-    // nu = 0 requires fuel cells able to carry the peak demand at every
-    // datacenter (the paper's "completely powered by fuel cells" premise).
-    for (std::size_t j = 0; j < n_; ++j) {
-      const double peak = problem_.demand_mw(j, problem_.datacenters[j].servers);
-      UFC_EXPECTS(problem_.datacenters[j].fuel_cell_capacity_mw >=
-                  peak - 1e-9);
-    }
-  }
-
-  update_residual_scales();
-  reset();
-}
-
-void AdmgSolver::update_residual_scales() {
-  // Residual scales: copy residual lives in "servers routed" units, balance
-  // residual in MW. Normalize by the largest arrival / peak demand so the
-  // convergence test is dimensionless.
-  double max_arrival = 1.0;
-  for (double a : problem_.arrivals) max_arrival = std::max(max_arrival, a);
-  copy_scale_ = max_arrival;
-  double max_demand = 1.0;
-  for (std::size_t j = 0; j < n_; ++j)
-    max_demand = std::max(
-        max_demand, problem_.demand_mw(j, problem_.datacenters[j].servers));
-  balance_scale_ = max_demand;
-}
-
-void AdmgSolver::reset() {
-  // The paper's cold start: everything at zero.
-  lambda_ = Mat(m_, n_, 0.0);
-  a_ = Mat(m_, n_, 0.0);
-  varphi_ = Mat(m_, n_, 0.0);
-  mu_ = Vec(n_, 0.0);
-  nu_ = Vec(n_, 0.0);
-  phi_ = Vec(n_, 0.0);
-  last_change_ = 0.0;
-  stepped_ = false;
-
-  // Step workspace, allocated once here so step() itself never allocates:
-  // the tilde matrix, the column-sum cache and one scratch set per worker.
-  lambda_tilde_ = Mat(m_, n_, 0.0);
-  a_col_sum_.resize(n_);
-  scratch_.resize(pool_.thread_count());
-  for (auto& ws : scratch_) {
-    ws.varphi_col.resize(m_);
-    ws.lambda_col.resize(m_);
-    ws.a_col.resize(m_);
-    ws.a_new.resize(m_);
-  }
-  chunk_change_.assign(pool_.thread_count(), 0.0);
-}
-
-double AdmgSolver::balance_residual() const {
-  double r = 0.0;
-  for (std::size_t j = 0; j < n_; ++j) {
-    const double balance = problem_.alpha_mw(j) +
-                           problem_.beta_mw(j) * a_.col_sum(j) - mu_[j] -
-                           nu_[j];
-    r = std::max(r, std::abs(balance));
-  }
-  return r;
-}
-
-double AdmgSolver::copy_residual() const { return max_abs_diff(a_, lambda_); }
-
-bool AdmgSolver::is_converged() const {
-  return stepped_ &&
-         balance_residual() / balance_scale_ < options_.tolerance &&
-         copy_residual() / copy_scale_ < options_.tolerance &&
-         last_change_ / copy_scale_ < options_.tolerance;
-}
-
-// The step runs two parallel passes over deterministic contiguous chunks:
-// one per front-end (lambda predictions) and one per datacenter (mu, nu, a,
-// duals and the Gaussian back substitution, fused column-wise exactly like
-// net::DatacenterAgent). Every item writes only its own row/column, so the
-// iterate sequence is bit-identical for every thread count — and identical
-// to the message-passing runtime, which tests pin exactly.
-void AdmgSolver::step() {
-  const double rho = options_.rho;
-  const bool pin_mu = options_.pinning == BlockPinning::PinMu;
-  const bool pin_nu = options_.pinning == BlockPinning::PinNu;
-  const bool gbs = options_.gaussian_back_substitution;
-  const double eps = gbs ? options_.epsilon : 1.0;
-
-  // Cache the column sums of a^k once per step. The row-major pass adds each
-  // column's entries in increasing-i order, which is bitwise the same as
-  // Mat::col_sum and as the runtime agent's sum(a_).
-  a_col_sum_.fill(0.0);
-  for (std::size_t i = 0; i < m_; ++i) {
-    const auto row = a_.row_span(i);
-    for (std::size_t j = 0; j < n_; ++j) a_col_sum_[j] += row[j];
-  }
-
-  // ---- Step 1.1: lambda predictions, one independent task per front-end.
-  pool_.parallel_for_chunks(
-      0, m_, [&](std::size_t begin, std::size_t end, std::size_t c) {
-        BlockWorkspace& ws = scratch_[c].blocks;
-        for (std::size_t i = begin; i < end; ++i) {
-          LambdaBlockInputs in;
-          in.arrival = problem_.arrivals[i];
-          in.latency_row = problem_.latency_s.row_span(i);
-          in.a_row = a_.row_span(i);
-          in.varphi_row = varphi_.row_span(i);
-          in.rho = rho;
-          in.latency_weight = problem_.latency_weight;
-          in.utility = problem_.utility.get();
-          solve_lambda_block_into(in, lambda_.row_span(i),
-                                  lambda_tilde_.row_span(i), ws,
-                                  options_.inner);
-        }
-      });
-
-  // ---- Steps 1.2-1.5 + step 2, fused per datacenter. Each column task
-  // reads only iteration-k state of its own column (plus lambda~ and the
-  // column-sum cache, both finalized above), so tasks are independent.
-  std::fill(chunk_change_.begin(), chunk_change_.end(), 0.0);
-  pool_.parallel_for_chunks(
-      0, n_, [&](std::size_t begin, std::size_t end, std::size_t c) {
-        WorkerScratch& ws = scratch_[c];
-        double change = 0.0;
-        for (std::size_t j = begin; j < end; ++j) {
-          const double alpha = problem_.alpha_mw(j);
-          const double beta = problem_.beta_mw(j);
-          const double a_col_sum_k = a_col_sum_[j];
-
-          // 1.2 mu-minimization (uses a^k, nu^k, phi^k).
-          double mu_tilde = 0.0;
-          if (!pin_mu) {
-            MuBlockInputs in;
-            in.alpha = alpha;
-            in.beta = beta;
-            in.a_col_sum = a_col_sum_k;
-            in.nu = nu_[j];
-            in.phi = phi_[j];
-            in.rho = rho;
-            in.fuel_cell_price = problem_.fuel_cell_price;
-            in.mu_max = problem_.datacenters[j].fuel_cell_capacity_mw;
-            mu_tilde = solve_mu_block(in);
-          }
-
-          // 1.3 nu-minimization (uses a^k, mu~, phi^k).
-          double nu_tilde = 0.0;
-          if (!pin_nu) {
-            NuBlockInputs in;
-            in.alpha = alpha;
-            in.beta = beta;
-            in.a_col_sum = a_col_sum_k;
-            in.mu = mu_tilde;
-            in.phi = phi_[j];
-            in.rho = rho;
-            in.grid_price = problem_.datacenters[j].grid_price;
-            in.carbon_tons_per_mwh =
-                problem_.datacenters[j].carbon_rate / 1000.0;
-            in.emission_cost = problem_.datacenters[j].emission_cost.get();
-            nu_tilde = solve_nu_block(in);
-          }
-
-          // 1.4 a-minimization (uses lambda~, mu~, nu~, phi^k, varphi^k).
-          varphi_.col_into(j, ws.varphi_col);
-          lambda_tilde_.col_into(j, ws.lambda_col);
-          a_.col_into(j, ws.a_col);
-          {
-            ABlockInputs in;
-            in.alpha = alpha;
-            in.beta = beta;
-            in.mu = mu_tilde;
-            in.nu = nu_tilde;
-            in.phi = phi_[j];
-            in.varphi_col = ws.varphi_col.span();
-            in.lambda_col = ws.lambda_col.span();
-            in.rho = rho;
-            in.capacity = problem_.datacenters[j].servers;
-            solve_a_block_into(in, ws.a_col.span(), ws.a_new.span(), ws.blocks,
-                               options_.inner);
-          }
-
-          // 1.5 dual predictions (use a~, lambda~, mu~, nu~).
-          double a_tilde_sum = 0.0;
-          for (std::size_t i = 0; i < m_; ++i) a_tilde_sum += ws.a_new[i];
-          const double phi_tilde = update_phi(phi_[j], rho, alpha, beta,
-                                              a_tilde_sum, mu_tilde, nu_tilde);
-
-          if (!gbs) {
-            // Plain multi-block ADMM (ablation): accept the prediction.
-            for (std::size_t i = 0; i < m_; ++i) {
-              varphi_(i, j) = update_varphi(varphi_(i, j), rho, ws.a_new[i],
-                                            lambda_tilde_(i, j));
-              change = std::max(change, std::abs(ws.a_new[i] - a_(i, j)));
-              a_(i, j) = ws.a_new[i];
-            }
-            phi_[j] = phi_tilde;
-            change = std::max(change, std::abs(nu_tilde - nu_[j]));
-            nu_[j] = nu_tilde;
-            change = std::max(change, std::abs(mu_tilde - mu_[j]));
-            mu_[j] = mu_tilde;
-            continue;
-          }
-
-          // Step 2: Gaussian back substitution, backward order. Duals first
-          // (identity row of G), then a, then nu and mu with the cross-block
-          // correction terms derived from (K_i^T K_i)^{-1} K_i^T K_j for our
-          // constraint matrices (see DESIGN.md).
-          phi_[j] += eps * (phi_tilde - phi_[j]);
-          double delta_sum = 0.0;
-          for (std::size_t i = 0; i < m_; ++i) {
-            const double varphi_tilde = update_varphi(
-                varphi_(i, j), rho, ws.a_new[i], lambda_tilde_(i, j));
-            varphi_(i, j) += eps * (varphi_tilde - varphi_(i, j));
-            const double a_old = a_(i, j);
-            const double delta = eps * (ws.a_new[i] - a_old);
-            a_(i, j) = a_old + delta;
-            delta_sum += delta;
-            change = std::max(change, std::abs(a_(i, j) - a_old));
-          }
-          const double nu_old = nu_[j];
-          if (!pin_nu) {
-            nu_[j] += eps * (nu_tilde - nu_[j]) + beta * delta_sum;
-            change = std::max(change, std::abs(nu_[j] - nu_old));
-          }
-          if (!pin_mu) {
-            const double mu_old = mu_[j];
-            double correction = eps * (mu_tilde - mu_[j]);
-            if (!pin_nu) correction -= (nu_[j] - nu_old);
-            correction += beta * delta_sum;
-            mu_[j] = mu_old + correction;
-            change = std::max(change, std::abs(mu_[j] - mu_old));
-          }
-        }
-        chunk_change_[c] = change;
-      });
-
-  // lambda is the first block: accepted as predicted. Swapping (instead of
-  // moving) keeps lambda_tilde_'s storage for the next step; every row is
-  // fully rewritten by step 1.1.
-  std::swap(lambda_, lambda_tilde_);
-
-  // max is exact and order-insensitive, so the cross-chunk reduction is
-  // bit-identical for every chunking.
-  double change = 0.0;
-  for (double c : chunk_change_) change = std::max(change, c);
-  last_change_ = change;
-  stepped_ = true;
-}
-
-void AdmgSolver::set_problem(const UfcProblem& problem) {
-  problem.validate();
-  UFC_EXPECTS(problem.num_front_ends() == m_);
-  UFC_EXPECTS(problem.num_datacenters() == n_);
-  original_ = problem;
-  // Rescale into the existing problem_ storage; the previous implementation
-  // built a third full copy through scale_workload_units' return value.
-  problem_ = problem;
-  scale_workload_units_in_place(problem_, sigma_);
-  // Residual scales track the new slot's magnitudes.
-  update_residual_scales();
-  stepped_ = false;  // convergence must be re-established on the new slot
-}
-
-bool AdmgSolver::iterate_finite() const {
-  return all_finite(lambda_.raw()) && all_finite(a_.raw()) &&
-         all_finite(varphi_.raw()) && all_finite(mu_.span()) &&
-         all_finite(nu_.span()) && all_finite(phi_.span()) &&
-         std::isfinite(last_change_);
-}
-
-std::vector<std::byte> AdmgSolver::checkpoint() const {
-  std::vector<std::byte> out;
-  wire::append(out, kCheckpointMagic);
-  wire::append(out, kCheckpointVersion);
-  wire::append(out, static_cast<std::uint64_t>(m_));
-  wire::append(out, static_cast<std::uint64_t>(n_));
-  wire::append(out, sigma_);
-  wire::append(out, last_change_);
-  wire::append(out, static_cast<std::uint8_t>(stepped_ ? 1 : 0));
-  wire::append_f64s(out, lambda_.raw());
-  wire::append_f64s(out, a_.raw());
-  wire::append_f64s(out, varphi_.raw());
-  wire::append_f64s(out, mu_.span());
-  wire::append_f64s(out, nu_.span());
-  wire::append_f64s(out, phi_.span());
-  return out;
-}
-
-void AdmgSolver::restore(std::span<const std::byte> bytes) {
-  std::size_t offset = 0;
-  UFC_EXPECTS(wire::read<std::uint32_t>(bytes, offset) == kCheckpointMagic);
-  UFC_EXPECTS(wire::read<std::uint32_t>(bytes, offset) == kCheckpointVersion);
-  UFC_EXPECTS(wire::read<std::uint64_t>(bytes, offset) == m_);
-  UFC_EXPECTS(wire::read<std::uint64_t>(bytes, offset) == n_);
-  // Iterates are stored in normalized workload units; a different sigma
-  // would silently reinterpret them.
-  UFC_EXPECTS(wire::read<double>(bytes, offset) == sigma_);
-  last_change_ = wire::read<double>(bytes, offset);
-  stepped_ = wire::read<std::uint8_t>(bytes, offset) != 0;
-  wire::read_f64s(bytes, offset, {lambda_.data(), lambda_.size()});
-  wire::read_f64s(bytes, offset, {a_.data(), a_.size()});
-  wire::read_f64s(bytes, offset, {varphi_.data(), varphi_.size()});
-  wire::read_f64s(bytes, offset, mu_.span());
-  wire::read_f64s(bytes, offset, nu_.span());
-  wire::read_f64s(bytes, offset, phi_.span());
-  UFC_EXPECTS(offset == bytes.size());
-}
-
 AdmgReport AdmgSolver::solve() {
-  reset();
+  exec_.reset();
   return solve_warm();
 }
 
 AdmgReport AdmgSolver::solve_warm() {
+  AdmgEngine engine(exec_.options());
   AdmgReport report;
-  SolverWatchdog watchdog(options_.watchdog);
-  double balance = 0.0;
-  double copy = 0.0;
-  // A poisoned warm start (e.g. a checkpoint whose payload was corrupted
-  // after framing) must be caught before step() feeds NaN into the block
-  // solvers, whose own contracts would throw instead of degrading.
-  if (options_.watchdog.check_finite && !iterate_finite()) {
-    watchdog.observe(0.0, 0.0, false);
-    report.watchdog_verdict = watchdog.verdict();
-  }
-  for (int k = 0; !watchdog.tripped() && k < options_.max_iterations; ++k) {
-    step();
-    report.iterations = k + 1;
-    // One residual evaluation per iteration, shared by the trace and the
-    // convergence test (each is an O(MN) pass over the iterate).
-    balance = balance_residual();
-    copy = copy_residual();
-    if (options_.record_trace) {
-      report.trace.balance_residual.push_back(balance);
-      report.trace.copy_residual.push_back(copy);
-      report.trace.objective.push_back(ufc_objective(problem_, lambda_, mu_));
-    }
-    // Convergence is tested first so that reaching tolerance on the same
-    // iteration a stall window fills still counts as success. NaN residuals
-    // can never pass the comparisons, so NonFinite is not maskable.
-    if (balance / balance_scale_ < options_.tolerance &&
-        copy / copy_scale_ < options_.tolerance &&
-        last_change_ / copy_scale_ < options_.tolerance) {
-      report.converged = true;
-      break;
-    }
-    const bool finite = !options_.watchdog.check_finite || iterate_finite();
-    if (watchdog.observe(balance / balance_scale_, copy / copy_scale_,
-                         finite) != WatchdogVerdict::Healthy) {
-      report.watchdog_verdict = watchdog.verdict();
-      break;
-    }
-  }
-  report.balance_residual = balance;
-  report.copy_residual = copy;
-
-  if (report.watchdog_verdict != WatchdogVerdict::Healthy) {
-    log::warn("ADM-G watchdog tripped (",
-              report.watchdog_verdict == WatchdogVerdict::NonFinite
-                  ? "non-finite iterate"
-                  : "residual stall",
-              ") after ", report.iterations, " iterations");
-    if (options_.fallback_to_centralized) {
-      CentralizedOptions fallback;
-      fallback.grid_only = options_.pinning == BlockPinning::PinMu;
-      fallback.fuel_cell_only = options_.pinning == BlockPinning::PinNu;
-      const auto safe = solve_centralized(original_, fallback);
-      report.solution = safe.solution;
-      report.breakdown = safe.breakdown;
-      report.fallback_centralized = true;
-      return report;
-    }
-  }
-
-  // Rescale routing back to server units and evaluate on the original
-  // problem (the objective is invariant, but reported latencies/costs should
-  // reference the caller's units).
-  Mat lambda_servers = lambda_;
-  lambda_servers *= sigma_;
-  report.solution.lambda = std::move(lambda_servers);
-  report.solution.mu = mu_;
-  report.solution.nu =
-      grid_draw_mw(original_, report.solution.lambda, report.solution.mu);
-  report.breakdown = evaluate(original_, report.solution.lambda, mu_);
-
-  if (!report.converged) {
-    log::warn("ADM-G did not converge in ", report.iterations,
-              " iterations (balance residual ", report.balance_residual,
-              ", copy residual ", report.copy_residual, ")");
-  }
+  static_cast<SolveCore&>(report) = engine.solve(exec_);
   return report;
 }
 

@@ -12,111 +12,32 @@
 // program with one block pinned (mu = 0, respectively nu = 0); the solver
 // supports both via BlockPinning, specializing the back-substitution to the
 // remaining blocks.
+//
+// AdmgSolver is the synchronous in-process driver: a thin facade over
+// AdmgEngine + InProcessExecutor (engine.hpp), which own the iteration
+// skeleton and the block arithmetic respectively. The options/trace/report
+// vocabulary (AdmgOptions, AdmgTrace, SolveCore) lives in engine.hpp and is
+// shared by every driver.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
-#include "admm/blocks.hpp"
-#include "admm/watchdog.hpp"
-#include "model/breakdown.hpp"
-#include "model/problem.hpp"
-#include "util/thread_pool.hpp"
+#include "admm/engine.hpp"
 
 namespace ufc::admm {
 
-/// Which block, if any, is pinned to zero (paper §IV-B baselines).
-enum class BlockPinning {
-  None,   ///< Hybrid: full joint optimization.
-  PinMu,  ///< Grid strategy: mu_j = 0 for all j.
-  PinNu,  ///< FuelCell strategy: nu_j = 0 for all j (needs full fuel-cell capacity).
-};
-
-struct AdmgOptions {
-  /// Penalty parameter. The paper reports rho = 0.3 for its (unstated)
-  /// variable scaling; with our mean-arrival workload normalization the
-  /// well-conditioned value is ~10 (see the rho-sweep ablation bench, which
-  /// also confirms every rho reaches the same objective).
-  double rho = 10.0;
-  double epsilon = 1.0;   ///< Back-substitution relaxation, in (0.5, 1].
-  int max_iterations = 2000;
-  /// Converged when both scaled primal residuals and the scaled
-  /// successive-iterate change (the ADMM dual residual proxy) fall below
-  /// this.
-  double tolerance = 1e-4;
-  /// Workload-unit normalization. ADMM's conditioning depends on the ratio
-  /// between rho and the objective curvature; with lambda in raw "servers"
-  /// (hundreds to thousands) the paper's rho = 0.3 dwarfs the utility
-  /// curvature and the duals crawl. We therefore solve in normalized units
-  /// lambda' = lambda / sigma with sigma = mean arrival (<= 0 picks that
-  /// default), which leaves the objective value invariant and makes
-  /// rho = 0.3 well-conditioned. Set to 1 to disable.
-  double workload_scale = 0.0;
-  /// false: plain (uncorrected) 4-block ADMM — the ablation the paper's
-  /// choice of ADM-G guards against.
-  bool gaussian_back_substitution = true;
-  InnerSolverOptions inner;
-  BlockPinning pinning = BlockPinning::None;
-  /// Record per-iteration residuals/objective (costs one evaluate() per
-  /// iteration; cheap at paper scale).
-  bool record_trace = true;
-  /// Worker threads for the per-front-end and per-datacenter passes of each
-  /// step (the count includes the calling thread). 1 = serial (default);
-  /// 0 = std::thread::hardware_concurrency(). Iterates are bit-identical
-  /// for every thread count: the passes split into deterministic contiguous
-  /// chunks whose items write disjoint outputs.
-  int threads = 1;
-  /// Solver-health watchdog (shared with the distributed runtime; see
-  /// docs/ROBUSTNESS.md). The default checks finiteness only; stall
-  /// detection is opt-in via watchdog.stall_window. The watchdog never
-  /// modifies iterates, so healthy runs are bit-identical with it on.
-  WatchdogOptions watchdog;
-  /// When the watchdog trips, re-solve with the centralized reference
-  /// solver and return its plan instead of the untrusted iterate.
-  bool fallback_to_centralized = false;
-};
-
-/// Per-iteration diagnostics.
-struct AdmgTrace {
-  std::vector<double> balance_residual;  ///< max_j |alpha+beta*sum a-mu-nu|, MW.
-  std::vector<double> copy_residual;     ///< max_ij |a_ij - lambda_ij|, servers.
-  std::vector<double> objective;         ///< UFC at (lambda^k, mu^k).
-};
-
-struct AdmgReport {
-  UfcSolution solution;
-  UfcBreakdown breakdown;       ///< Evaluated at the returned solution.
-  int iterations = 0;
-  bool converged = false;
-  double balance_residual = 0.0;  ///< Final scaled-residual inputs, raw units.
-  double copy_residual = 0.0;
-  /// Healthy unless the solve was cut short by the watchdog.
-  WatchdogVerdict watchdog_verdict = WatchdogVerdict::Healthy;
-  /// True when the returned solution came from the centralized fallback.
-  bool fallback_centralized = false;
-  AdmgTrace trace;
-};
-
-/// The default workload normalization sigma: the mean arrival, floored at 1.
-double natural_workload_scale(const UfcProblem& problem);
-
-/// Returns an equivalent problem in normalized workload units
-/// lambda' = lambda / sigma: arrivals and server counts divided by sigma,
-/// per-server watts and the latency weight multiplied by sigma. The UFC
-/// objective value of corresponding points is identical.
-UfcProblem scale_workload_units(const UfcProblem& problem, double sigma);
-
-/// In-place variant of scale_workload_units: rescales `problem` directly
-/// without copying it (the per-slot warm-start path swaps problems every
-/// simulated hour, where the copy was measurable).
-void scale_workload_units_in_place(UfcProblem& problem, double sigma);
+/// Report of a synchronous in-process solve; all fields live in the shared
+/// SolveCore.
+struct AdmgReport : SolveCore {};
 
 class AdmgSolver {
  public:
   /// Validates the problem; for PinNu additionally requires every
   /// datacenter's fuel-cell capacity to cover its peak demand.
-  AdmgSolver(const UfcProblem& problem, AdmgOptions options = {});
+  AdmgSolver(const UfcProblem& problem, AdmgOptions options = {})
+      : exec_(problem, options) {}
 
   /// Runs ADM-G from the paper's cold start (all variables zero) until the
   /// scaled primal residuals drop below tolerance or max_iterations.
@@ -131,84 +52,52 @@ class AdmgSolver {
   /// Swaps in a new slot's problem while keeping the iterate as the warm
   /// start. Dimensions (M, N) must match; the workload normalization is
   /// kept from construction so iterates remain directly comparable.
-  void set_problem(const UfcProblem& problem);
+  void set_problem(const UfcProblem& problem) { exec_.set_problem(problem); }
 
-  /// One prediction + correction step on the current state; returns the
-  /// (unscaled) residuals after the step. Exposed so tests can compare the
-  /// message-passing runtime iterate-by-iterate.
-  void step();
+  /// One prediction + correction step on the current state. Exposed so
+  /// tests can compare the message-passing runtime iterate-by-iterate.
+  void step() { exec_.step(0); }
 
   // Read access to the current iterate (post-correction), in *normalized*
   // workload units (multiply routing variables by workload_scale() to get
   // servers). The distributed runtime exposes the same normalized iterate,
   // so the two are directly comparable.
-  const Mat& lambda() const { return lambda_; }
-  const Vec& mu() const { return mu_; }
-  const Vec& nu() const { return nu_; }
-  const Mat& a() const { return a_; }
-  const Vec& phi() const { return phi_; }
-  const Mat& varphi() const { return varphi_; }
+  const Mat& lambda() const { return exec_.lambda(); }
+  const Vec& mu() const { return exec_.mu(); }
+  const Vec& nu() const { return exec_.nu(); }
+  const Mat& a() const { return exec_.a(); }
+  const Vec& phi() const { return exec_.phi(); }
+  const Mat& varphi() const { return exec_.varphi(); }
 
   /// Residuals of the current iterate (normalized workload units / MW).
-  double balance_residual() const;
-  double copy_residual() const;
+  double balance_residual() const { return exec_.balance_residual(); }
+  double copy_residual() const { return exec_.copy_residual(); }
   /// Largest per-variable movement of the last step (the ADMM dual-residual
   /// proxy), in normalized units.
-  double last_change() const { return last_change_; }
+  double last_change() const { return exec_.last_change(); }
   /// True when both scaled primal residuals and the scaled last change are
   /// below tolerance.
-  bool is_converged() const;
+  bool is_converged() const { return exec_.is_converged(); }
 
-  double workload_scale() const { return sigma_; }
+  double workload_scale() const { return exec_.workload_scale(); }
   /// The normalized problem the solver operates on.
-  const UfcProblem& problem() const { return problem_; }
-  const AdmgOptions& options() const { return options_; }
+  const UfcProblem& problem() const { return exec_.problem(); }
+  const AdmgOptions& options() const { return exec_.options(); }
 
   /// True iff every entry of every block (primal and dual) is finite.
-  bool iterate_finite() const;
+  bool iterate_finite() const { return exec_.iterate_finite(); }
 
   /// Serializes the complete iterate (primal, dual, last-change tracking)
   /// with the shared wire codec. A restored solver continues bit-identically
   /// to one that never paused.
-  std::vector<std::byte> checkpoint() const;
+  std::vector<std::byte> checkpoint() const { return exec_.checkpoint(); }
   /// Restores a checkpoint() image. The solver must hold a problem with the
   /// same dimensions and workload normalization; anything else (including a
   /// truncated or mutated image) throws ufc::ContractViolation.
-  void restore(std::span<const std::byte> bytes);
+  void restore(std::span<const std::byte> bytes) { exec_.restore(bytes); }
 
  private:
-  /// Per-worker scratch: block-solver workspace plus the column gather
-  /// buffers of the fused datacenter pass. One instance per pool thread,
-  /// indexed by parallel_for_chunks' chunk index; every buffer reaches its
-  /// steady size in reset() and is never reallocated inside step().
-  struct WorkerScratch {
-    BlockWorkspace blocks;
-    Vec varphi_col, lambda_col, a_col, a_new;
-  };
-
-  void reset();
-  void update_residual_scales();
-
-  UfcProblem original_;  ///< As given (for the final evaluation).
-  UfcProblem problem_;   ///< Workload-normalized.
-  AdmgOptions options_;
-  double sigma_ = 1.0;
-  std::size_t m_ = 0;  ///< Front-ends.
-  std::size_t n_ = 0;  ///< Datacenters.
-
-  Mat lambda_, a_, varphi_;
-  Vec mu_, nu_, phi_;
-  double last_change_ = 0.0;
-  bool stepped_ = false;        ///< last_change_ is meaningful only after a step.
-  double balance_scale_ = 1.0;  ///< Residual normalization, MW.
-  double copy_scale_ = 1.0;     ///< Residual normalization, normalized units.
-
-  // Step workspace (hoisted out of step(); see reset()).
-  util::ThreadPool pool_;
-  Mat lambda_tilde_;                   ///< Swapped with lambda_ each step.
-  Vec a_col_sum_;                      ///< Per-step cache of a^k column sums.
-  std::vector<WorkerScratch> scratch_; ///< One per pool thread.
-  std::vector<double> chunk_change_;   ///< Per-chunk last-change maxima.
+  InProcessExecutor exec_;
 };
 
 /// Convenience wrapper: construct, solve, return the report.

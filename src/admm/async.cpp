@@ -1,209 +1,25 @@
 #include "admm/async.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "util/contract.hpp"
-#include "util/logging.hpp"
 
 namespace ufc::admm {
 
-AsyncReport solve_async_admg(const UfcProblem& original,
+AsyncReport solve_async_admg(const UfcProblem& problem,
                              const AsyncOptions& options) {
-  original.validate();
-  const auto& admg = options.admg;
-  UFC_EXPECTS(admg.rho > 0.0);
-  UFC_EXPECTS(admg.epsilon > 0.5 && admg.epsilon <= 1.0);
   UFC_EXPECTS(options.participation > 0.0 && options.participation <= 1.0);
-  UFC_EXPECTS(admg.pinning == BlockPinning::None ||
+  // The executor re-checks this, but validating here keeps the error at the
+  // API boundary the caller actually used.
+  UFC_EXPECTS(options.admg.pinning == BlockPinning::None ||
               // ufc-lint: allow(float-equal) — 1.0 is an exact sentinel
               // meaning "every agent participates", not a computed value.
               options.participation == 1.0);  // pinned baselines stay sync
 
-  const double sigma = admg.workload_scale > 0.0
-                           ? admg.workload_scale
-                           : natural_workload_scale(original);
-  const UfcProblem problem = scale_workload_units(original, sigma);
-
-  const std::size_t m = problem.num_front_ends();
-  const std::size_t n = problem.num_datacenters();
-  const double rho = admg.rho;
-  const double eps = admg.gaussian_back_substitution ? admg.epsilon : 1.0;
-
-  Mat lambda(m, n, 0.0), a(m, n, 0.0), varphi(m, n, 0.0);
-  Mat lambda_tilde(m, n, 0.0);  // cached predictions (stragglers reuse).
-  Vec mu(n, 0.0), nu(n, 0.0), phi(n, 0.0);
-
-  double copy_scale = 1.0;
-  for (double arrival : problem.arrivals)
-    copy_scale = std::max(copy_scale, arrival);
-  double balance_scale = 1.0;
-  for (std::size_t j = 0; j < n; ++j)
-    balance_scale = std::max(
-        balance_scale, problem.demand_mw(j, problem.datacenters[j].servers));
-
-  Rng rng(options.seed);
+  PartialParticipationExecutor executor(problem, options.admg,
+                                        options.participation, options.seed);
+  AdmgEngine engine(options.admg);
   AsyncReport report;
-
-  for (int k = 0; k < admg.max_iterations; ++k) {
-    const Mat a_before = a;
-    const Vec mu_before = mu, nu_before = nu;
-
-    // lambda predictions: only participating front-ends refresh theirs.
-    for (std::size_t i = 0; i < m; ++i) {
-      const bool participates =
-          options.participation >= 1.0 || rng.bernoulli(options.participation);
-      if (!participates) {
-        ++report.skipped_updates;
-        continue;
-      }
-      LambdaBlockInputs in;
-      in.arrival = problem.arrivals[i];
-      // row_span views stay valid for the whole solve (no temporaries).
-      in.latency_row = problem.latency_s.row_span(i);
-      in.a_row = a.row_span(i);
-      in.varphi_row = varphi.row_span(i);
-      in.rho = rho;
-      in.latency_weight = problem.latency_weight;
-      in.utility = problem.utility.get();
-      lambda_tilde.set_row(i, solve_lambda_block(in, lambda.row(i), admg.inner));
-    }
-
-    // mu / nu predictions (always run; datacenters do not straggle here).
-    Vec mu_tilde(n, 0.0);
-    if (admg.pinning != BlockPinning::PinMu) {
-      for (std::size_t j = 0; j < n; ++j) {
-        MuBlockInputs in;
-        in.alpha = problem.alpha_mw(j);
-        in.beta = problem.beta_mw(j);
-        in.a_col_sum = a.col_sum(j);
-        in.nu = nu[j];
-        in.phi = phi[j];
-        in.rho = rho;
-        in.fuel_cell_price = problem.fuel_cell_price;
-        in.mu_max = problem.datacenters[j].fuel_cell_capacity_mw;
-        mu_tilde[j] = solve_mu_block(in);
-      }
-    }
-    Vec nu_tilde(n, 0.0);
-    if (admg.pinning != BlockPinning::PinNu) {
-      for (std::size_t j = 0; j < n; ++j) {
-        NuBlockInputs in;
-        in.alpha = problem.alpha_mw(j);
-        in.beta = problem.beta_mw(j);
-        in.a_col_sum = a.col_sum(j);
-        in.mu = mu_tilde[j];
-        in.phi = phi[j];
-        in.rho = rho;
-        in.grid_price = problem.datacenters[j].grid_price;
-        in.carbon_tons_per_mwh = problem.datacenters[j].carbon_rate / 1000.0;
-        in.emission_cost = problem.datacenters[j].emission_cost.get();
-        nu_tilde[j] = solve_nu_block(in);
-      }
-    }
-
-    // a predictions against the cached lambda~ / varphi. The column views
-    // must outlive each solve, so gather them into named buffers.
-    Mat a_tilde(m, n);
-    Vec varphi_col(m), lambda_col(m);
-    for (std::size_t j = 0; j < n; ++j) {
-      varphi.col_into(j, varphi_col);
-      lambda_tilde.col_into(j, lambda_col);
-      ABlockInputs in;
-      in.alpha = problem.alpha_mw(j);
-      in.beta = problem.beta_mw(j);
-      in.mu = mu_tilde[j];
-      in.nu = nu_tilde[j];
-      in.phi = phi[j];
-      in.varphi_col = varphi_col.span();
-      in.lambda_col = lambda_col.span();
-      in.rho = rho;
-      in.capacity = problem.datacenters[j].servers;
-      a_tilde.set_col(j, solve_a_block(in, a.col(j), admg.inner));
-    }
-
-    // Dual predictions.
-    Vec phi_tilde(n);
-    for (std::size_t j = 0; j < n; ++j)
-      phi_tilde[j] = update_phi(phi[j], rho, problem.alpha_mw(j),
-                                problem.beta_mw(j), a_tilde.col_sum(j),
-                                mu_tilde[j], nu_tilde[j]);
-    Mat varphi_tilde(m, n);
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t j = 0; j < n; ++j)
-        varphi_tilde(i, j) =
-            update_varphi(varphi(i, j), rho, a_tilde(i, j), lambda_tilde(i, j));
-
-    // Correction (identical to the synchronous solver).
-    if (!admg.gaussian_back_substitution) {
-      phi = std::move(phi_tilde);
-      varphi = std::move(varphi_tilde);
-      a = a_tilde;
-      nu = std::move(nu_tilde);
-      mu = std::move(mu_tilde);
-    } else {
-      for (std::size_t j = 0; j < n; ++j)
-        phi[j] += eps * (phi_tilde[j] - phi[j]);
-      for (std::size_t i = 0; i < m; ++i)
-        for (std::size_t j = 0; j < n; ++j)
-          varphi(i, j) += eps * (varphi_tilde(i, j) - varphi(i, j));
-      Vec delta_col_sum(n, 0.0);
-      for (std::size_t j = 0; j < n; ++j) {
-        double delta_sum = 0.0;
-        for (std::size_t i = 0; i < m; ++i) {
-          const double delta = eps * (a_tilde(i, j) - a(i, j));
-          a(i, j) += delta;
-          delta_sum += delta;
-        }
-        delta_col_sum[j] = delta_sum;
-      }
-      for (std::size_t j = 0; j < n; ++j) {
-        const double beta = problem.beta_mw(j);
-        const double nu_old = nu[j];
-        if (admg.pinning != BlockPinning::PinNu)
-          nu[j] += eps * (nu_tilde[j] - nu[j]) + beta * delta_col_sum[j];
-        if (admg.pinning != BlockPinning::PinMu) {
-          double correction = eps * (mu_tilde[j] - mu[j]);
-          if (admg.pinning != BlockPinning::PinNu)
-            correction -= (nu[j] - nu_old);
-          correction += beta * delta_col_sum[j];
-          mu[j] += correction;
-        }
-      }
-    }
-    lambda = lambda_tilde;
-
-    report.iterations = k + 1;
-
-    // Convergence: same criterion as the synchronous solver.
-    double balance_residual = 0.0;
-    for (std::size_t j = 0; j < n; ++j)
-      balance_residual = std::max(
-          balance_residual,
-          std::abs(problem.alpha_mw(j) + problem.beta_mw(j) * a.col_sum(j) -
-                   mu[j] - nu[j]));
-    const double copy_residual = max_abs_diff(a, lambda);
-    const double change =
-        std::max({max_abs_diff(a, a_before), max_abs_diff(mu, mu_before),
-                  max_abs_diff(nu, nu_before)});
-    if (balance_residual / balance_scale < admg.tolerance &&
-        copy_residual / copy_scale < admg.tolerance &&
-        change / copy_scale < admg.tolerance) {
-      report.converged = true;
-      break;
-    }
-  }
-
-  Mat lambda_servers = lambda;
-  lambda_servers *= sigma;
-  report.solution.lambda = std::move(lambda_servers);
-  report.solution.mu = mu;
-  report.solution.nu =
-      grid_draw_mw(original, report.solution.lambda, report.solution.mu);
-  report.breakdown = evaluate(original, report.solution.lambda, mu);
-  if (!report.converged)
-    log::warn("async ADM-G did not converge in ", report.iterations,
-              " iterations at participation ", options.participation);
+  static_cast<SolveCore&>(report) = engine.solve(executor);
+  report.skipped_updates = executor.skipped_updates();
   return report;
 }
 

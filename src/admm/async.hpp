@@ -7,6 +7,10 @@
 // probability `participation` (its previous prediction lambda~_i and dual
 // are reused otherwise); datacenter blocks always run.
 //
+// The driver is a thin wrapper over AdmgEngine + PartialParticipationExecutor
+// (engine.hpp), so the iteration skeleton, trace and convergence gate are the
+// synchronous solver's, straggler draws aside.
+//
 // This is an empirical-robustness extension (the paper's ADM-G analysis is
 // synchronous): tests verify participation = 1 reproduces the synchronous
 // solver bit-for-bit and that lower participation still reaches the same
@@ -14,7 +18,6 @@
 #pragma once
 
 #include "admm/admg.hpp"
-#include "util/rng.hpp"
 
 namespace ufc::admm {
 
@@ -25,11 +28,7 @@ struct AsyncOptions {
   std::uint64_t seed = 1;  ///< Straggler draw seed.
 };
 
-struct AsyncReport {
-  UfcSolution solution;
-  UfcBreakdown breakdown;
-  int iterations = 0;
-  bool converged = false;
+struct AsyncReport : SolveCore {
   std::uint64_t skipped_updates = 0;  ///< Total stragglers over the run.
 };
 

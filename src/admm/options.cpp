@@ -1,0 +1,28 @@
+#include "admm/options.hpp"
+
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+
+AdmgOptions options_from_config(const Config& config, AdmgOptions defaults) {
+  AdmgOptions options = defaults;
+  options.rho = config.get_double("solver.rho", options.rho);
+  options.epsilon = config.get_double("solver.epsilon", options.epsilon);
+  options.tolerance = config.get_double("solver.tolerance", options.tolerance);
+  options.max_iterations =
+      config.get_int("solver.max_iterations", options.max_iterations);
+  options.gaussian_back_substitution =
+      config.get_bool("solver.gaussian_back_substitution",
+                      options.gaussian_back_substitution);
+  options.threads = config.get_int("solver.threads", options.threads);
+  // Same domains the solver constructor enforces, checked here so a typo in
+  // the INI file surfaces as a config error, not a solver-internal one.
+  UFC_EXPECTS(options.rho > 0.0);
+  UFC_EXPECTS(options.epsilon > 0.5 && options.epsilon <= 1.0);
+  UFC_EXPECTS(options.tolerance > 0.0);
+  UFC_EXPECTS(options.max_iterations > 0);
+  UFC_EXPECTS(options.threads >= 0);
+  return options;
+}
+
+}  // namespace ufc::admm

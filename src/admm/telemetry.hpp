@@ -1,0 +1,87 @@
+// Structured solve telemetry for the ADM-G engine.
+//
+// Every driver (in-process, partial-participation, message-passing) runs the
+// same AdmgEngine loop; an IterationObserver hooked into AdmgOptions sees the
+// same per-iteration stream regardless of which executor produced it. That is
+// the single instrumentation seam for admm, net, sim, bench and the CLI — no
+// driver grows its own ad-hoc trace plumbing again.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ufc {
+class CsvWriter;
+}  // namespace ufc
+
+namespace ufc::admm {
+
+struct SolveCore;  // engine.hpp
+
+/// One engine iteration as the observer sees it. Residuals and change are in
+/// raw (unscaled) units, matching AdmgTrace; `iteration` is the engine's
+/// iteration number, which for resumed/distributed solves is the round index
+/// rather than a zero-based counter.
+struct IterationSample {
+  int iteration = 0;
+  double balance_residual = 0.0;  ///< max_j |alpha+beta*sum a-mu-nu|, MW.
+  double copy_residual = 0.0;     ///< max_ij |a_ij - lambda_ij|, normalized units.
+  double change = 0.0;            ///< Largest per-variable movement of the step.
+  double objective = 0.0;         ///< UFC at the current (lambda, mu).
+  double wall_seconds = 0.0;      ///< Wall time spent inside the step.
+};
+
+/// Engine telemetry hook. Observers never see (and can never influence) the
+/// iterate itself, so an attached observer keeps solves bit-identical.
+class IterationObserver {
+ public:
+  virtual ~IterationObserver() = default;
+
+  /// Called after every engine iteration (including the converging one).
+  virtual void on_iteration(const IterationSample& sample) = 0;
+
+  /// Called once per solve after the report core is finalized. Default: no-op.
+  virtual void on_solve_end(const SolveCore& core);
+};
+
+/// Aggregates counters across any number of solves (e.g. a week of slots).
+class SolveCounters : public IterationObserver {
+ public:
+  void on_iteration(const IterationSample& sample) override;
+  void on_solve_end(const SolveCore& core) override;
+
+  int solves() const { return solves_; }
+  int converged_solves() const { return converged_; }
+  std::int64_t iterations() const { return iterations_; }
+  double wall_seconds() const { return wall_seconds_; }
+
+ private:
+  int solves_ = 0;
+  int converged_ = 0;
+  std::int64_t iterations_ = 0;
+  double wall_seconds_ = 0.0;
+};
+
+/// Streams every sample into a CSV file with columns
+/// {solve, iteration, balance_residual, copy_residual, change, objective,
+/// wall_seconds}. `solve` increments at each on_solve_end so multi-slot runs
+/// stay separable.
+class CsvTraceObserver : public IterationObserver {
+ public:
+  explicit CsvTraceObserver(const std::string& path);
+  ~CsvTraceObserver() override;
+
+  void on_iteration(const IterationSample& sample) override;
+  void on_solve_end(const SolveCore& core) override;
+
+  std::size_t rows_written() const;
+  const std::string& path() const;
+
+ private:
+  std::unique_ptr<CsvWriter> csv_;
+  int solve_ = 0;
+};
+
+}  // namespace ufc::admm

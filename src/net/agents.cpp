@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "admm/engine.hpp"
 #include "util/contract.hpp"
 #include "util/wire.hpp"
 
@@ -89,17 +90,11 @@ void FrontEndAgent::process_assignments(MessageBus& bus, int iteration) {
   const bool gbs = config_.protocol.gaussian_back_substitution;
   const double eps = gbs ? config_.protocol.epsilon : 1.0;
 
-  for (std::size_t j = 0; j < n_; ++j) {
-    const double varphi_tilde =
-        admm::update_varphi(varphi_[j], rho, a_tilde[j], lambda_tilde_[j]);
-    if (gbs) {
-      varphi_[j] += eps * (varphi_tilde - varphi_[j]);
-      a_[j] += eps * (a_tilde[j] - a_[j]);
-    } else {
-      varphi_[j] = varphi_tilde;
-      a_[j] = a_tilde[j];
-    }
-  }
+  // Shared GBS correction helpers (admm/engine.cpp) — the same arithmetic
+  // the in-process executor runs, applied to this front-end's row.
+  admm::correct_varphi_block(varphi_.span(), a_tilde.span(),
+                             lambda_tilde_.span(), rho, eps, gbs);
+  admm::correct_a_block(a_.span(), a_tilde.span(), eps, gbs);
   lambda_ = lambda_tilde_;
 
   last_copy_residual_ = 0.0;
@@ -268,32 +263,15 @@ void DatacenterAgent::process_proposals(MessageBus& bus, int iteration) {
       admm::update_phi(phi_, rho, config_.alpha_mw, config_.beta_mw,
                        sum(a_tilde), mu_tilde, nu_tilde);
 
-  // Correction step (Gaussian back substitution), backward order.
+  // Correction step via the shared GBS helpers (admm/engine.cpp), backward
+  // order — the same arithmetic the in-process executor runs on this column.
   const bool gbs = protocol.gaussian_back_substitution;
   const double eps = gbs ? protocol.epsilon : 1.0;
-  if (gbs) {
-    phi_ += eps * (phi_tilde - phi_);
-    double delta_sum = 0.0;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double delta = eps * (a_tilde[i] - a_[i]);
-      a_[i] += delta;
-      delta_sum += delta;
-    }
-    const double nu_old = nu_;
-    if (!protocol.pin_nu)
-      nu_ += eps * (nu_tilde - nu_) + config_.beta_mw * delta_sum;
-    if (!protocol.pin_mu) {
-      double correction = eps * (mu_tilde - mu_);
-      if (!protocol.pin_nu) correction -= (nu_ - nu_old);
-      correction += config_.beta_mw * delta_sum;
-      mu_ += correction;
-    }
-  } else {
-    phi_ = phi_tilde;
-    a_ = a_tilde;
-    nu_ = nu_tilde;
-    mu_ = mu_tilde;
-  }
+  const admm::ABlockCorrection corr =
+      admm::correct_a_block(a_.span(), a_tilde.span(), eps, gbs);
+  admm::correct_sources(phi_, nu_, mu_, phi_tilde, nu_tilde, mu_tilde,
+                        config_.beta_mw, corr.delta_sum, eps, gbs,
+                        protocol.pin_mu, protocol.pin_nu);
 
   last_balance_residual_ = std::abs(config_.alpha_mw +
                                     config_.beta_mw * sum(a_) - mu_ - nu_);

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "admm/centralized.hpp"
 #include "util/contract.hpp"
 #include "util/logging.hpp"
 #include "util/wire.hpp"
@@ -338,96 +337,88 @@ std::uint64_t DistributedAdmgRuntime::stale_inputs() const {
   return total;
 }
 
-DistributedReport DistributedAdmgRuntime::run() {
-  DistributedReport report;
-  const auto& admg = options_.admg;
-  admm::SolverWatchdog watchdog(admg.watchdog);
-  // Mirror AdmgSolver::solve_warm: a poisoned restore must trip the
-  // watchdog before round() feeds NaN into the agents' block solvers.
-  if (admg.watchdog.check_finite && !iterate_finite()) {
-    watchdog.observe(0.0, 0.0, false);
-    report.watchdog_verdict = watchdog.verdict();
-  }
-  const int first = next_round_;
-  for (int k = first; !watchdog.tripped() && k < first + admg.max_iterations;
-       ++k) {
-    const Mat a_before = a();
-    const Vec mu_before = mu();
-    const Vec nu_before = nu();
-    round(k);
-    next_round_ = k + 1;
-    ++report.iterations;
-    if (options_.degraded && remove_dead(k)) {
-      // Topology changed under the iterate: the dimensions and residual
-      // scales this round's checks would use are gone. Re-baseline the
-      // watchdog on the reduced problem and move on.
-      watchdog.reset();
-      continue;
+// The message-passing BlockExecutor: one engine step = one protocol round,
+// plus the degraded-mode membership hook. Residuals, freshness and scales
+// come from the agents' own reports, so the engine gates convergence on
+// exactly the quantities the coordinator can observe.
+class BusExecutor final : public admm::BlockExecutor {
+ public:
+  explicit BusExecutor(DistributedAdmgRuntime& runtime) : runtime_(runtime) {}
+
+  void step(int iteration) override {
+    const Mat a_before = runtime_.a();
+    const Vec mu_before = runtime_.mu();
+    const Vec nu_before = runtime_.nu();
+    runtime_.round(iteration);
+    runtime_.next_round_ = iteration + 1;
+    topology_changed_ =
+        runtime_.options_.degraded && runtime_.remove_dead(iteration);
+    if (topology_changed_) {
+      // The before-snapshots address the removed topology; the engine skips
+      // this round's convergence test anyway.
+      change_ = 0.0;
+      return;
     }
-    // Same three-part criterion as AdmgSolver: primal residuals plus the
-    // successive-change (dual residual proxy). A round may declare
-    // convergence only when every input it consumed is recent — oldest
-    // cached round within stale_bound_ of the current round. Under eventual
-    // delivery (loss, bounded delay) ages stay within the bound, so
-    // persistent random faults cannot starve convergence; a silent (crashed
-    // or partitioned) peer grows the age without bound and keeps blocking
-    // it until the health tracker removes the node or the watchdog trips.
-    const double change =
-        std::max({max_abs_diff(a(), a_before), max_abs_diff(mu(), mu_before),
-                  max_abs_diff(nu(), nu_before)});
-    std::int32_t oldest = static_cast<std::int32_t>(k);
-    for (const auto& fe : front_ends_)
+    change_ = std::max({max_abs_diff(runtime_.a(), a_before),
+                        max_abs_diff(runtime_.mu(), mu_before),
+                        max_abs_diff(runtime_.nu(), nu_before)});
+  }
+
+  bool topology_changed() override { return topology_changed_; }
+
+  /// A round may declare convergence only when every input it consumed is
+  /// recent — oldest cached round within stale_bound_ of the current round.
+  /// Under eventual delivery (loss, bounded delay) ages stay within the
+  /// bound, so persistent random faults cannot starve convergence; a silent
+  /// (crashed or partitioned) peer grows the age without bound and keeps
+  /// blocking it until the health tracker removes the node or the watchdog
+  /// trips.
+  bool inputs_fresh(int iteration) const override {
+    std::int32_t oldest = static_cast<std::int32_t>(iteration);
+    for (const auto& fe : runtime_.front_ends_)
       oldest = std::min(oldest, fe.oldest_input_round());
-    for (const auto& dc : datacenters_)
+    for (const auto& dc : runtime_.datacenters_)
       oldest = std::min(oldest, dc.oldest_input_round());
-    const bool fresh = k - oldest <= stale_bound_;
-    if (fresh && balance_residual() / balance_scale_ < admg.tolerance &&
-        copy_residual() / copy_scale_ < admg.tolerance &&
-        change / copy_scale_ < admg.tolerance) {
-      report.converged = true;
-      break;
-    }
-    const bool finite = !admg.watchdog.check_finite || iterate_finite();
-    if (watchdog.observe(balance_residual() / balance_scale_,
-                         copy_residual() / copy_scale_,
-                         finite) != admm::WatchdogVerdict::Healthy) {
-      report.watchdog_verdict = watchdog.verdict();
-      break;
-    }
+    return iteration - oldest <= runtime_.stale_bound_;
   }
-  report.balance_residual = balance_residual();
-  report.copy_residual = copy_residual();
+
+  double balance_residual() const override {
+    return runtime_.balance_residual();
+  }
+  double copy_residual() const override { return runtime_.copy_residual(); }
+  double last_change() const override { return change_; }
+  double balance_scale() const override { return runtime_.balance_scale_; }
+  double copy_scale() const override { return runtime_.copy_scale_; }
+  double objective() const override {
+    return ufc_objective(runtime_.problem_, runtime_.lambda(), runtime_.mu());
+  }
+  bool iterate_finite() const override { return runtime_.iterate_finite(); }
+  double workload_scale() const override { return runtime_.sigma_; }
+  const UfcProblem& original_problem() const override {
+    return runtime_.original_;
+  }
+  Mat gather_lambda() const override { return runtime_.lambda(); }
+  Vec gather_mu() const override { return runtime_.mu(); }
+
+ private:
+  DistributedAdmgRuntime& runtime_;
+  double change_ = 0.0;
+  bool topology_changed_ = false;
+};
+
+DistributedReport DistributedAdmgRuntime::run() {
+  BusExecutor executor(*this);
+  admm::AdmgEngine engine(options_.admg);
+  DistributedReport report;
+  // The engine owns the iteration skeleton (convergence gate, watchdog,
+  // trace, centralized fallback); this driver contributes only message
+  // exchange and degraded-mode membership via the executor. Resumability:
+  // starting the engine at next_round_ continues a checkpointed run.
+  static_cast<admm::SolveCore&>(report) = engine.solve(executor, next_round_);
   report.stale_inputs = stale_inputs();
   report.active_datacenters = active_dcs_;
   report.removed_datacenters = removed_dcs_;
   report.network = bus_.total();
-
-  if (report.watchdog_verdict != admm::WatchdogVerdict::Healthy) {
-    log::warn("distributed ADM-G watchdog tripped (",
-              report.watchdog_verdict == admm::WatchdogVerdict::NonFinite
-                  ? "non-finite iterate"
-                  : "residual stall",
-              ") after round ", next_round_ - 1);
-    if (admg.fallback_to_centralized) {
-      admm::CentralizedOptions fallback;
-      fallback.grid_only = admg.pinning == admm::BlockPinning::PinMu;
-      fallback.fuel_cell_only = admg.pinning == admm::BlockPinning::PinNu;
-      const auto safe = admm::solve_centralized(original_, fallback);
-      report.solution = safe.solution;
-      report.breakdown = safe.breakdown;
-      report.fallback_centralized = true;
-      return report;
-    }
-  }
-
-  Mat lambda_servers = lambda();
-  lambda_servers *= sigma_;
-  report.solution.lambda = std::move(lambda_servers);
-  report.solution.mu = mu();
-  report.solution.nu = grid_draw_mw(original_, report.solution.lambda,
-                                    report.solution.mu);
-  report.breakdown =
-      evaluate(original_, report.solution.lambda, report.solution.mu);
   return report;
 }
 

@@ -60,17 +60,9 @@ struct DistributedOptions {
   int max_stale_rounds = 0;
 };
 
-struct DistributedReport {
-  UfcSolution solution;
-  UfcBreakdown breakdown;
-  int iterations = 0;
-  bool converged = false;
-  double balance_residual = 0.0;
-  double copy_residual = 0.0;
-  /// Healthy unless the watchdog cut the run short.
-  admm::WatchdogVerdict watchdog_verdict = admm::WatchdogVerdict::Healthy;
-  /// True when the returned solution came from the centralized fallback.
-  bool fallback_centralized = false;
+/// Report of a distributed solve: the shared SolveCore plus the network- and
+/// membership-level outcomes only this driver produces.
+struct DistributedReport : admm::SolveCore {
   /// Agent inputs served from a previous iteration's value (0 in strict mode).
   std::uint64_t stale_inputs = 0;
   /// Original datacenter indices still participating / removed by
@@ -79,6 +71,8 @@ struct DistributedReport {
   std::vector<std::size_t> removed_datacenters;
   LinkStats network;   ///< Total traffic including retransmissions.
 };
+
+class BusExecutor;
 
 class DistributedAdmgRuntime {
  public:
@@ -138,6 +132,10 @@ class DistributedAdmgRuntime {
   void restore(std::span<const std::byte> bytes);
 
  private:
+  /// The message-passing BlockExecutor (runtime.cpp) drives round() and the
+  /// degraded-mode membership hooks on the engine's behalf.
+  friend class BusExecutor;
+
   void update_residual_scales();
   /// (Re)creates all agents for the current problem_/active_dcs_, with
   /// cold-start state.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "sim/session.hpp"
 #include "util/contract.hpp"
 
 namespace ufc::sim {
@@ -31,13 +32,9 @@ BatchWeekResult run_batch_week(const traces::Scenario& scenario,
 
   // Interactive layer: the paper's hybrid solution defines what is left.
   std::vector<int> slots_run;
-  std::vector<admm::AdmgReport> reports;
-  for (int t = 0; t < scenario.hours(); t += sim_options.stride) {
-    slots_run.push_back(t);
-    reports.push_back(admm::solve_strategy(scenario.problem_at(t),
-                                           admm::Strategy::Hybrid,
-                                           sim_options.admg));
-  }
+  const std::vector<admm::AdmgReport> reports =
+      solve_all_slots(scenario, admm::Strategy::Hybrid, sim_options,
+                      &slots_run);
   const std::size_t horizon = slots_run.size();
 
   // Residual capacity and marginal unit costs per (slot, site).

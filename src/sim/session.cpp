@@ -1,0 +1,55 @@
+#include "sim/session.hpp"
+
+#include "util/contract.hpp"
+
+namespace ufc::sim {
+
+namespace {
+
+void apply_outages(UfcProblem& problem,
+                   const std::vector<FuelCellOutage>& outages, int hour) {
+  for (const auto& outage : outages) {
+    UFC_EXPECTS(outage.datacenter < problem.num_datacenters());
+    UFC_EXPECTS(outage.last_hour >= outage.first_hour);
+    if (outage.covers(hour))
+      problem.datacenters[outage.datacenter].fuel_cell_capacity_mw = 0.0;
+  }
+}
+
+}  // namespace
+
+SolveSession::SolveSession(admm::Strategy strategy,
+                           const SimulatorOptions& options)
+    : strategy_(strategy), options_(options), admg_(options.admg) {
+  UFC_EXPECTS(options_.stride >= 1);
+  admg_.pinning = admm::pinning_for(strategy);
+}
+
+admm::AdmgReport SolveSession::solve(const traces::Scenario& scenario,
+                                     int hour) {
+  UfcProblem problem = scenario.problem_at(hour);
+  apply_outages(problem, options_.outages, hour);
+  if (!options_.warm_start)
+    return admm::solve_strategy(problem, strategy_, options_.admg);
+  if (!warm_) {
+    warm_.emplace(problem, admg_);
+    return warm_->solve();
+  }
+  warm_->set_problem(problem);
+  return warm_->solve_warm();
+}
+
+std::vector<admm::AdmgReport> solve_all_slots(const traces::Scenario& scenario,
+                                              admm::Strategy strategy,
+                                              const SimulatorOptions& options,
+                                              std::vector<int>* slots_run) {
+  SolveSession session(strategy, options);
+  std::vector<admm::AdmgReport> reports;
+  for (int t = 0; t < scenario.hours(); t += options.stride) {
+    if (slots_run != nullptr) slots_run->push_back(t);
+    reports.push_back(session.solve(scenario, t));
+  }
+  return reports;
+}
+
+}  // namespace ufc::sim

@@ -1,0 +1,41 @@
+// SolveSession: the one per-slot solve path shared by every simulation
+// driver (weekly comparison, storage accounting, batch scheduling).
+//
+// A session owns the strategy pinning, the scenario-level fault model
+// (fuel-cell outages) and the optional warm-started solver, so drivers ask
+// for "the report for hour t" instead of each re-implementing the
+// cold/warm-start dance around AdmgSolver.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ufc::sim {
+
+class SolveSession {
+ public:
+  SolveSession(admm::Strategy strategy, const SimulatorOptions& options);
+
+  /// Solves the scenario's slot at `hour` (outages applied), reusing the
+  /// previous slot's iterate when options.warm_start is set.
+  admm::AdmgReport solve(const traces::Scenario& scenario, int hour);
+
+  admm::Strategy strategy() const { return strategy_; }
+
+ private:
+  admm::Strategy strategy_;
+  SimulatorOptions options_;
+  admm::AdmgOptions admg_;  ///< options_.admg with the strategy pinning set.
+  std::optional<admm::AdmgSolver> warm_;
+};
+
+/// Solves every simulated slot (hours 0, stride, 2*stride, ...) through one
+/// SolveSession and returns the reports in slot order. When `slots_run` is
+/// non-null it receives the hour index of each report.
+std::vector<admm::AdmgReport> solve_all_slots(
+    const traces::Scenario& scenario, admm::Strategy strategy,
+    const SimulatorOptions& options, std::vector<int>* slots_run = nullptr);
+
+}  // namespace ufc::sim

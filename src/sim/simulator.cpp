@@ -1,8 +1,9 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <optional>
 
+#include "admm/options.hpp"
+#include "sim/session.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
 
@@ -17,16 +18,6 @@ std::vector<double> series(const std::vector<SlotResult>& slots,
   out.reserve(slots.size());
   for (const auto& s : slots) out.push_back(extract(s));
   return out;
-}
-
-void apply_outages(UfcProblem& problem,
-                   const std::vector<FuelCellOutage>& outages, int hour) {
-  for (const auto& outage : outages) {
-    UFC_EXPECTS(outage.datacenter < problem.num_datacenters());
-    UFC_EXPECTS(outage.last_hour >= outage.first_hour);
-    if (outage.covers(hour))
-      problem.datacenters[outage.datacenter].fuel_cell_capacity_mw = 0.0;
-  }
 }
 
 }  // namespace
@@ -99,16 +90,7 @@ std::vector<double> WeekResult::iteration_series() const {
 
 SimulatorOptions simulator_options_from(const Config& config) {
   SimulatorOptions options;
-  options.admg.rho = config.get_double("solver.rho", options.admg.rho);
-  options.admg.epsilon =
-      config.get_double("solver.epsilon", options.admg.epsilon);
-  options.admg.tolerance =
-      config.get_double("solver.tolerance", options.admg.tolerance);
-  options.admg.max_iterations =
-      config.get_int("solver.max_iterations", options.admg.max_iterations);
-  options.admg.gaussian_back_substitution =
-      config.get_bool("solver.gaussian_back_substitution",
-                      options.admg.gaussian_back_substitution);
+  options.admg = admm::options_from_config(config, options.admg);
   options.stride = config.get_int("simulate.stride", options.stride);
   return options;
 }
@@ -116,34 +98,17 @@ SimulatorOptions simulator_options_from(const Config& config) {
 WeekResult run_strategy_week(const traces::Scenario& scenario,
                              admm::Strategy strategy,
                              const SimulatorOptions& options) {
-  UFC_EXPECTS(options.stride >= 1);
   WeekResult result;
   result.strategy = strategy;
 
-  admm::AdmgOptions admg = options.admg;
-  admg.pinning = admm::pinning_for(strategy);
-  std::optional<admm::AdmgSolver> warm_solver;
-
-  for (int t = 0; t < scenario.hours(); t += options.stride) {
-    UfcProblem problem = scenario.problem_at(t);
-    apply_outages(problem, options.outages, t);
-    admm::AdmgReport report;
-    if (options.warm_start) {
-      if (!warm_solver) {
-        warm_solver.emplace(problem, admg);
-        report = warm_solver->solve();
-      } else {
-        warm_solver->set_problem(problem);
-        report = warm_solver->solve_warm();
-      }
-    } else {
-      report = admm::solve_strategy(problem, strategy, options.admg);
-    }
+  std::vector<int> slots_run;
+  const auto reports = solve_all_slots(scenario, strategy, options, &slots_run);
+  for (std::size_t k = 0; k < reports.size(); ++k) {
     SlotResult slot;
-    slot.slot = t;
-    slot.breakdown = report.breakdown;
-    slot.iterations = report.iterations;
-    slot.converged = report.converged;
+    slot.slot = slots_run[k];
+    slot.breakdown = reports[k].breakdown;
+    slot.iterations = reports[k].iterations;
+    slot.converged = reports[k].converged;
     result.slots.push_back(std::move(slot));
   }
   return result;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/session.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
 
@@ -16,20 +17,6 @@ double effective_price(const traces::Scenario& scenario, std::size_t slot,
                        std::size_t j, double carbon_tax_per_ton) {
   return scenario.prices()(slot, j) +
          scenario.carbon_rates()(slot, j) / 1000.0 * carbon_tax_per_ton;
-}
-
-/// Pass 1 shared by both storage policies: solve every simulated slot once.
-std::vector<admm::AdmgReport> solve_all_slots(
-    const traces::Scenario& scenario, const SimulatorOptions& options,
-    std::vector<int>& slots_run) {
-  std::vector<admm::AdmgReport> reports;
-  for (int t = 0; t < scenario.hours(); t += options.stride) {
-    slots_run.push_back(t);
-    reports.push_back(admm::solve_strategy(scenario.problem_at(t),
-                                           admm::Strategy::Hybrid,
-                                           options.admg));
-  }
-  return reports;
 }
 
 /// Value of displacing `delta` MWh of running generation, priciest first.
@@ -84,7 +71,7 @@ StorageWeekResult run_storage_week(const traces::Scenario& scenario,
   // creates a new peak.
   std::vector<int> slots_run;
   std::vector<admm::AdmgReport> reports =
-      solve_all_slots(scenario, options, slots_run);
+      solve_all_slots(scenario, admm::Strategy::Hybrid, options, &slots_run);
   std::vector<double> charge_headroom(n);  // grid-draw cap while charging
   for (std::size_t j = 0; j < n; ++j) {
     std::vector<double> draws;
@@ -203,7 +190,8 @@ StorageWeekResult run_storage_week_optimal(
 
   std::vector<int> slots_run;
   const std::vector<admm::AdmgReport> reports =
-      solve_all_slots(scenario, sim_options, slots_run);
+      solve_all_slots(scenario, admm::Strategy::Hybrid, sim_options,
+                      &slots_run);
   const std::size_t horizon = slots_run.size();
 
   StorageWeekResult result;

@@ -1,0 +1,293 @@
+// The engine refactor contract: one iteration loop, three executors, zero
+// arithmetic drift. The hexfloat baselines below were captured from the
+// pre-refactor drivers (AdmgSolver before the AdmgEngine extraction) on the
+// tiny 2x2 problem with default options; every EXPECT_EQ is a bit-for-bit
+// comparison.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "admm/async.hpp"
+#include "admm/engine.hpp"
+#include "admm/options.hpp"
+#include "helpers.hpp"
+#include "net/runtime.hpp"
+#include "util/config.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+namespace {
+
+using ::ufc::testing::make_tiny_problem;
+
+// Pre-refactor per-step iterate samples, in the order
+// {lambda(0,0), lambda(0,1), lambda(1,0), lambda(1,1), mu[0], mu[1],
+//  nu[0], nu[1], a(0,0), a(1,1), varphi(0,1), phi[0], last_change}.
+constexpr std::array<std::array<double, 13>, 6> kStepBaselines = {{
+    {0x1.8af8af8acff45p-1, 0x1.b6db6db72ce44p-2, 0x1.38f3eb4deca59p-3,
+     0x1.4b5c9ec61e704p-1, 0x0p+0, 0x0p+0, 0x1.bc01aab04cee7p-5,
+     0x1.03adb491cb8c5p-4, 0x1.859eb8977c302p-1, 0x1.4677100cf40cep-1,
+     -0x1.87bc99c01852p-4, 0x1.bdf3b88a4b3dcp+0, 0x1.859eb8977c302p-1},
+    {0x1.d5d077a3c4518p-1, 0x1.212bdd854429cp-2, 0x0p+0, 0x1.999999999999ap-1,
+     0x1.bc01aab04cee7p-5, 0x1.03adb491cb8c5p-4, 0x1.df02ea7e2fep-13,
+     0x1.9e3b8e5ebd9p-12, 0x1.d074b4d69394fp-1, 0x1.94b0ef8d2b546p-1,
+     -0x1.8838dedfb5df8p-3, 0x1.be3e90feeef53p+1, 0x1.38e77e00dd1ep-3},
+    {0x1.0ae32f96ac3a4p+0, 0x1.42801ce437c74p-3, 0x0p+0, 0x1.999999999999ap-1,
+     0x1.df02ea7e2fep-13, 0x1.9e3b8e5ebd9p-12, 0x1.e974811a9bfcp-8,
+     -0x1.e7b4a5a5f678cp-8, 0x1.0817f0285a9cep+0, 0x1.94eb75de344d8p-1,
+     -0x1.21b73a0fad098p-2, 0x1.5389461f1eabcp+2, 0x1.fddb09bfd3318p-4},
+    {0x1.2601a7ea4cfeap+0, 0x1.a631691cc6918p-5, 0x0p+0, 0x1.999999999999ap-1,
+     0x1.e974811a9bfcp-8, -0x1.e7b4a5a5f678cp-8, 0x1.9f0dd3694cd0ap-8,
+     -0x1.9d920be52e0f8p-8, 0x1.231d8141359d2p+0, 0x1.951d16c107a6ep-1,
+     -0x1.7b7172fbb60e1p-2, 0x1.cc00e64f4d1cfp+2, 0x1.b05a7e2555708p-4},
+    {0x1.3333333333333p+0, 0x0p+0, 0x0p+0, 0x1.999999999999ap-1,
+     0x1.9f0dd3694cd0ap-8, -0x1.9d920be52e0f8p-8, 0x1.93d9f6f68bc99p-9,
+     -0x1.4f301d3ace138p-9, 0x1.3042eef5e6d4bp+0, 0x1.9531333dbb43p-1,
+     -0x1.7b7172fbb60e1p-2, 0x1.2338ab7a17de7p+3, 0x1.a4adb69626f2p-5},
+    {0x1.3333333333333p+0, 0x0p+0, 0x0p+0, 0x1.999999999999ap-1,
+     0x1.93d9f6f68bc99p-9, -0x1.4f301d3ace138p-9, -0x1.333p-49,
+     -0x1.346f1p-41, 0x1.3042eef5e6cabp+0, 0x1.9531333da72e7p-1,
+     -0x1.7b7172fbb60e1p-2, 0x1.6070e3cc892dap+3, 0x1.ebf3fa8f8e0b8p-9},
+}};
+
+TEST(EngineEquivalence, PinnedIterateBaselines) {
+  AdmgSolver solver(make_tiny_problem(), {});
+  for (std::size_t k = 0; k < kStepBaselines.size(); ++k) {
+    solver.step();
+    const auto& want = kStepBaselines[k];
+    EXPECT_EQ(solver.lambda()(0, 0), want[0]) << "step " << k + 1;
+    EXPECT_EQ(solver.lambda()(0, 1), want[1]) << "step " << k + 1;
+    EXPECT_EQ(solver.lambda()(1, 0), want[2]) << "step " << k + 1;
+    EXPECT_EQ(solver.lambda()(1, 1), want[3]) << "step " << k + 1;
+    EXPECT_EQ(solver.mu()[0], want[4]) << "step " << k + 1;
+    EXPECT_EQ(solver.mu()[1], want[5]) << "step " << k + 1;
+    EXPECT_EQ(solver.nu()[0], want[6]) << "step " << k + 1;
+    EXPECT_EQ(solver.nu()[1], want[7]) << "step " << k + 1;
+    EXPECT_EQ(solver.a()(0, 0), want[8]) << "step " << k + 1;
+    EXPECT_EQ(solver.a()(1, 1), want[9]) << "step " << k + 1;
+    EXPECT_EQ(solver.varphi()(0, 1), want[10]) << "step " << k + 1;
+    EXPECT_EQ(solver.phi()[0], want[11]) << "step " << k + 1;
+    EXPECT_EQ(solver.last_change(), want[12]) << "step " << k + 1;
+  }
+}
+
+TEST(EngineEquivalence, PinnedFullSolveReport) {
+  AdmgSolver solver(make_tiny_problem(), {});
+  const AdmgReport report = solver.solve();
+  EXPECT_EQ(report.iterations, 62);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.balance_residual, 0x1.419497d9a6666p-20);
+  EXPECT_EQ(report.copy_residual, 0x1.a48e808p-27);
+  EXPECT_EQ(report.solution.lambda(0, 0), 0x1.2cp+9);
+  EXPECT_EQ(report.solution.lambda(1, 1), 0x1.9p+8);
+  EXPECT_EQ(report.solution.mu[0], -0x1.a138p-41);
+  EXPECT_EQ(report.solution.mu[1], 0x1.26e8f1ce2f195p-3);
+  EXPECT_EQ(report.solution.nu[0], 0x1.89374bc6ae748p-3);
+  EXPECT_EQ(report.solution.nu[1], 0x1.0e0d9db4ep-20);
+  EXPECT_EQ(report.breakdown.ufc, -0x1.69eb9643140d8p+4);
+  ASSERT_EQ(report.trace.balance_residual.size(), 62u);
+  ASSERT_EQ(report.trace.copy_residual.size(), 62u);
+  ASSERT_EQ(report.trace.objective.size(), 62u);
+  EXPECT_EQ(report.trace.balance_residual.front(), 0x1.eb851eb851eb8p-4);
+  EXPECT_EQ(report.trace.copy_residual.front(), 0x1.567dbcd4f10cp-7);
+  EXPECT_EQ(report.trace.objective.front(), -0x1.b8d8138bc251fp+4);
+  EXPECT_EQ(report.trace.balance_residual.back(), report.balance_residual);
+  EXPECT_EQ(report.trace.copy_residual.back(), report.copy_residual);
+  EXPECT_EQ(report.trace.objective.back(), report.breakdown.ufc);
+}
+
+TEST(EngineEquivalence, FullParticipationExecutorBitwiseEqualToSynchronous) {
+  const auto problem = make_tiny_problem();
+  const AdmgOptions options;
+
+  PartialParticipationExecutor executor(problem, options, 1.0, 99);
+  AdmgEngine engine(options);
+  const SolveCore partial = engine.solve(executor);
+  const AdmgReport sync = solve_admg(problem, options);
+
+  EXPECT_EQ(executor.skipped_updates(), 0u);
+  EXPECT_EQ(partial.iterations, sync.iterations);
+  EXPECT_EQ(partial.converged, sync.converged);
+  EXPECT_EQ(max_abs_diff(partial.solution.lambda, sync.solution.lambda), 0.0);
+  EXPECT_EQ(max_abs_diff(partial.solution.mu, sync.solution.mu), 0.0);
+  EXPECT_EQ(max_abs_diff(partial.solution.nu, sync.solution.nu), 0.0);
+  EXPECT_EQ(partial.balance_residual, sync.balance_residual);
+  EXPECT_EQ(partial.copy_residual, sync.copy_residual);
+  ASSERT_EQ(partial.trace.objective.size(), sync.trace.objective.size());
+  for (std::size_t k = 0; k < sync.trace.objective.size(); ++k)
+    EXPECT_EQ(partial.trace.objective[k], sync.trace.objective[k]);
+}
+
+TEST(EngineEquivalence, ZeroFaultBusExecutorMatchesInProcessEngine) {
+  const auto problem = make_tiny_problem();
+  AdmgOptions options;
+  options.tolerance = 1e-6;
+  options.max_iterations = 5000;
+
+  const AdmgReport mono = solve_admg(problem, options);
+
+  net::DistributedOptions dist;
+  dist.admg = options;
+  const net::DistributedReport bus =
+      net::DistributedAdmgRuntime(problem, dist).run();
+
+  EXPECT_TRUE(bus.converged);
+  EXPECT_EQ(bus.iterations, mono.iterations);
+  EXPECT_EQ(max_abs_diff(bus.solution.lambda, mono.solution.lambda), 0.0);
+  EXPECT_EQ(max_abs_diff(bus.solution.mu, mono.solution.mu), 0.0);
+  EXPECT_EQ(bus.balance_residual, mono.balance_residual);
+  EXPECT_EQ(bus.copy_residual, mono.copy_residual);
+  ASSERT_EQ(bus.trace.objective.size(), mono.trace.objective.size());
+  for (std::size_t k = 0; k < mono.trace.objective.size(); ++k) {
+    EXPECT_EQ(bus.trace.balance_residual[k], mono.trace.balance_residual[k]);
+    EXPECT_EQ(bus.trace.copy_residual[k], mono.trace.copy_residual[k]);
+    EXPECT_EQ(bus.trace.objective[k], mono.trace.objective[k]);
+  }
+}
+
+TEST(EngineEquivalence, CheckpointRestoreMidSolveBitIdentical) {
+  const auto problem = make_tiny_problem();
+  const AdmgOptions options;
+
+  // Uninterrupted reference solve.
+  AdmgSolver reference(problem, options);
+  const AdmgReport full = reference.solve();
+
+  // Pause after 10 steps, serialize, restore into a fresh solver, finish
+  // through the engine path.
+  AdmgSolver paused(problem, options);
+  for (int k = 0; k < 10; ++k) paused.step();
+  const std::vector<std::byte> image = paused.checkpoint();
+
+  AdmgSolver resumed(problem, options);
+  resumed.restore(image);
+  const AdmgReport rest = resumed.solve_warm();
+
+  EXPECT_TRUE(rest.converged);
+  EXPECT_EQ(10 + rest.iterations, full.iterations);
+  EXPECT_EQ(max_abs_diff(resumed.lambda(), reference.lambda()), 0.0);
+  EXPECT_EQ(max_abs_diff(resumed.a(), reference.a()), 0.0);
+  EXPECT_EQ(max_abs_diff(resumed.mu(), reference.mu()), 0.0);
+  EXPECT_EQ(max_abs_diff(resumed.nu(), reference.nu()), 0.0);
+  EXPECT_EQ(max_abs_diff(rest.solution.lambda, full.solution.lambda), 0.0);
+  EXPECT_EQ(rest.balance_residual, full.balance_residual);
+  EXPECT_EQ(rest.copy_residual, full.copy_residual);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the observer sees the same stream the trace records, and never
+// perturbs the iterate.
+
+class RecordingObserver : public IterationObserver {
+ public:
+  void on_iteration(const IterationSample& sample) override {
+    samples.push_back(sample);
+  }
+  void on_solve_end(const SolveCore& /*core*/) override { ++solve_ends; }
+
+  std::vector<IterationSample> samples;
+  int solve_ends = 0;
+};
+
+TEST(EngineTelemetry, ObserverSeesEveryIterationAndKeepsBitIdentity) {
+  const auto problem = make_tiny_problem();
+  const AdmgReport plain = solve_admg(problem, {});
+
+  RecordingObserver observer;
+  AdmgOptions observed_options;
+  observed_options.observer = &observer;
+  const AdmgReport observed = solve_admg(problem, observed_options);
+
+  EXPECT_EQ(observed.iterations, plain.iterations);
+  EXPECT_EQ(max_abs_diff(observed.solution.lambda, plain.solution.lambda),
+            0.0);
+  ASSERT_EQ(observer.samples.size(),
+            static_cast<std::size_t>(plain.iterations));
+  EXPECT_EQ(observer.solve_ends, 1);
+  for (std::size_t k = 0; k < observer.samples.size(); ++k) {
+    EXPECT_EQ(observer.samples[k].iteration, static_cast<int>(k));
+    EXPECT_EQ(observer.samples[k].balance_residual,
+              plain.trace.balance_residual[k]);
+    EXPECT_EQ(observer.samples[k].copy_residual, plain.trace.copy_residual[k]);
+    EXPECT_EQ(observer.samples[k].objective, plain.trace.objective[k]);
+    EXPECT_GE(observer.samples[k].wall_seconds, 0.0);
+  }
+}
+
+TEST(EngineTelemetry, SolveCountersAggregateAcrossSolvesAndDrivers) {
+  const auto problem = make_tiny_problem();
+  SolveCounters counters;
+  AdmgOptions options;
+  options.observer = &counters;
+
+  const AdmgReport first = solve_admg(problem, options);
+  AsyncOptions async;
+  async.admg = options;
+  async.participation = 0.7;
+  const AsyncReport second = solve_async_admg(problem, async);
+
+  EXPECT_EQ(counters.solves(), 2);
+  EXPECT_EQ(counters.converged_solves(), 2);
+  EXPECT_EQ(counters.iterations(),
+            static_cast<std::int64_t>(first.iterations + second.iterations));
+  EXPECT_GE(counters.wall_seconds(), 0.0);
+}
+
+TEST(EngineTelemetry, CsvTraceObserverWritesOneRowPerIteration) {
+  const auto problem = make_tiny_problem();
+  const std::string path = ::testing::TempDir() + "engine_trace.csv";
+  {
+    CsvTraceObserver observer(path);
+    AdmgOptions options;
+    options.observer = &observer;
+    const AdmgReport report = solve_admg(problem, options);
+    EXPECT_EQ(observer.rows_written(),
+              static_cast<std::size_t>(report.iterations));
+    EXPECT_EQ(observer.path(), path);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Config binding.
+
+TEST(EngineOptions, OptionsFromConfigParsesSolverSection) {
+  const Config config = Config::parse(
+      "[solver]\n"
+      "rho = 2.5\n"
+      "epsilon = 0.9\n"
+      "tolerance = 1e-5\n"
+      "max_iterations = 123\n"
+      "gaussian_back_substitution = false\n"
+      "threads = 2\n");
+
+  const AdmgOptions options = options_from_config(config);
+  EXPECT_DOUBLE_EQ(options.rho, 2.5);
+  EXPECT_DOUBLE_EQ(options.epsilon, 0.9);
+  EXPECT_DOUBLE_EQ(options.tolerance, 1e-5);
+  EXPECT_EQ(options.max_iterations, 123);
+  EXPECT_FALSE(options.gaussian_back_substitution);
+  EXPECT_EQ(options.threads, 2);
+}
+
+TEST(EngineOptions, OptionsFromConfigKeepsDefaults) {
+  const Config config;
+  AdmgOptions defaults;
+  defaults.tolerance = 3e-3;
+  const AdmgOptions options = options_from_config(config, defaults);
+  EXPECT_DOUBLE_EQ(options.tolerance, 3e-3);
+  EXPECT_EQ(options.max_iterations, defaults.max_iterations);
+}
+
+TEST(EngineOptions, OptionsFromConfigRejectsInvalidValues) {
+  const Config bad_rho = Config::parse("[solver]\nrho = -1\n");
+  EXPECT_THROW(options_from_config(bad_rho), ContractViolation);
+
+  const Config bad_iters = Config::parse("[solver]\nmax_iterations = 0\n");
+  EXPECT_THROW(options_from_config(bad_iters), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc::admm
