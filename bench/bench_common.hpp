@@ -2,12 +2,17 @@
 //
 // Every binary prints the paper-style table/series to stdout and writes a
 // CSV (named ufc_<experiment>.csv) into the current working directory so
-// plots can be regenerated offline.
+// plots can be regenerated offline. Instrumented benches additionally write
+// their headline numbers into the machine-readable BENCH_ufc.json artifact
+// (schema ufc-bench-v1, validated by scripts/check_bench_json.py), keyed by
+// bench name so re-runs update in place.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "obs/manifest.hpp"
 #include "sim/simulator.hpp"
 #include "traces/scenario.hpp"
 #include "util/csv.hpp"
@@ -33,6 +38,23 @@ inline void print_header(const std::string& title, const std::string& paper) {
 inline void note_csv(const CsvWriter& csv) {
   std::cout << "\nSeries written to " << csv.path() << " ("
             << csv.rows_written() << " rows)\n";
+}
+
+/// Where the machine-readable bench results accumulate. Overridable via
+/// UFC_BENCH_JSON so CI smoke runs can write into their scratch directory.
+inline std::string bench_artifact_path() {
+  const char* override_path = std::getenv("UFC_BENCH_JSON");
+  return override_path != nullptr && *override_path != '\0'
+             ? std::string(override_path)
+             : std::string("BENCH_ufc.json");
+}
+
+/// Replaces (or appends) this bench's entry in BENCH_ufc.json.
+inline void write_bench_entry(const std::string& name,
+                              obs::JsonValue metrics) {
+  const std::string path = bench_artifact_path();
+  obs::update_bench_artifact(path, name, std::move(metrics));
+  std::cout << "Bench entry '" << name << "' written to " << path << "\n";
 }
 
 }  // namespace ufc::bench

@@ -84,6 +84,7 @@ int main() {
                       "speedup vs pre-PR"});
   CsvWriter csv("ufc_parallel.csv", {"m", "n", "threads", "us_per_iter",
                                      "pre_pr_serial_us", "speedup_vs_pre_pr"});
+  obs::JsonValue rows = obs::JsonValue::array();
   for (const auto& scale : scales) {
     const auto problem = random_problem(scale.m, scale.n);
     for (int threads : thread_counts) {
@@ -97,6 +98,14 @@ int main() {
       csv.row({static_cast<double>(scale.m), static_cast<double>(scale.n),
                static_cast<double>(threads), us, scale.pre_pr_serial_us,
                speedup});
+      obs::JsonValue row = obs::JsonValue::object();
+      row.set("m", obs::JsonValue(static_cast<std::int64_t>(scale.m)));
+      row.set("n", obs::JsonValue(static_cast<std::int64_t>(scale.n)));
+      row.set("threads", obs::JsonValue(threads));
+      row.set("us_per_iter", obs::JsonValue(us));
+      row.set("pre_pr_serial_us", obs::JsonValue(scale.pre_pr_serial_us));
+      row.set("speedup_vs_pre_pr", obs::JsonValue(speedup));
+      rows.push_back(std::move(row));
     }
   }
   table.print();
@@ -104,5 +113,9 @@ int main() {
                "on a single-core host the threads>1 rows measure "
                "synchronization overhead only.\n";
   bench::note_csv(csv);
+
+  obs::JsonValue entry = obs::JsonValue::object();
+  entry.set("rows", std::move(rows));
+  bench::write_bench_entry("parallel_scaling", std::move(entry));
   return 0;
 }

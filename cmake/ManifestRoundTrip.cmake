@@ -1,0 +1,31 @@
+# Drives the --metrics manifest round trip as a ctest: run
+#   ufc_cli solve --metrics <scratch>/ufc_cli_manifest.json
+# then validate the written document against the ufc-run-v1 schema with
+# scripts/check_bench_json.py. Invoked from tests/CMakeLists.txt with
+# -DUFC_CLI=..., -DPYTHON=..., -DCHECKER=..., -DWORKDIR=...
+foreach(required UFC_CLI PYTHON CHECKER WORKDIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "ManifestRoundTrip.cmake: ${required} not set")
+  endif()
+endforeach()
+
+set(manifest "${WORKDIR}/ufc_cli_manifest.json")
+file(REMOVE "${manifest}")
+
+execute_process(
+  COMMAND "${UFC_CLI}" solve --metrics "${manifest}"
+  WORKING_DIRECTORY "${WORKDIR}"
+  RESULT_VARIABLE cli_status)
+if(NOT cli_status EQUAL 0)
+  message(FATAL_ERROR "ufc_cli solve --metrics exited with ${cli_status}")
+endif()
+if(NOT EXISTS "${manifest}")
+  message(FATAL_ERROR "ufc_cli reported success but wrote no manifest")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${manifest}"
+  RESULT_VARIABLE check_status)
+if(NOT check_status EQUAL 0)
+  message(FATAL_ERROR "manifest failed ufc-run-v1 validation (${check_status})")
+endif()

@@ -3,8 +3,9 @@
 // Grid / FuelCell / Hybrid strategies hour by hour.
 //
 //   $ ./example_geo_week [seed]
-#include <cstdlib>
+#include <charconv>
 #include <iostream>
+#include <string>
 
 #include "sim/simulator.hpp"
 #include "util/csv.hpp"
@@ -15,7 +16,19 @@ int main(int argc, char** argv) {
   using namespace ufc;
 
   traces::ScenarioConfig config;
-  if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 1) {
+    // strtoull would silently map garbage to 0 (and negative input to a
+    // huge wrapped seed); require an exact unsigned integer instead.
+    const std::string arg = argv[1];
+    const auto result =
+        std::from_chars(arg.data(), arg.data() + arg.size(), config.seed);
+    if (result.ec != std::errc() || result.ptr != arg.data() + arg.size()) {
+      std::cerr << "usage: example_geo_week [seed]\n"
+                   "  seed  unsigned integer scenario seed (got '"
+                << arg << "')\n";
+      return 2;
+    }
+  }
   std::cout << "Generating one-week scenario (seed " << config.seed
             << ") and solving 3 x " << config.hours << " slots...\n\n";
 

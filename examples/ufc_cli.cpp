@@ -1,6 +1,6 @@
 // ufc_cli — configuration-driven driver for the UFC library.
 //
-//   ./example_ufc_cli <command> [config.ini]
+//   ./example_ufc_cli <command> [config.ini] [--metrics <path>]
 //
 // Commands:
 //   solve       solve one slot and print the full breakdown per strategy
@@ -8,6 +8,11 @@
 //   sweep-price reproduce the Fig. 9 style p0 sweep
 //   sweep-tax   reproduce the Fig. 10 style carbon-tax sweep
 //   traces      dump the generated traces to CSV
+//
+// --metrics <path> writes a machine-readable run manifest (schema
+// ufc-run-v1, see docs/OBSERVABILITY.md): the scenario/solver configuration,
+// per-command results and the aggregated metrics registry. Attaching the
+// instrumentation never changes solver results — observers are read-only.
 //
 // All parameters default to the paper's setup and can be overridden from an
 // INI file, e.g.:
@@ -24,10 +29,15 @@
 //   slot = 64
 //   stride = 2
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "admm/options.hpp"
 #include "model/metrics.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics_observer.hpp"
+#include "sim/manifest.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "util/config.hpp"
@@ -39,6 +49,13 @@ namespace {
 
 using namespace ufc;
 
+/// The --metrics capture: commands record into the registry (through the
+/// observer seam) and add manifest sections; main() writes the file.
+struct MetricsCapture {
+  obs::MetricsRegistry registry;
+  obs::RunManifest manifest;
+};
+
 traces::ScenarioConfig scenario_from(const Config& config) {
   return traces::scenario_config_from(config);
 }
@@ -47,20 +64,26 @@ sim::SimulatorOptions simulator_from(const Config& config) {
   return sim::simulator_options_from(config);
 }
 
-int cmd_solve(const Config& config) {
+int cmd_solve(const Config& config, MetricsCapture* capture) {
   const auto scenario = traces::Scenario::generate(scenario_from(config));
   const int slot = config.get_int("simulate.slot", 64);
   const auto problem = scenario.problem_at(slot);
   // One slot, no simulation loop: bind the [solver] keys straight to
   // AdmgOptions, starting from the simulator's paper-scale defaults.
-  const auto admg =
-      admm::options_from_config(config, sim::SimulatorOptions{}.admg);
+  auto admg = admm::options_from_config(config, sim::SimulatorOptions{}.admg);
+  std::optional<obs::MetricsObserver> observer;
+  if (capture != nullptr) {
+    observer.emplace(capture->registry);
+    admg.observer = &*observer;
+    admg.profile_phases = true;
+  }
 
   std::cout << "Slot " << slot << " (" << problem.num_front_ends()
             << " front-ends, " << problem.num_datacenters()
             << " datacenters, total arrivals "
             << fixed(problem.total_arrivals(), 0) << " servers)\n\n";
 
+  obs::JsonValue strategies = obs::JsonValue::object();
   TablePrinter table({"Strategy", "UFC $", "energy $", "carbon $",
                       "latency ms", "fuel cell %", "CUE kg/kWh", "iters"});
   for (const auto strategy : admm::kAllStrategies) {
@@ -73,14 +96,30 @@ int cmd_solve(const Config& config) {
                    100.0 * b.utilization, idx.cue_kg_per_kwh,
                    static_cast<double>(report.iterations)},
                   2);
+    if (capture != nullptr)
+      strategies.set(admm::to_string(strategy), obs::solve_core_json(report));
   }
   table.print();
+  if (capture != nullptr) {
+    capture->manifest.set("command", obs::JsonValue("solve"));
+    capture->manifest.set("scenario",
+                          sim::scenario_config_json(scenario.config()));
+    capture->manifest.set("solver", sim::admg_options_json(admg));
+    capture->manifest.set("slot", obs::JsonValue(slot));
+    capture->manifest.set("strategies", std::move(strategies));
+  }
   return 0;
 }
 
-int cmd_simulate(const Config& config) {
+int cmd_simulate(const Config& config, MetricsCapture* capture) {
   const auto scenario = traces::Scenario::generate(scenario_from(config));
-  const auto options = simulator_from(config);
+  auto options = simulator_from(config);
+  std::optional<obs::MetricsObserver> observer;
+  if (capture != nullptr) {
+    observer.emplace(capture->registry);
+    options.admg.observer = &*observer;
+    options.admg.profile_phases = true;
+  }
   std::cout << "Simulating " << scenario.hours() << " hours (stride "
             << options.stride << ") x 3 strategies...\n\n";
   const auto cmp = sim::compare_strategies(scenario, options);
@@ -109,10 +148,29 @@ int cmd_simulate(const Config& config) {
              cmp.fuel_cell.slots[t].breakdown.ufc,
              cmp.hybrid.slots[t].breakdown.ufc});
   std::cout << "Per-slot series: " << csv.path() << "\n";
+  if (capture != nullptr) {
+    capture->manifest.set("command", obs::JsonValue("simulate"));
+    capture->manifest.set("scenario",
+                          sim::scenario_config_json(scenario.config()));
+    capture->manifest.set("simulator", sim::simulator_options_json(options));
+    obs::JsonValue weeks = obs::JsonValue::object();
+    weeks.set("grid", sim::week_result_json(cmp.grid));
+    weeks.set("fuel_cell", sim::week_result_json(cmp.fuel_cell));
+    weeks.set("hybrid", sim::week_result_json(cmp.hybrid));
+    capture->manifest.set("weeks", std::move(weeks));
+    obs::JsonValue improvements = obs::JsonValue::object();
+    improvements.set("hybrid_vs_grid_pct",
+                     obs::JsonValue(cmp.average_improvement_hg()));
+    improvements.set("hybrid_vs_fuel_cell_pct",
+                     obs::JsonValue(cmp.average_improvement_hf()));
+    improvements.set("fuel_cell_vs_grid_pct",
+                     obs::JsonValue(cmp.average_improvement_fg()));
+    capture->manifest.set("improvements", std::move(improvements));
+  }
   return 0;
 }
 
-int cmd_sweep(const Config& config, bool price_sweep) {
+int cmd_sweep(const Config& config, bool price_sweep, MetricsCapture* capture) {
   const auto base = scenario_from(config);
   auto options = simulator_from(config);
   if (!config.has("simulate.stride")) options.stride = 2;
@@ -124,9 +182,11 @@ int cmd_sweep(const Config& config, bool price_sweep) {
   for (int k = 0; k < steps; ++k)
     params.push_back(lo + (hi - lo) * k / std::max(1, steps - 1));
 
-  const auto points = price_sweep
-                          ? sim::sweep_fuel_cell_price(base, params, options)
-                          : sim::sweep_carbon_tax(base, params, options);
+  obs::MetricsRegistry* registry =
+      capture != nullptr ? &capture->registry : nullptr;
+  const auto points =
+      price_sweep ? sim::sweep_fuel_cell_price(base, params, options, registry)
+                  : sim::sweep_carbon_tax(base, params, options, registry);
   TablePrinter table({price_sweep ? "p0 ($/MWh)" : "tax ($/ton)",
                       "UFC improvement %", "utilization %"});
   for (const auto& point : points)
@@ -134,11 +194,23 @@ int cmd_sweep(const Config& config, bool price_sweep) {
                   {point.avg_improvement_pct, 100.0 * point.avg_utilization},
                   1);
   table.print();
+  if (capture != nullptr) {
+    capture->manifest.set(
+        "command", obs::JsonValue(price_sweep ? "sweep-price" : "sweep-tax"));
+    capture->manifest.set("scenario", sim::scenario_config_json(base));
+    capture->manifest.set("simulator", sim::simulator_options_json(options));
+    capture->manifest.set("points", sim::sweep_points_json(points));
+  }
   return 0;
 }
 
-int cmd_traces(const Config& config) {
+int cmd_traces(const Config& config, MetricsCapture* capture) {
   const auto scenario = traces::Scenario::generate(scenario_from(config));
+  if (capture != nullptr) {
+    capture->manifest.set("command", obs::JsonValue("traces"));
+    capture->manifest.set("scenario",
+                          sim::scenario_config_json(scenario.config()));
+  }
   const std::string csv_path = config.get_string("output.csv", "ufc_traces.csv");
   CsvWriter csv(csv_path,
                 {"hour", "workload", "price_calgary", "price_san_jose",
@@ -160,38 +232,71 @@ int cmd_traces(const Config& config) {
 
 int usage() {
   std::cout <<
-      "usage: ufc_cli <command> [config.ini]\n"
+      "usage: ufc_cli <command> [config.ini] [--metrics <path>]\n"
       "  solve        solve one slot, print per-strategy breakdowns\n"
       "  simulate     run the scenario horizon, compare strategies\n"
       "  sweep-price  sweep the fuel-cell price p0 (Fig. 9 style)\n"
       "  sweep-tax    sweep the carbon tax (Fig. 10 style)\n"
-      "  traces       dump generated traces to CSV\n";
+      "  traces       dump generated traces to CSV\n"
+      "  --metrics    write a ufc-run-v1 manifest (config, results, metrics)\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
+  // Split [config.ini] from the --metrics flag; the flag may appear anywhere
+  // after the command.
+  std::vector<std::string> positional;
+  std::string metrics_path;
+  for (int arg = 1; arg < argc; ++arg) {
+    const std::string token = argv[arg];
+    if (token == "--metrics") {
+      if (arg + 1 >= argc) {
+        std::cerr << "error: --metrics requires a path argument\n";
+        return 2;
+      }
+      metrics_path = argv[++arg];
+    } else {
+      positional.push_back(token);
+    }
+  }
+  if (positional.empty()) return usage();
+  const std::string command = positional[0];
   Config config;
-  if (argc > 2) {
+  if (positional.size() > 1) {
     try {
-      config = Config::load(argv[2]);
+      config = Config::load(positional[1]);
     } catch (const std::exception& error) {
       std::cerr << "error: " << error.what() << "\n";
       return 1;
     }
   }
+  std::optional<MetricsCapture> capture;
+  if (!metrics_path.empty()) capture.emplace();
+  MetricsCapture* capture_ptr = capture ? &*capture : nullptr;
+  int status = 2;
   try {
-    if (command == "solve") return cmd_solve(config);
-    if (command == "simulate") return cmd_simulate(config);
-    if (command == "sweep-price") return cmd_sweep(config, true);
-    if (command == "sweep-tax") return cmd_sweep(config, false);
-    if (command == "traces") return cmd_traces(config);
+    if (command == "solve")
+      status = cmd_solve(config, capture_ptr);
+    else if (command == "simulate")
+      status = cmd_simulate(config, capture_ptr);
+    else if (command == "sweep-price")
+      status = cmd_sweep(config, true, capture_ptr);
+    else if (command == "sweep-tax")
+      status = cmd_sweep(config, false, capture_ptr);
+    else if (command == "traces")
+      status = cmd_traces(config, capture_ptr);
+    else
+      return usage();
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
   }
-  return usage();
+  if (status == 0 && capture) {
+    capture->manifest.set_metrics(capture->registry);
+    capture->manifest.write(metrics_path);
+    std::cout << "Run manifest written to " << metrics_path << "\n";
+  }
+  return status;
 }

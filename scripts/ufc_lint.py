@@ -31,6 +31,14 @@ Rules (each documented in docs/STATIC_ANALYSIS.md):
                     may appear only in src/admm/engine.cpp; every other file
                     must call the shared correct_* helpers, so all four
                     drivers provably run the same prediction/correction loop.
+  obs-layering      The observability layer (src/obs) consumes solver results,
+                    never drives solves: it may include only obs/, util/,
+                    model/ headers and the dedicated result/telemetry seams
+                    (admm/solve_core.hpp, admm/telemetry.hpp,
+                    admm/watchdog.hpp, net/link_stats.hpp). Including a
+                    solver-driver header (admm/engine.hpp, admm/admg.hpp,
+                    net/bus.hpp, sim/...) from src/obs inverts the layering;
+                    domain adapters belong in src/sim/manifest.cpp.
 
 Suppressing a finding: append `// ufc-lint: allow(<rule>)` (with a reason!)
 to the offending line, or place it alone on the line above.
@@ -310,6 +318,46 @@ def check_engine_single_loop(rel: str, lines: list[str]) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: obs-layering
+# --------------------------------------------------------------------------
+# src/obs holds generic observability primitives (JSON, metrics, manifests).
+# It consumes solver *results* through deliberately small seam headers and
+# must never see driver machinery — otherwise metrics code can reach into a
+# solve and the bit-neutrality guarantee ("attaching observers changes
+# nothing") stops being checkable by layering alone. Adapters that need
+# AdmgOptions / Scenario / engine types live in src/sim/manifest.cpp.
+OBS_ALLOWED_PREFIXES = ("obs/", "util/", "model/")
+OBS_ALLOWED_HEADERS = {
+    "admm/solve_core.hpp",   # driver-independent result types
+    "admm/telemetry.hpp",    # IterationObserver / IterationSample seam
+    "admm/watchdog.hpp",     # WatchdogVerdict named in SolveCore
+    "net/link_stats.hpp",    # traffic counters, no bus machinery
+}
+PROJECT_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def check_obs_layering(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/obs/"):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        m = PROJECT_INCLUDE_RE.match(line)
+        if not m:
+            continue
+        header = m.group(1)
+        if header.startswith(OBS_ALLOWED_PREFIXES) or header in OBS_ALLOWED_HEADERS:
+            continue
+        if _suppressed(lines, i, "obs-layering"):
+            continue
+        findings.append(Finding(
+            rel, i + 1, "obs-layering",
+            f'src/obs must not include "{header}"; the observability layer '
+            "reads results through the seam headers only — put domain "
+            "adapters in src/sim/manifest.cpp"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: expects-guard
 # --------------------------------------------------------------------------
 # A public solver entry point is a free function declared at column 0 in a
@@ -406,6 +454,7 @@ RULES = {
     "no-alloc-in-step": (check_no_alloc_in_step, "no Mat/Vec construction inside the ADM-G step hot path"),
     "finite-iterate-guard": (check_finite_iterate_guard, "the engine iteration loop must consult SolverWatchdog::observe"),
     "engine-single-loop": (check_engine_single_loop, "GBS correction arithmetic only in src/admm/engine.cpp"),
+    "obs-layering": (check_obs_layering, "src/obs includes only seam headers, never solver drivers"),
     "expects-guard": (check_expects_guard, "solver entry points must use UFC_EXPECTS"),
 }
 
@@ -700,6 +749,41 @@ def self_test() -> int:
                    "}\n")
             findings = self.lint_source("src/net/agents.cpp", cpp)
             self.assertNotIn("engine-single-loop", self.rules_of(findings))
+
+        def test_obs_layering_driver_header_flagged(self):
+            cpp = '#include "admm/engine.hpp"\nint f();\n'
+            findings = self.lint_source("src/obs/manifest.cpp", cpp)
+            self.assertIn("obs-layering", self.rules_of(findings))
+
+        def test_obs_layering_sim_header_flagged(self):
+            cpp = '#include "sim/simulator.hpp"\nint f();\n'
+            findings = self.lint_source("src/obs/metrics.cpp", cpp)
+            self.assertIn("obs-layering", self.rules_of(findings))
+
+        def test_obs_layering_seam_headers_ok(self):
+            cpp = ('#include "admm/solve_core.hpp"\n'
+                   '#include "admm/telemetry.hpp"\n'
+                   '#include "net/link_stats.hpp"\n'
+                   '#include "obs/json.hpp"\n'
+                   '#include "util/contract.hpp"\n')
+            findings = self.lint_source("src/obs/manifest.cpp", cpp)
+            self.assertNotIn("obs-layering", self.rules_of(findings))
+
+        def test_obs_layering_system_includes_ignored(self):
+            cpp = "#include <vector>\n#include <string>\n"
+            findings = self.lint_source("src/obs/json.cpp", cpp)
+            self.assertNotIn("obs-layering", self.rules_of(findings))
+
+        def test_obs_layering_rule_scoped_to_obs(self):
+            cpp = '#include "admm/engine.hpp"\nint f();\n'
+            findings = self.lint_source("src/sim/manifest.cpp", cpp)
+            self.assertNotIn("obs-layering", self.rules_of(findings))
+
+        def test_obs_layering_suppressed(self):
+            cpp = ('// ufc-lint: allow(obs-layering)\n'
+                   '#include "net/bus.hpp"\nint f();\n')
+            findings = self.lint_source("src/obs/manifest.cpp", cpp)
+            self.assertNotIn("obs-layering", self.rules_of(findings))
 
         def test_expects_guard_missing(self):
             header = "#pragma once\nVec project_simplex(const Vec& v, double total);\n"

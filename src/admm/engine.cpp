@@ -219,6 +219,8 @@ void InProcessExecutor::reset() {
     ws.a_new.resize(m_);
   }
   chunk_change_.assign(pool_.thread_count(), 0.0);
+  chunk_predict_seconds_.assign(pool_.thread_count(), 0.0);
+  chunk_correct_seconds_.assign(pool_.thread_count(), 0.0);
 }
 
 double InProcessExecutor::balance_residual() const {
@@ -254,6 +256,18 @@ bool InProcessExecutor::is_converged() const {
 // iterate sequence is bit-identical for every thread count — and identical
 // to the message-passing runtime, which tests pin exactly.
 void InProcessExecutor::step(int /*iteration*/) {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_between = [](Clock::time_point from,
+                                  Clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  };
+  if (profile_) {
+    profile_last_ = PhaseProfile{};
+    std::fill(chunk_predict_seconds_.begin(), chunk_predict_seconds_.end(),
+              0.0);
+    std::fill(chunk_correct_seconds_.begin(), chunk_correct_seconds_.end(),
+              0.0);
+  }
   const double rho = options_.rho;
   const bool pin_mu = options_.pinning == BlockPinning::PinMu;
   const bool pin_nu = options_.pinning == BlockPinning::PinNu;
@@ -280,6 +294,8 @@ void InProcessExecutor::step(int /*iteration*/) {
   }
 
   // ---- Step 1.1: lambda predictions, one independent task per front-end.
+  const auto lambda_pass_started =
+      profile_ ? Clock::now() : Clock::time_point{};
   pool_.parallel_for_chunks(
       0, m_, [&](std::size_t begin, std::size_t end, std::size_t c) {
         BlockWorkspace& ws = scratch_[c].blocks;
@@ -308,6 +324,10 @@ void InProcessExecutor::step(int /*iteration*/) {
         }
       });
 
+  if (profile_)
+    profile_last_.lambda_pass_seconds =
+        seconds_between(lambda_pass_started, Clock::now());
+
   // ---- Steps 1.2-1.5 + step 2, fused per datacenter. Each column task
   // reads only iteration-k state of its own column (plus lambda~ and the
   // column-sum cache, both finalized above), so tasks are independent.
@@ -317,6 +337,8 @@ void InProcessExecutor::step(int /*iteration*/) {
         WorkerScratch& ws = scratch_[c];
         double change = 0.0;
         for (std::size_t j = begin; j < end; ++j) {
+          const auto column_started =
+              profile_ ? Clock::now() : Clock::time_point{};
           const double alpha = problem_.alpha_mw(j);
           const double beta = problem_.beta_mw(j);
           const double a_col_sum_k = a_col_sum_[j];
@@ -378,6 +400,15 @@ void InProcessExecutor::step(int /*iteration*/) {
           const double phi_tilde = update_phi(phi_[j], rho, alpha, beta,
                                               a_tilde_sum, mu_tilde, nu_tilde);
 
+          // Phase boundary: everything above is the prediction pass
+          // (steps 1.2-1.5), everything below the GBS correction. Clock
+          // reads only — the arithmetic is untouched.
+          const auto correction_started =
+              profile_ ? Clock::now() : Clock::time_point{};
+          if (profile_)
+            chunk_predict_seconds_[c] +=
+                seconds_between(column_started, correction_started);
+
           // Step 2 (or the plain-ADMM acceptance when gbs is off), applied
           // in the already-gathered column buffers, then scattered back.
           // Each variable's correction reads only its own old value, so
@@ -394,9 +425,21 @@ void InProcessExecutor::step(int /*iteration*/) {
               change, correct_sources(phi_[j], nu_[j], mu_[j], phi_tilde,
                                       nu_tilde, mu_tilde, beta, corr.delta_sum,
                                       eps, gbs, pin_mu, pin_nu));
+          if (profile_)
+            chunk_correct_seconds_[c] +=
+                seconds_between(correction_started, Clock::now());
         }
         chunk_change_[c] = change;
       });
+
+  if (profile_) {
+    // Summed worker-thread time (not wall time): chunks overlap, so the
+    // phase totals measure compute cost, comparable across thread counts.
+    for (const double s : chunk_predict_seconds_)
+      profile_last_.prediction_seconds += s;
+    for (const double s : chunk_correct_seconds_)
+      profile_last_.correction_seconds += s;
+  }
 
   // lambda is the first block: accepted as predicted. Swapping (instead of
   // moving) keeps lambda_tilde_'s storage for the next step; every row is
@@ -503,6 +546,11 @@ SolveCore AdmgEngine::solve(BlockExecutor& executor, int first_iteration) {
     core.watchdog_verdict = watchdog.verdict();
   }
   const bool sampling = options_.record_trace || options_.observer != nullptr;
+  // Phase profiles ride on observer samples, so profiling without an
+  // observer would only pay clock reads for data nobody sees.
+  const bool profiling =
+      options_.profile_phases && options_.observer != nullptr;
+  executor.set_phase_profiling(profiling);
   const int first = first_iteration;
   for (int k = first;
        !watchdog.tripped() && k < first + options_.max_iterations; ++k) {
@@ -525,7 +573,12 @@ SolveCore AdmgEngine::solve(BlockExecutor& executor, int first_iteration) {
       continue;
     }
     // One residual evaluation per iteration, shared by the trace, the
-    // observer and the convergence test (each is an O(MN) pass).
+    // observer and the convergence test (each is an O(MN) pass). The gate
+    // phase timer covers these passes — they are the per-iteration cost the
+    // convergence test imposes on top of the step itself.
+    const auto gate_started = profiling
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
     balance = executor.balance_residual();
     copy = executor.copy_residual();
     if (sampling) {
@@ -543,6 +596,15 @@ SolveCore AdmgEngine::solve(BlockExecutor& executor, int first_iteration) {
         sample.change = executor.last_change();
         sample.objective = objective;
         sample.wall_seconds = wall_seconds;
+        if (profiling) {
+          sample.has_phases = true;
+          if (const PhaseProfile* phases = executor.phase_profile())
+            sample.phases = *phases;
+          sample.phases.gate_seconds = std::chrono::duration<double>(
+                                           std::chrono::steady_clock::now() -
+                                           gate_started)
+                                           .count();
+        }
         options_.observer->on_iteration(sample);
       }
     }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "admm/blocks.hpp"
+#include "admm/solve_core.hpp"
 #include "admm/telemetry.hpp"
 #include "admm/watchdog.hpp"
 #include "model/breakdown.hpp"
@@ -89,31 +90,17 @@ struct AdmgOptions {
   /// Structured per-iteration telemetry hook (telemetry.hpp). Non-owning;
   /// must outlive the solve. Never influences the iterate.
   IterationObserver* observer = nullptr;
+  /// Measure per-phase wall time (lambda pass, source prediction, GBS
+  /// correction, convergence gate) each iteration and attach a PhaseProfile
+  /// to every observer sample. Only meaningful with an observer attached.
+  /// Profiling adds clock reads around existing code paths and never
+  /// reorders or alters arithmetic, so profiled solves stay bit-identical.
+  bool profile_phases = false;
 };
 
-/// Per-iteration diagnostics.
-struct AdmgTrace {
-  std::vector<double> balance_residual;  ///< max_j |alpha+beta*sum a-mu-nu|, MW.
-  std::vector<double> copy_residual;     ///< max_ij |a_ij - lambda_ij|, servers.
-  std::vector<double> objective;         ///< UFC at (lambda^k, mu^k).
-};
-
-/// The shared core of every solve report. AdmgReport, AsyncReport and
-/// net::DistributedReport all embed this, so callers read solution,
-/// convergence and trace fields the same way regardless of driver.
-struct SolveCore {
-  UfcSolution solution;
-  UfcBreakdown breakdown;       ///< Evaluated at the returned solution.
-  int iterations = 0;
-  bool converged = false;
-  double balance_residual = 0.0;  ///< Final scaled-residual inputs, raw units.
-  double copy_residual = 0.0;
-  /// Healthy unless the solve was cut short by the watchdog.
-  WatchdogVerdict watchdog_verdict = WatchdogVerdict::Healthy;
-  /// True when the returned solution came from the centralized fallback.
-  bool fallback_centralized = false;
-  AdmgTrace trace;
-};
+// AdmgTrace and SolveCore — the result types every driver's report embeds —
+// live in admm/solve_core.hpp so result consumers (notably src/obs) can
+// include them without the engine.
 
 /// The default workload normalization sigma: the mean arrival, floored at 1.
 double natural_workload_scale(const UfcProblem& problem);
@@ -191,6 +178,12 @@ class BlockExecutor {
     return true;
   }
 
+  /// Enables per-phase wall timing for subsequent steps. Executors without
+  /// phase timing ignore this (the engine still times the convergence gate).
+  virtual void set_phase_profiling(bool enabled) { (void)enabled; }
+  /// Phase timings of the last step; nullptr when unsupported or disabled.
+  virtual const PhaseProfile* phase_profile() const { return nullptr; }
+
   virtual double balance_residual() const = 0;
   virtual double copy_residual() const = 0;
   /// Largest per-variable movement of the last step.
@@ -220,6 +213,10 @@ class InProcessExecutor : public BlockExecutor {
   InProcessExecutor(const UfcProblem& problem, AdmgOptions options);
 
   void step(int iteration) override;
+  void set_phase_profiling(bool enabled) override { profile_ = enabled; }
+  const PhaseProfile* phase_profile() const override {
+    return profile_ ? &profile_last_ : nullptr;
+  }
   double balance_residual() const override;
   double copy_residual() const override;
   double last_change() const override { return last_change_; }
@@ -318,6 +315,15 @@ class InProcessExecutor : public BlockExecutor {
   Vec a_col_sum_;                      ///< Per-step cache of a^k column sums.
   std::vector<WorkerScratch> scratch_; ///< One per pool thread.
   std::vector<double> chunk_change_;   ///< Per-chunk last-change maxima.
+
+  // Phase profiling (set_phase_profiling). The fused datacenter pass splits
+  // its time per column into prediction vs correction, accumulated per chunk
+  // and summed in chunk order afterwards — deterministic bookkeeping around
+  // unchanged arithmetic.
+  bool profile_ = false;
+  PhaseProfile profile_last_;
+  std::vector<double> chunk_predict_seconds_;
+  std::vector<double> chunk_correct_seconds_;
 };
 
 /// The asynchronous-participation executor (extension bench §"async"): the

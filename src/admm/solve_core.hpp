@@ -1,0 +1,43 @@
+// The driver-independent solve result types.
+//
+// AdmgReport, AsyncReport and net::DistributedReport all embed SolveCore, so
+// callers read solution, convergence and trace fields the same way regardless
+// of driver. The structs live apart from engine.hpp so result consumers —
+// most importantly the observability layer in src/obs, which is lint-banned
+// from including solver-driver headers — can name them without pulling in the
+// iteration engine.
+#pragma once
+
+#include <vector>
+
+#include "admm/watchdog.hpp"
+#include "model/breakdown.hpp"
+#include "model/problem.hpp"
+
+namespace ufc::admm {
+
+/// Per-iteration diagnostics.
+struct AdmgTrace {
+  std::vector<double> balance_residual;  ///< max_j |alpha+beta*sum a-mu-nu|, MW.
+  std::vector<double> copy_residual;     ///< max_ij |a_ij - lambda_ij|, servers.
+  std::vector<double> objective;         ///< UFC at (lambda^k, mu^k).
+};
+
+/// The shared core of every solve report. AdmgReport, AsyncReport and
+/// net::DistributedReport all embed this, so callers read solution,
+/// convergence and trace fields the same way regardless of driver.
+struct SolveCore {
+  UfcSolution solution;
+  UfcBreakdown breakdown;       ///< Evaluated at the returned solution.
+  int iterations = 0;
+  bool converged = false;
+  double balance_residual = 0.0;  ///< Final scaled-residual inputs, raw units.
+  double copy_residual = 0.0;
+  /// Healthy unless the solve was cut short by the watchdog.
+  WatchdogVerdict watchdog_verdict = WatchdogVerdict::Healthy;
+  /// True when the returned solution came from the centralized fallback.
+  bool fallback_centralized = false;
+  AdmgTrace trace;
+};
+
+}  // namespace ufc::admm

@@ -18,7 +18,25 @@ class CsvWriter;
 
 namespace ufc::admm {
 
-struct SolveCore;  // engine.hpp
+struct SolveCore;  // solve_core.hpp
+
+/// Wall time one engine iteration spent in each algorithm phase, seconds on
+/// the monotonic clock. Filled only when AdmgOptions::profile_phases is set
+/// and the executor supports phase timing (the in-process executors do; the
+/// message-passing executor reports only the gate, which the engine times).
+/// Profiling adds clock reads around existing code and never reorders or
+/// alters arithmetic, so profiled solves stay bit-identical.
+struct PhaseProfile {
+  double lambda_pass_seconds = 0.0;  ///< Per-front-end lambda predictions.
+  double prediction_seconds = 0.0;   ///< mu/nu/a solves + dual updates.
+  double correction_seconds = 0.0;   ///< Gaussian back substitution.
+  double gate_seconds = 0.0;         ///< Residual/objective convergence gate.
+
+  double total_seconds() const {
+    return lambda_pass_seconds + prediction_seconds + correction_seconds +
+           gate_seconds;
+  }
+};
 
 /// One engine iteration as the observer sees it. Residuals and change are in
 /// raw (unscaled) units, matching AdmgTrace; `iteration` is the engine's
@@ -31,6 +49,8 @@ struct IterationSample {
   double change = 0.0;            ///< Largest per-variable movement of the step.
   double objective = 0.0;         ///< UFC at the current (lambda, mu).
   double wall_seconds = 0.0;      ///< Wall time spent inside the step.
+  bool has_phases = false;        ///< True when `phases` holds measurements.
+  PhaseProfile phases;            ///< Valid only when has_phases.
 };
 
 /// Engine telemetry hook. Observers never see (and can never influence) the

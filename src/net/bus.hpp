@@ -27,20 +27,11 @@
 #include <vector>
 
 #include "net/faults.hpp"
+#include "net/link_stats.hpp"
 #include "net/message.hpp"
 #include "util/rng.hpp"
 
 namespace ufc::net {
-
-struct LinkStats {
-  std::uint64_t messages = 0;           ///< Successful transmissions.
-  std::uint64_t bytes = 0;              ///< All attempts, including drops.
-  std::uint64_t retransmissions = 0;    ///< Failed attempts (loss/partition).
-  std::uint64_t delivery_failures = 0;  ///< Attempt cap exhausted.
-  std::uint64_t corrupted = 0;          ///< Frames discarded by integrity check.
-  std::uint64_t delayed = 0;            ///< Deliveries deferred >= 1 round.
-  std::uint64_t backoff_rounds = 0;     ///< Sum of exponential retry backoffs.
-};
 
 /// What became of one send() call.
 enum class SendOutcome {

@@ -1,0 +1,20 @@
+// Per-link delivery accounting, shared by the message bus (which fills it)
+// and the observability layer (which reads it). Lives apart from bus.hpp so
+// src/obs can consume traffic counters without including the bus machinery.
+#pragma once
+
+#include <cstdint>
+
+namespace ufc::net {
+
+struct LinkStats {
+  std::uint64_t messages = 0;           ///< Successful transmissions.
+  std::uint64_t bytes = 0;              ///< All attempts, including drops.
+  std::uint64_t retransmissions = 0;    ///< Failed attempts (loss/partition).
+  std::uint64_t delivery_failures = 0;  ///< Attempt cap exhausted.
+  std::uint64_t corrupted = 0;          ///< Frames discarded by integrity check.
+  std::uint64_t delayed = 0;            ///< Deliveries deferred >= 1 round.
+  std::uint64_t backoff_rounds = 0;     ///< Sum of exponential retry backoffs.
+};
+
+}  // namespace ufc::net

@@ -1,0 +1,430 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contract.hpp"
+
+namespace ufc::obs {
+
+namespace {
+
+// Pinned non-finite encoding, shared with util/csv.cpp.
+constexpr const char* kNan = "nan";
+constexpr const char* kInf = "inf";
+constexpr const char* kNegInf = "-inf";
+
+std::string format_double(double value) {
+  std::array<char, 32> buffer{};
+  const auto result =
+      std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+  UFC_ENSURES(result.ec == std::errc());
+  return std::string(buffer.data(), result.ptr);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buffer{};
+          const auto code = static_cast<unsigned char>(c);
+          std::snprintf(buffer.data(), buffer.size(), "\\u%04x",
+                        static_cast<unsigned int>(code));
+          out += buffer.data();
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    const JsonValue value = parse_value();
+    skip_whitespace();
+    UFC_EXPECTS(pos_ == text_.size());  // No trailing garbage.
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    UFC_EXPECTS(pos_ < text_.size());  // Unexpected end of JSON input.
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    UFC_EXPECTS(pos_ < text_.size() && text_[pos_] == c);
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t length = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, length, literal) != 0) return false;
+    pos_ += length;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        UFC_EXPECTS(consume_literal("true"));
+        return JsonValue(true);
+      case 'f':
+        UFC_EXPECTS(consume_literal("false"));
+        return JsonValue(false);
+      case 'n':
+        UFC_EXPECTS(consume_literal("null"));
+        return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue object = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(key, parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return object;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue array = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return array;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      UFC_EXPECTS(pos_ < text_.size());  // Unterminated string.
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      UFC_EXPECTS(pos_ < text_.size());
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: UFC_EXPECTS(false);  // Invalid escape.
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    UFC_EXPECTS(pos_ + 4 <= text_.size());
+    unsigned int code = 0;
+    const auto result =
+        std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+    UFC_EXPECTS(result.ec == std::errc() &&
+                result.ptr == text_.data() + pos_ + 4);
+    pos_ += 4;
+    // BMP-only decoding (we never emit escapes above U+001F ourselves);
+    // surrogate pairs are rejected rather than silently mangled.
+    UFC_EXPECTS(code < 0xD800 || code > 0xDFFF);
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    UFC_EXPECTS(pos_ > start);  // Not a number.
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (integral) {
+      std::int64_t value = 0;
+      const auto result = std::from_chars(first, last, value);
+      if (result.ec == std::errc() && result.ptr == last)
+        return JsonValue(value);
+    }
+    double value = 0.0;
+    const auto result = std::from_chars(first, last, value);
+    UFC_EXPECTS(result.ec == std::errc() && result.ptr == last);
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue::JsonValue(std::uint64_t value) : type_(Type::Int) {
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  UFC_EXPECTS(value <= static_cast<std::uint64_t>(kMax));
+  int_ = static_cast<std::int64_t>(value);
+}
+
+JsonValue JsonValue::array() {
+  JsonValue value;
+  value.type_ = Type::Array;
+  return value;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue value;
+  value.type_ = Type::Object;
+  return value;
+}
+
+bool JsonValue::as_bool() const {
+  UFC_EXPECTS(type_ == Type::Bool);
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  UFC_EXPECTS(type_ == Type::Int);
+  return int_;
+}
+
+double JsonValue::as_double() const {
+  UFC_EXPECTS(is_number());
+  return type_ == Type::Int ? static_cast<double>(int_) : double_;
+}
+
+const std::string& JsonValue::as_string() const {
+  UFC_EXPECTS(type_ == Type::String);
+  return string_;
+}
+
+void JsonValue::push_back(JsonValue value) {
+  if (type_ == Type::Null) type_ = Type::Array;
+  UFC_EXPECTS(type_ == Type::Array);
+  array_.push_back(std::move(value));
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  UFC_EXPECTS(type_ == Type::Array);
+  return array_;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  UFC_EXPECTS(type_ == Type::Array && index < array_.size());
+  return array_[index];
+}
+
+void JsonValue::set(const std::string& key, JsonValue value) {
+  if (type_ == Type::Null) type_ = Type::Object;
+  UFC_EXPECTS(type_ == Type::Object);
+  for (auto& [existing_key, existing_value] : object_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [existing_key, existing_value] : object_)
+    if (existing_key == key) return &existing_value;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  UFC_EXPECTS(value != nullptr);
+  return *value;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  UFC_EXPECTS(type_ == Type::Object);
+  return object_;
+}
+
+std::size_t JsonValue::size() const {
+  UFC_EXPECTS(type_ == Type::Array || type_ == Type::Object);
+  return type_ == Type::Array ? array_.size() : object_.size();
+}
+
+namespace {
+
+void dump_value(const JsonValue& value, std::string& out, int indent,
+                int depth) {
+  const auto newline_indent = [&](int level) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(
+        static_cast<std::size_t>(indent) * static_cast<std::size_t>(level),
+        ' ');
+  };
+  switch (value.type()) {
+    case JsonValue::Type::Null: out += "null"; break;
+    case JsonValue::Type::Bool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Type::Int: out += std::to_string(value.as_int()); break;
+    case JsonValue::Type::Double: {
+      const double x = value.as_double();
+      if (std::isnan(x)) {
+        append_escaped(out, kNan);
+      } else if (std::isinf(x)) {
+        append_escaped(out, x > 0.0 ? kInf : kNegInf);
+      } else {
+        out += format_double(x);
+      }
+      break;
+    }
+    case JsonValue::Type::String: append_escaped(out, value.as_string()); break;
+    case JsonValue::Type::Array: {
+      if (value.size() == 0) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_indent(depth + 1);
+        dump_value(item, out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Type::Object: {
+      if (value.size() == 0) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_indent(depth + 1);
+        append_escaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        dump_value(member, out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+JsonValue read_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_json_file: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return JsonValue::parse(text.str());
+}
+
+void write_json_file(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_json_file: cannot open " + path);
+  out << value.dump() << "\n";
+}
+
+}  // namespace ufc::obs

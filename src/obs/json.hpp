@@ -1,0 +1,94 @@
+// Minimal JSON document model for the observability layer: run manifests,
+// bench artifacts and metrics snapshots.
+//
+// Emission is deterministic — objects keep insertion order, numbers use
+// shortest-round-trip formatting — so artifacts diff cleanly across runs.
+// JSON has no literals for non-finite doubles; we pin the same encoding the
+// CSV layer uses (util/csv.hpp) and emit them as the strings "nan", "inf"
+// and "-inf". The parser accepts exactly what dump() produces plus ordinary
+// interchange JSON; malformed input throws ufc::ContractViolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ufc::obs {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default;  ///< null
+  JsonValue(bool value) : type_(Type::Bool), bool_(value) {}
+  JsonValue(int value) : type_(Type::Int), int_(value) {}
+  JsonValue(std::int64_t value) : type_(Type::Int), int_(value) {}
+  JsonValue(std::uint64_t value);  ///< Throws if it does not fit in int64.
+  JsonValue(double value) : type_(Type::Double), double_(value) {}
+  JsonValue(const char* value) : type_(Type::String), string_(value) {}
+  JsonValue(std::string value)
+      : type_(Type::String), string_(std::move(value)) {}
+
+  static JsonValue array();
+  static JsonValue object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_int() const { return type_ == Type::Int; }
+  bool is_number() const { return type_ == Type::Int || type_ == Type::Double; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  // Typed accessors; the wrong type throws ufc::ContractViolation.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  ///< Accepts Int and Double.
+  const std::string& as_string() const;
+
+  // --- Arrays -------------------------------------------------------------
+  /// Appends to an array (a null promotes to an empty array first).
+  void push_back(JsonValue value);
+  const std::vector<JsonValue>& items() const;
+  /// Element access with bounds contract.
+  const JsonValue& at(std::size_t index) const;
+
+  // --- Objects ------------------------------------------------------------
+  /// Sets a key (a null promotes to an empty object first). Replaces an
+  /// existing key in place, otherwise appends — insertion order is kept.
+  void set(const std::string& key, JsonValue value);
+  /// Key lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Key access with presence contract.
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  std::size_t size() const;  ///< Array or object element count.
+
+  /// Serializes the document. indent > 0 pretty-prints with that many spaces
+  /// per level; indent == 0 produces a single line.
+  std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document (trailing garbage throws).
+  static JsonValue parse(const std::string& text);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Reads and parses a JSON file; a missing file throws std::runtime_error.
+JsonValue read_json_file(const std::string& path);
+
+/// Writes `value.dump()` plus a trailing newline to `path` (replacing it).
+void write_json_file(const std::string& path, const JsonValue& value);
+
+}  // namespace ufc::obs

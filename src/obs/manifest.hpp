@@ -1,0 +1,66 @@
+// Machine-readable run artifacts:
+//
+//   RunManifest            one JSON document per run ("ufc-run-v1"): what was
+//                          configured, what the solver did, what it cost.
+//                          Written by the CLI (--metrics) and examples.
+//   update_bench_artifact  the bench harness's BENCH_ufc.json ("ufc-bench-v1"):
+//                          a named-entry list that benches update in place, so
+//                          successive bench runs accumulate one machine-
+//                          readable results file.
+//
+// Both schemas are validated by scripts/check_bench_json.py (registered in
+// ctest and run by CI's bench-smoke job).
+#pragma once
+
+#include <string>
+
+#include "admm/solve_core.hpp"
+#include "net/link_stats.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace ufc::obs {
+
+inline constexpr const char* kRunManifestSchema = "ufc-run-v1";
+inline constexpr const char* kBenchArtifactSchema = "ufc-bench-v1";
+
+/// Builder for the per-run manifest. Sections are ordered by insertion, so a
+/// manifest diffs cleanly against the previous run's.
+class RunManifest {
+ public:
+  RunManifest();  ///< Starts with {"schema": "ufc-run-v1"}.
+
+  /// Sets a top-level section (replacing it if already present).
+  void set(const std::string& key, JsonValue value);
+  /// Shorthand for set("metrics", registry.to_json()).
+  void set_metrics(const MetricsRegistry& registry);
+
+  const JsonValue& json() const { return document_; }
+  std::string dump() const { return document_.dump(); }
+  void write(const std::string& path) const;
+
+  /// Parses a manifest back; a wrong or missing schema marker throws
+  /// ufc::ContractViolation.
+  static RunManifest read(const std::string& path);
+
+ private:
+  JsonValue document_;
+};
+
+/// The solver result core as a JSON section: iterations, convergence,
+/// residuals, watchdog verdict and the UFC breakdown. The trace is
+/// summarized by its length, not embedded (traces go to CSV).
+JsonValue solve_core_json(const admm::SolveCore& core);
+
+/// Bus traffic counters as a JSON section.
+JsonValue link_stats_json(const net::LinkStats& stats);
+
+/// Loads `path` (creating the document if missing or empty), replaces or
+/// appends the entry named `name` in its "benchmarks" array, and writes the
+/// file back. Entries are {"name": ..., "metrics": {...}}; an existing file
+/// with the wrong schema throws ufc::ContractViolation rather than being
+/// clobbered.
+void update_bench_artifact(const std::string& path, const std::string& name,
+                           JsonValue metrics);
+
+}  // namespace ufc::obs

@@ -1,0 +1,128 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace ufc::obs {
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)),
+      counts_(boundaries_.size() + 1, 0) {
+  UFC_EXPECTS(!boundaries_.empty());
+  UFC_EXPECTS(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+  UFC_EXPECTS(std::adjacent_find(boundaries_.begin(), boundaries_.end()) ==
+              boundaries_.end());  // Strictly increasing.
+  for (const double b : boundaries_) UFC_EXPECTS(std::isfinite(b));
+}
+
+void Histogram::observe(double value) {
+  UFC_EXPECTS(std::isfinite(value));
+  const auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+  counts_[static_cast<std::size_t>(it - boundaries_.begin())] += 1;
+  count_ += 1;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  UFC_EXPECTS(boundaries_ == other.boundaries_);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  UFC_EXPECTS(gauges_.count(name) == 0 && histograms_.count(name) == 0);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  UFC_EXPECTS(counters_.count(name) == 0 && histograms_.count(name) == 0);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& boundaries) {
+  UFC_EXPECTS(counters_.count(name) == 0 && gauges_.count(name) == 0);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    UFC_EXPECTS(it->second.boundaries() == boundaries);
+    return it->second;
+  }
+  return histograms_.emplace(name, Histogram(boundaries)).first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, other_counter] : other.counters_)
+    counter(name).merge(other_counter);
+  for (const auto& [name, other_gauge] : other.gauges_)
+    gauge(name).merge(other_gauge);
+  for (const auto& [name, other_histogram] : other.histograms_)
+    histogram(name, other_histogram.boundaries()).merge(other_histogram);
+}
+
+std::size_t MetricsRegistry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  JsonValue out = JsonValue::object();
+  if (!counters_.empty()) {
+    JsonValue section = JsonValue::object();
+    for (const auto& [name, instrument] : counters_)
+      section.set(name, JsonValue(instrument.value()));
+    out.set("counters", std::move(section));
+  }
+  if (!gauges_.empty()) {
+    JsonValue section = JsonValue::object();
+    for (const auto& [name, instrument] : gauges_)
+      section.set(name, JsonValue(instrument.value()));
+    out.set("gauges", std::move(section));
+  }
+  if (!histograms_.empty()) {
+    JsonValue section = JsonValue::object();
+    for (const auto& [name, instrument] : histograms_) {
+      JsonValue h = JsonValue::object();
+      JsonValue boundaries = JsonValue::array();
+      for (const double b : instrument.boundaries())
+        boundaries.push_back(JsonValue(b));
+      JsonValue counts = JsonValue::array();
+      for (const std::uint64_t c : instrument.bucket_counts())
+        counts.push_back(JsonValue(c));
+      h.set("boundaries", std::move(boundaries));
+      h.set("bucket_counts", std::move(counts));
+      h.set("count", JsonValue(instrument.count()));
+      h.set("sum", JsonValue(instrument.sum()));
+      section.set(name, std::move(h));
+    }
+    out.set("histograms", std::move(section));
+  }
+  return out;
+}
+
+const std::vector<double>& default_time_boundaries() {
+  static const std::vector<double> boundaries = {1e-6, 1e-5, 1e-4, 1e-3,
+                                                 1e-2, 1e-1, 1.0,  10.0};
+  return boundaries;
+}
+
+}  // namespace ufc::obs

@@ -1,0 +1,112 @@
+// The metrics registry: named counters, gauges and fixed-boundary histograms.
+//
+// Design constraints, in order:
+//  1. Deterministic aggregation. sim::sweep solves points on a thread pool;
+//     each worker records into its own registry and the results are merged
+//     serially in slot order, so the aggregate is bit-identical run to run.
+//     Every instrument is therefore mergeable: counters add, histograms add
+//     bucket-wise, gauges keep the merged-in value (last writer wins).
+//  2. Deterministic emission. Instruments live in a std::map keyed by name,
+//     so snapshots serialize in sorted order regardless of creation order.
+//  3. No global state. A registry is an ordinary value owned by whoever is
+//     aggregating (a bench, the CLI, a sweep slot) — tests never fight over
+//     a singleton.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ufc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void merge(const Counter& other) { value_ += other.value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value of some level (a residual, a config knob, a size).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+  /// Last writer wins: merging adopts `other`'s value. Merge order is the
+  /// caller's contract (sweep merges in slot order).
+  void merge(const Gauge& other) { value_ = other.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-boundary histogram: boundaries [b0 < b1 < ... < bk] define buckets
+/// (-inf, b0], (b0, b1], ..., (bk, +inf). Boundaries are fixed at creation so
+/// two histograms of the same name are always bucket-compatible and merge by
+/// bucket-wise addition.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries);
+
+  void observe(double value);
+  void merge(const Histogram& other);  ///< Boundaries must match exactly.
+
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::uint64_t> counts_;  ///< boundaries_.size() + 1 buckets.
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named instrument. Names are dotted paths
+  /// ("solver.iterations"); re-requesting a name returns the same instrument,
+  /// and requesting it as a different kind throws ufc::ContractViolation.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// For an existing histogram the boundaries must match its creation
+  /// boundaries (contract-checked), keeping merges well-defined.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& boundaries);
+
+  /// Lookup without creation; nullptr when absent or a different kind.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Merges every instrument of `other` into this registry (creating missing
+  /// ones). Same-name instruments must be the same kind with compatible
+  /// boundaries. Deterministic given a deterministic merge order.
+  void merge(const MetricsRegistry& other);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Snapshot as an ordered JSON object:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// with instruments sorted by name. Empty sections are omitted.
+  JsonValue to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The standard latency-style boundaries used by the solver phase timers,
+/// in seconds: 1us .. 10s in decade steps {1e-6, 1e-5, ..., 10}.
+const std::vector<double>& default_time_boundaries();
+
+}  // namespace ufc::obs

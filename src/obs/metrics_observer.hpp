@@ -1,0 +1,54 @@
+// Bridges the engine's IterationObserver seam into a MetricsRegistry.
+//
+// MetricsObserver is pure telemetry: it reads samples and report cores and
+// writes instruments — it can never influence the iterate, so solves with it
+// attached stay bit-identical (pinned by tests/admm/test_engine.cpp).
+//
+// src/obs is lint-banned from including solver-driver headers; everything
+// here depends only on the telemetry seam (admm/telemetry.hpp), the shared
+// result types (admm/solve_core.hpp) and the traffic counters
+// (net/link_stats.hpp).
+#pragma once
+
+#include <string>
+
+#include "admm/telemetry.hpp"
+#include "net/link_stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace ufc::obs {
+
+/// Records every iteration and solve into a registry under `prefix`:
+///
+///   counters    <prefix>.iterations, <prefix>.solves,
+///               <prefix>.converged_solves, <prefix>.fallback_solves,
+///               <prefix>.watchdog_trips
+///   gauges      <prefix>.last.iterations, <prefix>.last.balance_residual,
+///               <prefix>.last.copy_residual, <prefix>.last.objective
+///   histograms  <prefix>.iteration_seconds and, when phase profiling is on
+///               (AdmgOptions::profile_phases), <prefix>.phase.{lambda_pass,
+///               prediction,correction,gate}_seconds — all on
+///               default_time_boundaries(), so same-name registries merge.
+class MetricsObserver : public admm::IterationObserver {
+ public:
+  /// `registry` is non-owning and must outlive the observer.
+  explicit MetricsObserver(MetricsRegistry& registry,
+                           std::string prefix = "solver");
+
+  void on_iteration(const admm::IterationSample& sample) override;
+  void on_solve_end(const admm::SolveCore& core) override;
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  MetricsRegistry& registry_;
+  std::string prefix_;
+};
+
+/// Records bus traffic counters under `prefix`: <prefix>.messages, .bytes,
+/// .retransmissions, .delivery_failures, .corrupted, .delayed,
+/// .backoff_rounds.
+void record_link_stats(MetricsRegistry& registry, const net::LinkStats& stats,
+                       const std::string& prefix = "net");
+
+}  // namespace ufc::obs

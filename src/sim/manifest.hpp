@@ -1,0 +1,37 @@
+// Domain adapters between the simulation/solver layers and the generic run
+// manifest (obs/manifest.hpp).
+//
+// src/obs is deliberately ignorant of solver options and scenario configs —
+// the lint rule obs-no-solver-include enforces that — so the JSON snapshots
+// of those types live here, where both sides are visible. Everything emitted
+// is a plain value snapshot: writing a manifest never influences a solve.
+#pragma once
+
+#include <span>
+
+#include "admm/engine.hpp"
+#include "obs/json.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "traces/scenario.hpp"
+
+namespace ufc::sim {
+
+/// AdmgOptions snapshot: every numeric/boolean knob (observer pointers and
+/// watchdog wiring are runtime state, not configuration, and are omitted).
+obs::JsonValue admg_options_json(const admm::AdmgOptions& options);
+
+/// ScenarioConfig snapshot, including the seed that fixes every trace.
+obs::JsonValue scenario_config_json(const traces::ScenarioConfig& config);
+
+/// SimulatorOptions snapshot (embeds the solver snapshot).
+obs::JsonValue simulator_options_json(const SimulatorOptions& options);
+
+/// Week totals plus per-slot convergence/iteration statistics.
+obs::JsonValue week_result_json(const WeekResult& week);
+
+/// Sweep curve as an array of {parameter, avg_improvement_pct,
+/// avg_utilization} points.
+obs::JsonValue sweep_points_json(std::span<const SweepPoint> points);
+
+}  // namespace ufc::sim

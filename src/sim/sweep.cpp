@@ -1,5 +1,8 @@
 #include "sim/sweep.hpp"
 
+#include <optional>
+
+#include "obs/metrics_observer.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -28,39 +31,62 @@ SweepPoint run_point(const traces::ScenarioConfig& config, double parameter,
   return point;
 }
 
+/// Shared sweep driver: runs every point in the pool, each recording into
+/// its own registry slot; the slots merge into `metrics` serially in point
+/// order afterwards, so the aggregate is deterministic regardless of how
+/// the pool scheduled the points.
+template <typename ConfigurePoint>
+std::vector<SweepPoint> run_sweep(std::span<const double> parameters,
+                                  const SimulatorOptions& options,
+                                  obs::MetricsRegistry* metrics,
+                                  ConfigurePoint configure_point) {
+  std::vector<SweepPoint> points(parameters.size());
+  std::vector<obs::MetricsRegistry> point_metrics(
+      metrics != nullptr ? parameters.size() : 0);
+  util::ThreadPool pool(util::resolve_thread_count(options.admg.threads));
+  pool.parallel_for(0, parameters.size(), [&](std::size_t k) {
+    SimulatorOptions point_options = options;
+    std::optional<obs::MetricsObserver> observer;
+    if (metrics != nullptr) {
+      observer.emplace(point_metrics[k]);
+      point_options.admg.observer = &*observer;
+    }
+    points[k] =
+        run_point(configure_point(parameters[k]), parameters[k], point_options);
+  });
+  if (metrics != nullptr)
+    for (const obs::MetricsRegistry& slot : point_metrics) metrics->merge(slot);
+  return points;
+}
+
 }  // namespace
 
 std::vector<SweepPoint> sweep_fuel_cell_price(
     const traces::ScenarioConfig& base, std::span<const double> prices,
-    const SimulatorOptions& options) {
+    const SimulatorOptions& options, obs::MetricsRegistry* metrics) {
   UFC_EXPECTS(!prices.empty());
   for (double p0 : prices) UFC_EXPECTS(p0 >= 0.0);
   // Sweep points are fully independent (each regenerates its own scenario),
   // so they share the solver's thread knob; every point writes only its own
   // slot, keeping results identical to the serial sweep.
-  std::vector<SweepPoint> points(prices.size());
-  util::ThreadPool pool(util::resolve_thread_count(options.admg.threads));
-  pool.parallel_for(0, prices.size(), [&](std::size_t k) {
+  return run_sweep(prices, options, metrics, [&](double p0) {
     traces::ScenarioConfig config = base;
-    config.fuel_cell_price = prices[k];
-    points[k] = run_point(config, prices[k], options);
+    config.fuel_cell_price = p0;
+    return config;
   });
-  return points;
 }
 
 std::vector<SweepPoint> sweep_carbon_tax(const traces::ScenarioConfig& base,
                                          std::span<const double> taxes,
-                                         const SimulatorOptions& options) {
+                                         const SimulatorOptions& options,
+                                         obs::MetricsRegistry* metrics) {
   UFC_EXPECTS(!taxes.empty());
   for (double tax : taxes) UFC_EXPECTS(tax >= 0.0);
-  std::vector<SweepPoint> points(taxes.size());
-  util::ThreadPool pool(util::resolve_thread_count(options.admg.threads));
-  pool.parallel_for(0, taxes.size(), [&](std::size_t k) {
+  return run_sweep(taxes, options, metrics, [&](double tax) {
     traces::ScenarioConfig config = base;
-    config.carbon_tax = taxes[k];
-    points[k] = run_point(config, taxes[k], options);
+    config.carbon_tax = tax;
+    return config;
   });
-  return points;
 }
 
 }  // namespace ufc::sim

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace ufc::sim {
@@ -21,13 +22,22 @@ struct SweepPoint {
 };
 
 /// Sweeps the fuel-cell generation price p0 (Fig. 9).
+///
+/// When `metrics` is non-null, every solve of every sweep point is recorded
+/// through a MetricsObserver into a per-point registry; the registries are
+/// merged into `metrics` serially in point order after the parallel loop, so
+/// the aggregate is identical no matter how the pool interleaved the points.
+/// Attaching metrics never changes the sweep results (the observer seam is
+/// read-only).
 std::vector<SweepPoint> sweep_fuel_cell_price(
     const traces::ScenarioConfig& base, std::span<const double> prices,
-    const SimulatorOptions& options = {});
+    const SimulatorOptions& options = {},
+    obs::MetricsRegistry* metrics = nullptr);
 
-/// Sweeps the carbon tax rate r (Fig. 10).
-std::vector<SweepPoint> sweep_carbon_tax(const traces::ScenarioConfig& base,
-                                         std::span<const double> taxes,
-                                         const SimulatorOptions& options = {});
+/// Sweeps the carbon tax rate r (Fig. 10). Metrics as above.
+std::vector<SweepPoint> sweep_carbon_tax(
+    const traces::ScenarioConfig& base, std::span<const double> taxes,
+    const SimulatorOptions& options = {},
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace ufc::sim

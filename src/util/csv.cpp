@@ -1,12 +1,27 @@
 #include "util/csv.hpp"
 
 #include <charconv>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/contract.hpp"
 
 namespace ufc {
+
+// Non-finite cells use one pinned spelling on both sides of the round trip:
+// "nan", "inf", "-inf". std::to_chars/from_chars happen to agree on these on
+// libstdc++, but the standard leaves non-finite parsing implementation-
+// divergent (MSVC's from_chars rejects them outright), and to_chars emits
+// "-nan" for negative NaNs which would then depend on the sign bit of an
+// unspecified payload. Encoding explicitly keeps every CsvWriter output —
+// including a diverged solver trace full of NaNs — readable by parse_csv.
+namespace {
+constexpr const char* kNanCell = "nan";
+constexpr const char* kInfCell = "inf";
+constexpr const char* kNegInfCell = "-inf";
+}  // namespace
 
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
@@ -20,6 +35,8 @@ std::string csv_escape(const std::string& cell) {
 }
 
 std::string csv_number(double value) {
+  if (std::isnan(value)) return kNanCell;  // NaN sign/payload not preserved
+  if (std::isinf(value)) return value > 0.0 ? kInfCell : kNegInfCell;
   char buf[64];
   const auto res = std::to_chars(buf, buf + sizeof(buf), value);
   return std::string(buf, res.ptr);
@@ -92,11 +109,19 @@ std::vector<std::string> split_record(const std::string& line) {
 }
 
 double parse_number(const std::string& cell) {
+  // The pinned non-finite spellings (see csv_number) parse explicitly...
+  if (cell == kNanCell) return std::numeric_limits<double>::quiet_NaN();
+  if (cell == kInfCell) return std::numeric_limits<double>::infinity();
+  if (cell == kNegInfCell) return -std::numeric_limits<double>::infinity();
   double value = 0.0;
   const auto* begin = cell.data();
   const auto* end = begin + cell.size();
   const auto result = std::from_chars(begin, end, value);
   UFC_EXPECTS(result.ec == std::errc() && result.ptr == end);
+  // ...and every other spelling ("NaN", "Infinity", hex payloads) is
+  // rejected even where the platform's from_chars would accept it, so a
+  // table either parses identically everywhere or fails loudly.
+  UFC_EXPECTS(std::isfinite(value));
   return value;
 }
 

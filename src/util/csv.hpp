@@ -1,7 +1,10 @@
 // CSV output for benchmark series (one file per figure/table).
 //
 // Values are written with full round-trip precision; strings containing
-// commas, quotes or newlines are quoted per RFC 4180.
+// commas, quotes or newlines are quoted per RFC 4180. Non-finite values use
+// the pinned spellings "nan" / "inf" / "-inf", which parse_csv accepts (and
+// it accepts only these), so every file a CsvWriter emits — including a
+// diverged solver trace — reads back through read_csv on every platform.
 #pragma once
 
 #include <fstream>
@@ -39,7 +42,9 @@ class CsvWriter {
 /// Escapes a single CSV cell per RFC 4180 (quote if it contains , " or \n).
 std::string csv_escape(const std::string& cell);
 
-/// Formats a double with shortest round-trip representation.
+/// Formats a double with shortest round-trip representation. Non-finite
+/// values become "nan" / "inf" / "-inf" (NaN sign and payload are not
+/// preserved), the only non-finite spellings parse_csv accepts.
 std::string csv_number(double value);
 
 /// A parsed CSV file: one header row plus numeric data rows.
@@ -56,7 +61,10 @@ struct CsvTable {
 };
 
 /// Parses CSV text: quoted cells per RFC 4180, numeric data cells, equal
-/// row lengths. Throws ContractViolation on malformed input.
+/// row lengths. Throws ContractViolation on malformed input. Data cells are
+/// finite numbers or the pinned non-finite spellings "nan"/"inf"/"-inf";
+/// any other non-finite spelling is rejected even where the platform's
+/// number parser would accept it.
 CsvTable parse_csv(const std::string& text);
 
 /// Reads and parses a CSV file. Throws std::runtime_error if unreadable.

@@ -92,8 +92,23 @@ double max_value(std::span<const double> xs) {
   return *std::max_element(xs.begin(), xs.end());
 }
 
+namespace {
+
+// A NaN sample breaks std::sort's strict weak ordering: the sort silently
+// produces a scrambled (not merely unsorted) array and every quantile read
+// from it is garbage. Order statistics therefore reject non-finite samples
+// outright, matching the engine's finite-iterate guard.
+bool all_samples_finite(std::span<const double> xs) {
+  for (double x : xs)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace
+
 double percentile(std::span<const double> xs, double p) {
   UFC_EXPECTS(!xs.empty());
+  UFC_EXPECTS(all_samples_finite(xs));
   UFC_EXPECTS(p >= 0.0 && p <= 100.0);
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
@@ -107,6 +122,7 @@ double percentile(std::span<const double> xs, double p) {
 
 std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
   UFC_EXPECTS(!xs.empty());
+  UFC_EXPECTS(all_samples_finite(xs));
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   std::vector<CdfPoint> cdf;

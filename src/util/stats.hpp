@@ -38,6 +38,8 @@ double min_value(std::span<const double> xs);
 double max_value(std::span<const double> xs);
 
 /// Linear-interpolated percentile, p in [0, 100]. xs need not be sorted.
+/// Throws ContractViolation if any sample is non-finite (a NaN breaks the
+/// sort's strict weak ordering and silently scrambles every quantile).
 double percentile(std::span<const double> xs, double p);
 
 /// One point of an empirical CDF.
@@ -47,6 +49,7 @@ struct CdfPoint {
 };
 
 /// Empirical CDF of the samples (sorted ascending, one point per sample).
+/// Throws ContractViolation if any sample is non-finite (see percentile).
 std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
 
 /// True if |a - b| <= abs_tol + rel_tol * max(|a|, |b|).

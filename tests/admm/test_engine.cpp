@@ -14,6 +14,7 @@
 #include "admm/options.hpp"
 #include "helpers.hpp"
 #include "net/runtime.hpp"
+#include "obs/metrics_observer.hpp"
 #include "util/config.hpp"
 #include "util/contract.hpp"
 
@@ -213,6 +214,77 @@ TEST(EngineTelemetry, ObserverSeesEveryIterationAndKeepsBitIdentity) {
     EXPECT_EQ(observer.samples[k].copy_residual, plain.trace.copy_residual[k]);
     EXPECT_EQ(observer.samples[k].objective, plain.trace.objective[k]);
     EXPECT_GE(observer.samples[k].wall_seconds, 0.0);
+  }
+}
+
+// The observability layer's core contract: attaching the MetricsRegistry
+// observer with phase profiling enabled must not perturb a single bit of the
+// solve, serial or threaded. The expected values are the same pre-refactor
+// hexfloat pins PinnedFullSolveReport checks without instrumentation.
+TEST(EngineTelemetry, MetricsObserverWithPhaseProfilingKeepsBitIdentity) {
+  const auto problem = make_tiny_problem();
+  for (const int threads : {1, 4}) {
+    obs::MetricsRegistry registry;
+    obs::MetricsObserver observer(registry);
+    AdmgOptions options;
+    options.observer = &observer;
+    options.profile_phases = true;
+    options.threads = threads;
+
+    const AdmgReport report = solve_admg(problem, options);
+    EXPECT_EQ(report.iterations, 62) << "threads=" << threads;
+    EXPECT_TRUE(report.converged) << "threads=" << threads;
+    EXPECT_EQ(report.balance_residual, 0x1.419497d9a6666p-20)
+        << "threads=" << threads;
+    EXPECT_EQ(report.copy_residual, 0x1.a48e808p-27) << "threads=" << threads;
+    EXPECT_EQ(report.solution.lambda(0, 0), 0x1.2cp+9) << "threads=" << threads;
+    EXPECT_EQ(report.solution.lambda(1, 1), 0x1.9p+8) << "threads=" << threads;
+    EXPECT_EQ(report.solution.mu[0], -0x1.a138p-41) << "threads=" << threads;
+    EXPECT_EQ(report.solution.mu[1], 0x1.26e8f1ce2f195p-3)
+        << "threads=" << threads;
+    EXPECT_EQ(report.solution.nu[0], 0x1.89374bc6ae748p-3)
+        << "threads=" << threads;
+    EXPECT_EQ(report.breakdown.ufc, -0x1.69eb9643140d8p+4)
+        << "threads=" << threads;
+
+    // The registry really did record the run.
+    const obs::Counter* iterations = registry.find_counter("solver.iterations");
+    ASSERT_NE(iterations, nullptr);
+    EXPECT_EQ(iterations->value(), 62u);
+    const obs::Histogram* lambda_seconds =
+        registry.find_histogram("solver.phase.lambda_pass_seconds");
+    ASSERT_NE(lambda_seconds, nullptr);
+    EXPECT_EQ(lambda_seconds->count(), 62u);
+  }
+}
+
+// Phase samples only appear when profiling is requested, and the split is
+// coherent: every component is non-negative. (wall_seconds times the step
+// only; the gate runs after it, so the two are not ordered.)
+TEST(EngineTelemetry, PhaseProfilesAreCoherentWhenEnabled) {
+  const auto problem = make_tiny_problem();
+
+  RecordingObserver unprofiled;
+  AdmgOptions plain_options;
+  plain_options.observer = &unprofiled;
+  (void)solve_admg(problem, plain_options);
+  ASSERT_FALSE(unprofiled.samples.empty());
+  for (const auto& sample : unprofiled.samples)
+    EXPECT_FALSE(sample.has_phases);
+
+  RecordingObserver profiled;
+  AdmgOptions options;
+  options.observer = &profiled;
+  options.profile_phases = true;
+  (void)solve_admg(problem, options);
+  ASSERT_FALSE(profiled.samples.empty());
+  for (const auto& sample : profiled.samples) {
+    ASSERT_TRUE(sample.has_phases);
+    EXPECT_GE(sample.phases.lambda_pass_seconds, 0.0);
+    EXPECT_GE(sample.phases.prediction_seconds, 0.0);
+    EXPECT_GE(sample.phases.correction_seconds, 0.0);
+    EXPECT_GE(sample.phases.gate_seconds, 0.0);
+    EXPECT_GE(sample.wall_seconds, 0.0);
   }
 }
 

@@ -1,0 +1,145 @@
+// obs::JsonValue: deterministic emission, round-trip parsing, the pinned
+// non-finite encoding shared with the CSV layer, and the contract surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::obs {
+namespace {
+
+TEST(Json, DefaultConstructedIsNull) {
+  const JsonValue value;
+  EXPECT_TRUE(value.is_null());
+  EXPECT_EQ(value.dump(0), "null");
+}
+
+TEST(Json, ScalarsDumpAsExpected) {
+  EXPECT_EQ(JsonValue(true).dump(0), "true");
+  EXPECT_EQ(JsonValue(false).dump(0), "false");
+  EXPECT_EQ(JsonValue(42).dump(0), "42");
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).dump(0), "-7");
+  EXPECT_EQ(JsonValue(1.5).dump(0), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump(0), "\"hi\"");
+}
+
+TEST(Json, Uint64BeyondInt64Throws) {
+  EXPECT_EQ(JsonValue(std::uint64_t{7}).as_int(), 7);
+  EXPECT_THROW(JsonValue(std::numeric_limits<std::uint64_t>::max()),
+               ContractViolation);
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndReplacesInPlace) {
+  JsonValue object = JsonValue::object();
+  object.set("zebra", JsonValue(1));
+  object.set("alpha", JsonValue(2));
+  object.set("zebra", JsonValue(3));  // replace, keep position
+  EXPECT_EQ(object.dump(0), "{\"zebra\":3,\"alpha\":2}");
+  EXPECT_EQ(object.size(), 2u);
+  EXPECT_EQ(object.at("zebra").as_int(), 3);
+  EXPECT_EQ(object.find("missing"), nullptr);
+  EXPECT_THROW(object.at("missing"), ContractViolation);
+}
+
+TEST(Json, ArrayAppendsAndBoundsChecks) {
+  JsonValue array = JsonValue::array();
+  array.push_back(JsonValue(1));
+  array.push_back(JsonValue("two"));
+  ASSERT_EQ(array.size(), 2u);
+  EXPECT_EQ(array.at(0).as_int(), 1);
+  EXPECT_EQ(array.at(1).as_string(), "two");
+  EXPECT_THROW(array.at(2), ContractViolation);
+}
+
+TEST(Json, NullPromotesOnFirstMutation) {
+  JsonValue becomes_array;
+  becomes_array.push_back(JsonValue(1));
+  EXPECT_TRUE(becomes_array.is_array());
+
+  JsonValue becomes_object;
+  becomes_object.set("k", JsonValue(1));
+  EXPECT_TRUE(becomes_object.is_object());
+}
+
+TEST(Json, WrongTypeAccessorsThrow) {
+  const JsonValue number(1.0);
+  EXPECT_THROW((void)number.as_string(), ContractViolation);
+  EXPECT_THROW((void)number.as_bool(), ContractViolation);
+  EXPECT_THROW((void)number.as_int(), ContractViolation);  // Double, not Int
+  const JsonValue integer(3);
+  EXPECT_DOUBLE_EQ(integer.as_double(), 3.0);  // Int widens to double
+}
+
+TEST(Json, NonFiniteDoublesUsePinnedStringEncoding) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(JsonValue(std::nan("")).dump(0), "\"nan\"");
+  EXPECT_EQ(JsonValue(inf).dump(0), "\"inf\"");
+  EXPECT_EQ(JsonValue(-inf).dump(0), "\"-inf\"");
+}
+
+TEST(Json, DoublesRoundTripBitExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, 1e-300, -2.5e17,
+                           0x1.419497d9a6666p-20};
+  for (const double value : values) {
+    const JsonValue parsed = JsonValue::parse(JsonValue(value).dump(0));
+    EXPECT_EQ(parsed.as_double(), value);
+  }
+}
+
+TEST(Json, ParseHandlesNestedDocuments) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}, "e": -3})");
+  EXPECT_EQ(doc.at("a").at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(doc.at("a").at(1).as_double(), 2.5);
+  EXPECT_EQ(doc.at("a").at(2).as_string(), "x");
+  EXPECT_TRUE(doc.at("b").at("c").as_bool());
+  EXPECT_TRUE(doc.at("b").at("d").is_null());
+  EXPECT_EQ(doc.at("e").as_int(), -3);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), ContractViolation);
+  EXPECT_THROW(JsonValue::parse("{"), ContractViolation);
+  EXPECT_THROW(JsonValue::parse("[1,]"), ContractViolation);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), ContractViolation);
+  EXPECT_THROW(JsonValue::parse("nul"), ContractViolation);
+  EXPECT_THROW(JsonValue::parse("1 2"), ContractViolation);  // trailing garbage
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), ContractViolation);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string text = "quote \" backslash \\ newline \n tab \t";
+  const JsonValue parsed = JsonValue::parse(JsonValue(text).dump(0));
+  EXPECT_EQ(parsed.as_string(), text);
+}
+
+TEST(Json, DumpRoundTripsThroughParseStructurally) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue("run"));
+  doc.set("values", JsonValue::array());
+  JsonValue values = JsonValue::array();
+  values.push_back(JsonValue(1));
+  values.push_back(JsonValue(0.25));
+  doc.set("values", std::move(values));
+  const JsonValue reparsed = JsonValue::parse(doc.dump());
+  EXPECT_EQ(reparsed.dump(), doc.dump());
+}
+
+TEST(Json, FileRoundTripAndMissingFileThrows) {
+  const std::string path = ::testing::TempDir() + "obs_json_roundtrip.json";
+  JsonValue doc = JsonValue::object();
+  doc.set("k", JsonValue(99));
+  write_json_file(path, doc);
+  const JsonValue loaded = read_json_file(path);
+  EXPECT_EQ(loaded.at("k").as_int(), 99);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_json_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ufc::obs

@@ -1,0 +1,161 @@
+// obs::MetricsRegistry: instrument semantics, merge laws (the sweep
+// aggregation contract), kind collisions and the JSON snapshot shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::obs {
+namespace {
+
+TEST(Metrics, CounterAddsAndMerges) {
+  Counter a;
+  a.add();
+  a.add(4);
+  EXPECT_EQ(a.value(), 5u);
+  Counter b;
+  b.add(10);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 15u);
+}
+
+TEST(Metrics, GaugeMergeIsLastWriterWins) {
+  Gauge a;
+  a.set(1.0);
+  Gauge b;
+  b.set(2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);
+}
+
+TEST(Metrics, HistogramBucketsValuesAtBoundaries) {
+  Histogram h({1.0, 2.0, 4.0});
+  // Buckets: (-inf,1], (1,2], (2,4], (4,+inf).
+  h.observe(0.5);
+  h.observe(1.0);  // boundary lands in the lower bucket
+  h.observe(1.5);
+  h.observe(4.0);
+  h.observe(100.0);
+  const std::vector<std::uint64_t> want = {2, 1, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), want);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(Metrics, HistogramRejectsBadBoundariesAndNonFiniteSamples) {
+  EXPECT_THROW(Histogram({}), ContractViolation);
+  EXPECT_THROW(Histogram({1.0, 1.0}), ContractViolation);  // not increasing
+  EXPECT_THROW(Histogram({2.0, 1.0}), ContractViolation);
+  EXPECT_THROW(Histogram({0.0, std::numeric_limits<double>::infinity()}),
+               ContractViolation);
+
+  Histogram h({1.0});
+  EXPECT_THROW(h.observe(std::nan("")), ContractViolation);
+  EXPECT_THROW(h.observe(std::numeric_limits<double>::infinity()),
+               ContractViolation);
+}
+
+TEST(Metrics, HistogramMergeAddsBucketWise) {
+  Histogram a({1.0, 2.0});
+  a.observe(0.5);
+  a.observe(1.5);
+  Histogram b({1.0, 2.0});
+  b.observe(1.5);
+  b.observe(3.0);
+  a.merge(b);
+  const std::vector<std::uint64_t> want = {1, 2, 1};
+  EXPECT_EQ(a.bucket_counts(), want);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 1.5 + 1.5 + 3.0);
+
+  Histogram incompatible({1.0, 3.0});
+  EXPECT_THROW(a.merge(incompatible), ContractViolation);
+}
+
+TEST(Metrics, RegistryFindsOrCreatesAndChecksKinds) {
+  MetricsRegistry registry;
+  registry.counter("events").add(2);
+  registry.counter("events").add(3);  // same instrument
+  EXPECT_EQ(registry.counter("events").value(), 5u);
+
+  registry.gauge("level").set(1.5);
+  registry.histogram("lat", {1.0}).observe(0.5);
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_FALSE(registry.empty());
+
+  // Same name as a different kind is a contract violation.
+  EXPECT_THROW(registry.gauge("events"), ContractViolation);
+  EXPECT_THROW(registry.counter("lat"), ContractViolation);
+  EXPECT_THROW(registry.histogram("level", {1.0}), ContractViolation);
+  // Same histogram with different boundaries too.
+  EXPECT_THROW(registry.histogram("lat", {2.0}), ContractViolation);
+
+  EXPECT_NE(registry.find_counter("events"), nullptr);
+  EXPECT_EQ(registry.find_counter("level"), nullptr);  // wrong kind
+  EXPECT_EQ(registry.find_gauge("absent"), nullptr);
+  EXPECT_NE(registry.find_histogram("lat"), nullptr);
+}
+
+TEST(Metrics, RegistryMergeIsDeterministicSlotOrderAggregation) {
+  // Simulates the sweep: each slot records into its own registry; the
+  // aggregate merges them serially in slot order.
+  MetricsRegistry slot0;
+  slot0.counter("solver.iterations").add(10);
+  slot0.gauge("solver.last.objective").set(-1.0);
+  slot0.histogram("t", {1.0}).observe(0.5);
+
+  MetricsRegistry slot1;
+  slot1.counter("solver.iterations").add(32);
+  slot1.gauge("solver.last.objective").set(-2.0);
+  slot1.histogram("t", {1.0}).observe(2.0);
+  slot1.counter("solver.fallbacks").add(1);  // only in slot 1
+
+  MetricsRegistry total;
+  total.merge(slot0);
+  total.merge(slot1);
+  EXPECT_EQ(total.counter("solver.iterations").value(), 42u);
+  EXPECT_EQ(total.counter("solver.fallbacks").value(), 1u);
+  // Gauge: last merge wins — slot 1's value.
+  EXPECT_DOUBLE_EQ(total.gauge("solver.last.objective").value(), -2.0);
+  const std::vector<std::uint64_t> want = {1, 1};
+  EXPECT_EQ(total.find_histogram("t")->bucket_counts(), want);
+}
+
+TEST(Metrics, ToJsonSortsInstrumentsAndOmitsEmptySections) {
+  MetricsRegistry registry;
+  registry.counter("b.count").add(1);
+  registry.counter("a.count").add(2);
+  const JsonValue snapshot = registry.to_json();
+  ASSERT_TRUE(snapshot.is_object());
+  EXPECT_TRUE(snapshot.contains("counters"));
+  EXPECT_FALSE(snapshot.contains("gauges"));      // empty section omitted
+  EXPECT_FALSE(snapshot.contains("histograms"));  // empty section omitted
+  const auto& counters = snapshot.at("counters");
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters.members()[0].first, "a.count");  // sorted by name
+  EXPECT_EQ(counters.members()[1].first, "b.count");
+
+  registry.histogram("h", {1.0, 2.0}).observe(1.5);
+  const JsonValue with_histogram = registry.to_json();
+  const auto& h = with_histogram.at("histograms").at("h");
+  EXPECT_EQ(h.at("count").as_int(), 1);
+  EXPECT_EQ(h.at("boundaries").size(), 2u);
+  EXPECT_EQ(h.at("bucket_counts").size(), 3u);
+  EXPECT_EQ(h.at("bucket_counts").at(1).as_int(), 1);
+}
+
+TEST(Metrics, DefaultTimeBoundariesAreDecadesFromMicrosecondsToTenSeconds) {
+  const auto& boundaries = default_time_boundaries();
+  ASSERT_EQ(boundaries.size(), 8u);
+  EXPECT_DOUBLE_EQ(boundaries.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(boundaries.back(), 10.0);
+  for (std::size_t k = 1; k < boundaries.size(); ++k)
+    EXPECT_GT(boundaries[k], boundaries[k - 1]);
+}
+
+}  // namespace
+}  // namespace ufc::obs

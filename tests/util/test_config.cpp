@@ -69,6 +69,36 @@ TEST(Config, TypeErrorsThrow) {
   EXPECT_THROW(config.get_bool("z", false), ContractViolation);
 }
 
+TEST(Config, NumericOverflowThrowsInsteadOfSaturating) {
+  // std::out_of_range is a std::logic_error, so overflow funnels into the
+  // same ContractViolation as garbage text rather than escaping as a
+  // different exception type (or worse, saturating silently).
+  const auto config = Config::parse(
+      "huge_double = 1e999\ntiny_double = -1e999\nhuge_int = 99999999999\n");
+  EXPECT_THROW(config.get_double("huge_double", 0.0), ContractViolation);
+  EXPECT_THROW(config.get_double("tiny_double", 0.0), ContractViolation);
+  EXPECT_THROW(config.get_int("huge_int", 0), ContractViolation);
+}
+
+TEST(Config, IntGetterRejectsTrailingJunk) {
+  const auto config = Config::parse("frac = 2.5\nhex = 0x10\nexp = 1e3\n");
+  EXPECT_THROW(config.get_int("frac", 0), ContractViolation);
+  EXPECT_THROW(config.get_int("hex", 0), ContractViolation);
+  EXPECT_THROW(config.get_int("exp", 0), ContractViolation);
+  // The same spellings are fine as doubles (except hex, which stod also
+  // parses — pin that so a change in parsing strictness is visible).
+  EXPECT_DOUBLE_EQ(config.get_double("frac", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(config.get_double("exp", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(config.get_double("hex", 0.0), 16.0);
+}
+
+TEST(Config, WhitespacePaddedNumbersParseAfterTrim) {
+  // Padding is removed by the parser, so the getters see clean tokens.
+  const auto config = Config::parse("a =   42   \nb =\t6.25\t\n");
+  EXPECT_EQ(config.get_int("a", 0), 42);
+  EXPECT_DOUBLE_EQ(config.get_double("b", 0.0), 6.25);
+}
+
 TEST(Config, LastValueWinsOnDuplicates) {
   const auto config = Config::parse("k = 1\nk = 2\n");
   EXPECT_EQ(config.get_int("k", 0), 2);

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/contract.hpp"
@@ -63,6 +65,44 @@ TEST(CsvNumber, RoundTripsValues) {
   EXPECT_EQ(csv_number(0.5), "0.5");
   const double value = 0.1 + 0.2;
   EXPECT_DOUBLE_EQ(std::stod(csv_number(value)), value);
+}
+
+TEST(CsvNumber, NonFiniteUsesPinnedSpellings) {
+  EXPECT_EQ(csv_number(std::numeric_limits<double>::quiet_NaN()), "nan");
+  // The NaN sign bit is payload, not a value: both spell the same.
+  EXPECT_EQ(csv_number(-std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(csv_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(csv_number(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST_F(CsvTest, NonFiniteCellsRoundTripThroughWriterAndReader) {
+  // Regression: a diverged solve writes NaN/Inf residuals into its trace;
+  // the file must stay readable by our own reader.
+  {
+    CsvWriter csv(path_, {"balance", "copy", "objective"});
+    csv.row({std::numeric_limits<double>::quiet_NaN(),
+             std::numeric_limits<double>::infinity(),
+             -std::numeric_limits<double>::infinity()});
+    csv.row({1.25, -3.5, 0.0});
+  }
+  const CsvTable table = read_csv(path_);
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_TRUE(std::isnan(table.rows[0][0]));
+  EXPECT_EQ(table.rows[0][1], std::numeric_limits<double>::infinity());
+  EXPECT_EQ(table.rows[0][2], -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(table.rows[1][0], 1.25);
+}
+
+TEST(CsvParse, AcceptsOnlyPinnedNonFiniteSpellings) {
+  const CsvTable table = parse_csv("x\nnan\ninf\n-inf\n");
+  ASSERT_EQ(table.num_rows(), 3u);
+  EXPECT_TRUE(std::isnan(table.rows[0][0]));
+  // Platform from_chars implementations disagree on these spellings, so the
+  // parser must reject them everywhere rather than accept them somewhere.
+  EXPECT_THROW(parse_csv("x\nNaN\n"), ContractViolation);
+  EXPECT_THROW(parse_csv("x\nInfinity\n"), ContractViolation);
+  EXPECT_THROW(parse_csv("x\nINF\n"), ContractViolation);
+  EXPECT_THROW(parse_csv("x\nnan(0x1)\n"), ContractViolation);
 }
 
 TEST(CsvWriterErrors, UnopenablePathThrows) {

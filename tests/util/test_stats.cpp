@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "util/contract.hpp"
@@ -92,6 +93,30 @@ TEST(Stats, EmptyInputsThrow) {
   EXPECT_THROW(mean(empty), ContractViolation);
   EXPECT_THROW(percentile(empty, 50.0), ContractViolation);
   EXPECT_THROW(empirical_cdf(empty), ContractViolation);
+}
+
+TEST(Stats, PercentileRejectsNonFiniteSamples) {
+  // Regression: a NaN violates std::sort's strict weak ordering, silently
+  // scrambling the order statistics instead of failing; the guard turns
+  // that into a contract violation.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(percentile(std::vector<double>{1.0, nan, 3.0}, 50.0),
+               ContractViolation);
+  EXPECT_THROW(percentile(std::vector<double>{nan}, 0.0), ContractViolation);
+  EXPECT_THROW(percentile(std::vector<double>{1.0, inf}, 95.0),
+               ContractViolation);
+  EXPECT_THROW(percentile(std::vector<double>{-inf, 1.0}, 5.0),
+               ContractViolation);
+}
+
+TEST(Stats, EmpiricalCdfRejectsNonFiniteSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(empirical_cdf(std::vector<double>{nan, 2.0}),
+               ContractViolation);
+  EXPECT_THROW(empirical_cdf(std::vector<double>{2.0, inf}),
+               ContractViolation);
 }
 
 }  // namespace
