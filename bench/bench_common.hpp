@@ -43,6 +43,8 @@ inline void note_csv(const CsvWriter& csv) {
 /// Where the machine-readable bench results accumulate. Overridable via
 /// UFC_BENCH_JSON so CI smoke runs can write into their scratch directory.
 inline std::string bench_artifact_path() {
+  // Benches are single-threaded at startup; nobody calls setenv concurrently.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* override_path = std::getenv("UFC_BENCH_JSON");
   return override_path != nullptr && *override_path != '\0'
              ? std::string(override_path)

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Shared findings model for the UFC static-analysis tools.
+
+scripts/ufc_lint.py (per-line repo invariants) and scripts/ufc_analyze.py
+(tree-level architecture/determinism analysis) report through this one
+module so their output, JSON artifacts, severities and exit codes are
+identical — CI and humans parse one format, not two.
+
+A finding is `path:line: [rule] message` with a severity of "error" (gates
+the build) or "warning" (reported, never gates). Exit codes:
+
+  0  clean (or warnings only)
+  1  at least one error finding
+  2  usage / environment problem (missing file, bad arguments)
+
+The machine-readable report (``--json`` in both tools) is the
+``ufc-findings-v1`` schema:
+
+  {"schema": "ufc-findings-v1", "tool": "<name>",
+   "counts": {"error": N, "warning": M},
+   "findings": [{"path", "line", "rule", "severity", "message"}, ...]}
+
+validate_findings_json() checks a parsed document against that schema and is
+what the tools' self-tests (and CI) run against their own output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SEVERITIES = ("error", "warning")
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self) -> str:
+        tag = "" if self.severity == "error" else f" {self.severity}:"
+        return f"{self.path}:{self.line}:{tag} [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "severity": self.severity, "message": self.message}
+
+
+def severity_counts(findings: list[Finding]) -> dict[str, int]:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] += 1
+    return counts
+
+
+def findings_to_json(tool: str, findings: list[Finding]) -> dict:
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    return {
+        "schema": "ufc-findings-v1",
+        "tool": tool,
+        "counts": severity_counts(ordered),
+        "findings": [finding.to_json() for finding in ordered],
+    }
+
+
+def write_json_report(tool: str, findings: list[Finding], path: Path) -> None:
+    path.write_text(json.dumps(findings_to_json(tool, findings), indent=2)
+                    + "\n")
+
+
+def report(tool: str, findings: list[Finding], *, checked: int | None = None,
+           json_path: Path | None = None, out=None, err=None) -> int:
+    """Print findings (and optionally the JSON artifact); return the exit
+    code.  The summary goes to stderr like a compiler's, so `tool | wc -l`
+    counts findings only."""
+    out = sys.stdout if out is None else out
+    err = sys.stderr if err is None else err
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(finding, file=out)
+    if json_path is not None:
+        write_json_report(tool, findings, json_path)
+    counts = severity_counts(findings)
+    if findings:
+        print(f"{tool}: {counts['error']} error(s), "
+              f"{counts['warning']} warning(s)", file=err)
+    else:
+        suffix = f" ({checked} files)" if checked is not None else ""
+        print(f"{tool}: clean{suffix}", file=out)
+    return EXIT_FINDINGS if counts["error"] else EXIT_CLEAN
+
+
+def validate_findings_json(doc) -> list[str]:
+    """Returns schema violations of a parsed ufc-findings-v1 document."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document: top level must be an object"]
+    if doc.get("schema") != "ufc-findings-v1":
+        errors.append(f'document: "schema" {doc.get("schema")!r} must be '
+                      '"ufc-findings-v1"')
+    if not isinstance(doc.get("tool"), str) or not doc.get("tool"):
+        errors.append('document: "tool" must be a non-empty string')
+    counts = doc.get("counts")
+    if not isinstance(counts, dict) or set(counts) != set(SEVERITIES) or \
+            not all(isinstance(v, int) and not isinstance(v, bool) and v >= 0
+                    for v in counts.values()):
+        errors.append('document: "counts" must map exactly '
+                      f"{sorted(SEVERITIES)} to non-negative integers")
+        counts = None
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        errors.append('document: "findings" must be a list')
+        return errors
+    seen = {severity: 0 for severity in SEVERITIES}
+    for index, entry in enumerate(findings):
+        where = f"findings[{index}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for key, kind in (("path", str), ("rule", str), ("message", str)):
+            if not isinstance(entry.get(key), kind) or not entry.get(key):
+                errors.append(f"{where}: {key!r} must be a non-empty string")
+        line = entry.get("line")
+        if not isinstance(line, int) or isinstance(line, bool) or line < 1:
+            errors.append(f"{where}: 'line' must be a positive integer")
+        severity = entry.get("severity")
+        if severity not in SEVERITIES:
+            errors.append(f"{where}: 'severity' {severity!r} must be one of "
+                          f"{sorted(SEVERITIES)}")
+        else:
+            seen[severity] += 1
+        if set(entry) - {"path", "line", "rule", "message", "severity"}:
+            errors.append(f"{where}: unknown keys "
+                          f"{sorted(set(entry) - {'path', 'line', 'rule', 'message', 'severity'})}")
+    if counts is not None and counts != seen:
+        errors.append(f'document: "counts" {counts} do not match the findings '
+                      f"list {seen}")
+    return errors
+
+
+def self_test() -> int:
+    import io
+    import tempfile
+    import unittest
+
+    class FindingsTests(unittest.TestCase):
+        def test_error_format(self):
+            f = Finding("src/a.cpp", 3, "rule-x", "msg")
+            self.assertEqual(str(f), "src/a.cpp:3: [rule-x] msg")
+
+        def test_warning_format_carries_severity(self):
+            f = Finding("src/a.cpp", 3, "rule-x", "msg", severity="warning")
+            self.assertIn("warning:", str(f))
+
+        def test_unknown_severity_rejected(self):
+            with self.assertRaises(ValueError):
+                Finding("a", 1, "r", "m", severity="fatal")
+
+        def test_exit_code_clean(self):
+            code = report("t", [], out=io.StringIO(), err=io.StringIO())
+            self.assertEqual(code, EXIT_CLEAN)
+
+        def test_exit_code_error(self):
+            code = report("t", [Finding("a", 1, "r", "m")],
+                          out=io.StringIO(), err=io.StringIO())
+            self.assertEqual(code, EXIT_FINDINGS)
+
+        def test_warnings_do_not_gate(self):
+            code = report("t", [Finding("a", 1, "r", "m", severity="warning")],
+                          out=io.StringIO(), err=io.StringIO())
+            self.assertEqual(code, EXIT_CLEAN)
+
+        def test_findings_sorted_by_path_line(self):
+            out = io.StringIO()
+            report("t", [Finding("b.cpp", 2, "r", "m"),
+                         Finding("a.cpp", 9, "r", "m")],
+                   out=out, err=io.StringIO())
+            lines = out.getvalue().splitlines()
+            self.assertTrue(lines[0].startswith("a.cpp:9"))
+
+        def test_json_round_trip_validates(self):
+            doc = findings_to_json("t", [Finding("a", 1, "r", "m"),
+                                         Finding("b", 2, "r", "m",
+                                                 severity="warning")])
+            self.assertEqual(validate_findings_json(doc), [])
+            self.assertEqual(doc["counts"], {"error": 1, "warning": 1})
+
+        def test_json_written_to_disk(self):
+            with tempfile.TemporaryDirectory() as tmp:
+                path = Path(tmp) / "report.json"
+                write_json_report("t", [Finding("a", 1, "r", "m")], path)
+                doc = json.loads(path.read_text())
+                self.assertEqual(validate_findings_json(doc), [])
+
+        def test_validator_rejects_bad_schema(self):
+            self.assertTrue(validate_findings_json({"schema": "nope"}))
+
+        def test_validator_rejects_count_mismatch(self):
+            doc = findings_to_json("t", [Finding("a", 1, "r", "m")])
+            doc["counts"]["error"] = 7
+            self.assertTrue(validate_findings_json(doc))
+
+        def test_validator_rejects_bad_line(self):
+            doc = findings_to_json("t", [Finding("a", 1, "r", "m")])
+            doc["findings"][0]["line"] = 0
+            self.assertTrue(validate_findings_json(doc))
+
+        def test_validator_rejects_unknown_keys(self):
+            doc = findings_to_json("t", [Finding("a", 1, "r", "m")])
+            doc["findings"][0]["extra"] = True
+            self.assertTrue(validate_findings_json(doc))
+
+    suite = unittest.defaultTestLoader.loadTestsFromTestCase(FindingsTests)
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(self_test())

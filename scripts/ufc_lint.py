@@ -43,9 +43,14 @@ Rules (each documented in docs/STATIC_ANALYSIS.md):
 Suppressing a finding: append `// ufc-lint: allow(<rule>)` (with a reason!)
 to the offending line, or place it alone on the line above.
 
+Findings, severities, exit codes and the --json report are shared with
+scripts/ufc_analyze.py through scripts/ufc_findings.py, so the two tools
+report identically.
+
 Usage:
   scripts/ufc_lint.py              lint the repository, exit 1 on findings
   scripts/ufc_lint.py PATH...      lint specific files or directories
+  scripts/ufc_lint.py --json PATH  also write the ufc-findings-v1 report
   scripts/ufc_lint.py --self-test  run the linter's own test suite
   scripts/ufc_lint.py --list-rules print rule names and one-line summaries
 """
@@ -55,8 +60,10 @@ from __future__ import annotations
 import argparse
 import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from ufc_findings import Finding, report  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SOURCE_ROOTS = ("src", "tests", "bench", "examples")
@@ -64,17 +71,6 @@ SOLVER_DIRS = ("src/math", "src/opt", "src/admm")
 TOLERANCE_HELPER_FILES = {"src/util/stats.hpp", "src/util/stats.cpp"}
 
 ALLOW_RE = re.compile(r"ufc-lint:\s*allow\(([a-z0-9-]+)\)")
-
-
-@dataclass
-class Finding:
-    path: str
-    line: int  # 1-based
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
 def _suppressed(lines: list[str], index: int, rule: str) -> bool:
@@ -489,17 +485,13 @@ def collect_files(paths: list[Path]) -> list[Path]:
     return files
 
 
-def run_lint(paths: list[Path]) -> int:
+def run_lint(paths: list[Path], json_path: Path | None = None) -> int:
+    files = collect_files(paths)
     findings = []
-    for f in collect_files(paths):
+    for f in files:
         findings.extend(lint_file(f))
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"ufc_lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print(f"ufc_lint: clean ({len(collect_files(paths))} files)")
-    return 0
+    return report("ufc_lint", findings, checked=len(files),
+                  json_path=json_path)
 
 
 # --------------------------------------------------------------------------
@@ -834,6 +826,8 @@ def main() -> int:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint (default: repo source roots)")
+    parser.add_argument("--json", type=Path, metavar="PATH",
+                        help="write the ufc-findings-v1 JSON report")
     parser.add_argument("--self-test", action="store_true", help="run the linter's test suite")
     parser.add_argument("--list-rules", action="store_true", help="list rules and exit")
     args = parser.parse_args()
@@ -846,7 +840,7 @@ def main() -> int:
         return 0
 
     paths = args.paths or [REPO_ROOT / root for root in SOURCE_ROOTS]
-    return run_lint(paths)
+    return run_lint(paths, json_path=args.json)
 
 
 if __name__ == "__main__":

@@ -1,11 +1,11 @@
 #include "admm/engine.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 
 #include "admm/centralized.hpp"
+#include "util/clock.hpp"
 #include "util/contract.hpp"
 #include "util/logging.hpp"
 #include "util/wire.hpp"
@@ -256,11 +256,9 @@ bool InProcessExecutor::is_converged() const {
 // iterate sequence is bit-identical for every thread count — and identical
 // to the message-passing runtime, which tests pin exactly.
 void InProcessExecutor::step(int /*iteration*/) {
-  using Clock = std::chrono::steady_clock;
-  const auto seconds_between = [](Clock::time_point from,
-                                  Clock::time_point to) {
-    return std::chrono::duration<double>(to - from).count();
-  };
+  using util::monotonic_now;
+  using util::MonotonicTick;
+  using util::seconds_between;
   if (profile_) {
     profile_last_ = PhaseProfile{};
     std::fill(chunk_predict_seconds_.begin(), chunk_predict_seconds_.end(),
@@ -295,7 +293,7 @@ void InProcessExecutor::step(int /*iteration*/) {
 
   // ---- Step 1.1: lambda predictions, one independent task per front-end.
   const auto lambda_pass_started =
-      profile_ ? Clock::now() : Clock::time_point{};
+      profile_ ? monotonic_now() : MonotonicTick{};
   pool_.parallel_for_chunks(
       0, m_, [&](std::size_t begin, std::size_t end, std::size_t c) {
         BlockWorkspace& ws = scratch_[c].blocks;
@@ -326,7 +324,7 @@ void InProcessExecutor::step(int /*iteration*/) {
 
   if (profile_)
     profile_last_.lambda_pass_seconds =
-        seconds_between(lambda_pass_started, Clock::now());
+        seconds_between(lambda_pass_started, monotonic_now());
 
   // ---- Steps 1.2-1.5 + step 2, fused per datacenter. Each column task
   // reads only iteration-k state of its own column (plus lambda~ and the
@@ -338,7 +336,7 @@ void InProcessExecutor::step(int /*iteration*/) {
         double change = 0.0;
         for (std::size_t j = begin; j < end; ++j) {
           const auto column_started =
-              profile_ ? Clock::now() : Clock::time_point{};
+              profile_ ? monotonic_now() : MonotonicTick{};
           const double alpha = problem_.alpha_mw(j);
           const double beta = problem_.beta_mw(j);
           const double a_col_sum_k = a_col_sum_[j];
@@ -404,7 +402,7 @@ void InProcessExecutor::step(int /*iteration*/) {
           // (steps 1.2-1.5), everything below the GBS correction. Clock
           // reads only — the arithmetic is untouched.
           const auto correction_started =
-              profile_ ? Clock::now() : Clock::time_point{};
+              profile_ ? monotonic_now() : MonotonicTick{};
           if (profile_)
             chunk_predict_seconds_[c] +=
                 seconds_between(column_started, correction_started);
@@ -427,7 +425,7 @@ void InProcessExecutor::step(int /*iteration*/) {
                                       eps, gbs, pin_mu, pin_nu));
           if (profile_)
             chunk_correct_seconds_[c] +=
-                seconds_between(correction_started, Clock::now());
+                seconds_between(correction_started, monotonic_now());
         }
         chunk_change_[c] = change;
       });
@@ -534,6 +532,7 @@ AdmgEngine::AdmgEngine(const AdmgOptions& options) : options_(options) {
 }
 
 SolveCore AdmgEngine::solve(BlockExecutor& executor, int first_iteration) {
+  UFC_EXPECTS(first_iteration >= 0);
   SolveCore core;
   SolverWatchdog watchdog(options_.watchdog);
   double balance = 0.0;
@@ -556,11 +555,9 @@ SolveCore AdmgEngine::solve(BlockExecutor& executor, int first_iteration) {
        !watchdog.tripped() && k < first + options_.max_iterations; ++k) {
     double wall_seconds = 0.0;
     if (options_.observer != nullptr) {
-      const auto started = std::chrono::steady_clock::now();
+      const auto started = util::monotonic_now();
       executor.step(k);
-      wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - started)
-                         .count();
+      wall_seconds = util::seconds_between(started, util::monotonic_now());
     } else {
       executor.step(k);
     }
@@ -576,9 +573,8 @@ SolveCore AdmgEngine::solve(BlockExecutor& executor, int first_iteration) {
     // observer and the convergence test (each is an O(MN) pass). The gate
     // phase timer covers these passes — they are the per-iteration cost the
     // convergence test imposes on top of the step itself.
-    const auto gate_started = profiling
-                                  ? std::chrono::steady_clock::now()
-                                  : std::chrono::steady_clock::time_point{};
+    const auto gate_started =
+        profiling ? util::monotonic_now() : util::MonotonicTick{};
     balance = executor.balance_residual();
     copy = executor.copy_residual();
     if (sampling) {
@@ -600,10 +596,8 @@ SolveCore AdmgEngine::solve(BlockExecutor& executor, int first_iteration) {
           sample.has_phases = true;
           if (const PhaseProfile* phases = executor.phase_profile())
             sample.phases = *phases;
-          sample.phases.gate_seconds = std::chrono::duration<double>(
-                                           std::chrono::steady_clock::now() -
-                                           gate_started)
-                                           .count();
+          sample.phases.gate_seconds =
+              util::seconds_between(gate_started, util::monotonic_now());
         }
         options_.observer->on_iteration(sample);
       }

@@ -1,6 +1,7 @@
 #include "admm/telemetry.hpp"
 
 #include "admm/engine.hpp"
+#include "util/contract.hpp"
 #include "util/csv.hpp"
 
 namespace ufc::admm {
@@ -8,11 +9,13 @@ namespace ufc::admm {
 void IterationObserver::on_solve_end(const SolveCore& /*core*/) {}
 
 void SolveCounters::on_iteration(const IterationSample& sample) {
+  UFC_EXPECTS(sample.iteration >= 0);
   ++iterations_;
   wall_seconds_ += sample.wall_seconds;
 }
 
 void SolveCounters::on_solve_end(const SolveCore& core) {
+  UFC_EXPECTS(core.iterations >= 0);
   ++solves_;
   if (core.converged) ++converged_;
 }
@@ -22,7 +25,9 @@ CsvTraceObserver::CsvTraceObserver(const std::string& path)
           path, std::vector<std::string>{"solve", "iteration",
                                          "balance_residual", "copy_residual",
                                          "change", "objective",
-                                         "wall_seconds"})) {}
+                                         "wall_seconds"})) {
+  UFC_EXPECTS(!path.empty());
+}
 
 CsvTraceObserver::~CsvTraceObserver() = default;
 

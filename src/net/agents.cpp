@@ -39,6 +39,7 @@ std::size_t FrontEndAgent::position_of(NodeId source) const {
 }
 
 void FrontEndAgent::send_proposals(MessageBus& bus, int iteration) {
+  UFC_EXPECTS(iteration >= 0);
   admm::LambdaBlockInputs in;
   in.arrival = config_.arrival;
   in.latency_row = config_.latency_row_s;
@@ -116,6 +117,10 @@ std::int32_t FrontEndAgent::oldest_input_round() const {
                            last_assignment_round_.end());
 }
 
+// Serializer into a caller-owned buffer: any `out` state is appendable, so
+// there is no precondition to guard — restore_state carries the format
+// contract for the pair.
+// ufc-analyze: allow(expects-reach)
 void FrontEndAgent::append_state(std::vector<std::byte>& out) const {
   wire::append(out, static_cast<std::uint64_t>(n_));
   wire::append_f64s(out, lambda_.span());
@@ -290,6 +295,9 @@ std::int32_t DatacenterAgent::oldest_input_round() const {
                            last_proposal_round_.end());
 }
 
+// Serializer into a caller-owned buffer: no precondition to guard (see
+// FrontEndAgent::append_state).
+// ufc-analyze: allow(expects-reach)
 void DatacenterAgent::append_state(std::vector<std::byte>& out) const {
   wire::append(out, static_cast<std::uint64_t>(config_.num_front_ends));
   wire::append_f64s(out, a_.span());

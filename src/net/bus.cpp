@@ -49,6 +49,8 @@ void MessageBus::begin_round(int round) {
 }
 
 SendOutcome MessageBus::send(Message message) {
+  UFC_EXPECTS(message.source >= kCoordinatorId);
+  UFC_EXPECTS(message.destination >= kCoordinatorId);
   const std::size_t size = wire_size(message);
   auto& link = links_[{message.source, message.destination}];
   const auto& rf = config_.faults.random();
@@ -125,6 +127,7 @@ SendOutcome MessageBus::send(Message message) {
 }
 
 std::optional<Message> MessageBus::receive(NodeId destination) {
+  UFC_EXPECTS(destination >= kCoordinatorId);
   auto it = queues_.find(destination);
   if (it == queues_.end() || it->second.empty()) return std::nullopt;
   Message message = std::move(it->second.front());
@@ -133,6 +136,7 @@ std::optional<Message> MessageBus::receive(NodeId destination) {
 }
 
 std::vector<Message> MessageBus::drain(NodeId destination) {
+  UFC_EXPECTS(destination >= kCoordinatorId);
   std::vector<Message> messages;
   auto it = queues_.find(destination);
   if (it == queues_.end()) return messages;
@@ -143,6 +147,7 @@ std::vector<Message> MessageBus::drain(NodeId destination) {
 }
 
 std::size_t MessageBus::pending(NodeId destination) const {
+  UFC_EXPECTS(destination >= kCoordinatorId);
   auto it = queues_.find(destination);
   return it == queues_.end() ? 0 : it->second.size();
 }
@@ -153,6 +158,8 @@ void MessageBus::clear_queues() {
 }
 
 LinkStats MessageBus::link(NodeId source, NodeId destination) const {
+  UFC_EXPECTS(source >= kCoordinatorId);
+  UFC_EXPECTS(destination >= kCoordinatorId);
   auto it = links_.find({source, destination});
   return it == links_.end() ? LinkStats{} : it->second;
 }

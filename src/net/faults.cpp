@@ -47,6 +47,7 @@ bool FaultPlan::delivery_preserving() const {
 }
 
 bool FaultPlan::link_blocked(NodeId from, NodeId to, int round) const {
+  UFC_EXPECTS(round >= 0);
   for (const auto& p : partitions_) {
     const bool matches =
         (p.a == from && p.b == to) || (p.a == to && p.b == from);
@@ -56,6 +57,7 @@ bool FaultPlan::link_blocked(NodeId from, NodeId to, int round) const {
 }
 
 bool FaultPlan::node_down(NodeId node, int round) const {
+  UFC_EXPECTS(round >= 0);
   for (const auto& c : crashes_)
     if (c.node == node && c.window.contains(round)) return true;
   return false;

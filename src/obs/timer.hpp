@@ -1,46 +1,16 @@
 // Monotonic wall-clock helpers for the observability layer.
 //
-// All phase and iteration timing in this repo goes through these two types so
-// every duration is measured on the same monotonic clock (std::chrono::
-// steady_clock — never the wall clock, which NTP can step backwards).
+// The implementations live in util/clock.hpp — the repo's single sanctioned
+// clock seam — so that every duration in the tree is measured on the same
+// monotonic clock (std::chrono::steady_clock, never the wall clock, which
+// NTP can step backwards). This header keeps the obs-layer names stable.
 #pragma once
 
-#include <chrono>
+#include "util/clock.hpp"
 
 namespace ufc::obs {
 
-/// A started stopwatch on the monotonic clock.
-class MonotonicTimer {
- public:
-  MonotonicTimer() : start_(std::chrono::steady_clock::now()) {}
-
-  /// Seconds elapsed since construction or the last restart().
-  double elapsed_seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
-  void restart() { start_ = std::chrono::steady_clock::now(); }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-/// RAII phase timer: adds the scope's elapsed seconds to an accumulator on
-/// destruction. Accumulating (rather than overwriting) lets one accumulator
-/// total a phase that runs many times per iteration.
-class ScopedTimer {
- public:
-  explicit ScopedTimer(double& accumulator) : accumulator_(accumulator) {}
-  ~ScopedTimer() { accumulator_ += timer_.elapsed_seconds(); }
-
-  ScopedTimer(const ScopedTimer&) = delete;
-  ScopedTimer& operator=(const ScopedTimer&) = delete;
-
- private:
-  double& accumulator_;
-  MonotonicTimer timer_;
-};
+using MonotonicTimer = util::MonotonicTimer;
+using ScopedTimer = util::ScopedTimer;
 
 }  // namespace ufc::obs
