@@ -1,13 +1,26 @@
-// Parallel scaling of the ADM-G step: per-iteration wall time vs. the
-// AdmgOptions::threads knob at three problem scales, against the pre-PR
-// serial baseline (the allocating, single-threaded step this optimization
-// replaced). Iterates are bit-identical across thread counts, so every row
-// times exactly the same arithmetic.
+// Parallel scaling of the ADM-G step, two sweeps:
+//
+//  1. Thread scaling: per-iteration wall time vs. the AdmgOptions::threads
+//     knob at three problem scales, against the pre-PR serial baseline (the
+//     allocating, single-threaded step an earlier optimization replaced).
+//     Iterates are bit-identical across thread counts, so every row times
+//     exactly the same arithmetic.
+//
+//  2. Size-scaling frontier (docs/PERFORMANCE.md, "Scaling frontier"):
+//     serial per-iteration time up to 4096x256 for the default kernels
+//     (sort projection, bit-pinned) and the fast path (Condat projection +
+//     active-set screening), against the pre-frontier serial baseline.
+//     Each fast-path run is KKT-validated: one extra step is taken from a
+//     snapshot of (a, varphi), and the resulting lambda rows are checked as
+//     projected-gradient fixed points of their sub-problems.
+//     Override the sizes with UFC_BENCH_SIZES (see bench_common.hpp).
 #include "bench_common.hpp"
 
 #include <chrono>
+#include <cmath>
 
 #include "admm/admg.hpp"
+#include "opt/kkt.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -65,6 +78,83 @@ struct Scale {
   double pre_pr_serial_us;
 };
 
+/// Serial per-iteration time of the pre-frontier kernels (sort projection,
+/// strided column gathers, no screening) at commit 627702a, measured on this
+/// container (release build, threads=1, warmup 5, same random_problem
+/// seeds). 0.0 = no baseline recorded for this size (custom UFC_BENCH_SIZES
+/// points): the speedup columns are then reported as 0.
+double pre_frontier_serial_us(std::size_t m, std::size_t n) {
+  if (m == 64 && n == 16) return 4735.11;
+  if (m == 256 && n == 32) return 34942.6;
+  if (m == 1024 && n == 128) return 771943.0;
+  if (m == 4096 && n == 256) return 6866200.0;
+  return 0.0;
+}
+
+/// Per-iteration serial wall time with the given options, warming up
+/// `warmup` steps first (first-step allocations + the screening cold start).
+double frontier_us_per_iteration(const ufc::UfcProblem& problem,
+                                 const ufc::admm::AdmgOptions& options,
+                                 int warmup, int iterations) {
+  ufc::admm::AdmgSolver solver(problem, options);
+  for (int k = 0; k < warmup; ++k) solver.step();
+  const auto start = std::chrono::steady_clock::now();
+  for (int k = 0; k < iterations; ++k) solver.step();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() /
+         static_cast<double>(iterations);
+}
+
+struct KktSummary {
+  double max_residual = 0.0;
+  bool passed = true;
+};
+
+/// Validates the fast path's lambda predictions as first-order optima: from
+/// the solver's current state, snapshot (a, varphi), take one more step, and
+/// check sampled rows of the resulting lambda (which the step computed from
+/// exactly that snapshot) as projected-gradient fixed points of the
+/// per-front-end sub-problem (eq. (17)). An incorrectly screened-out
+/// coordinate would show up as a residual at that coordinate, because the
+/// check runs over the full row, not the support.
+KktSummary validate_lambda_kkt(ufc::admm::AdmgSolver& solver) {
+  using namespace ufc;
+  const Mat a_snap = solver.a();
+  const Mat varphi_snap = solver.varphi();
+  solver.step();
+  const Mat& lambda = solver.lambda();
+  const UfcProblem& p = solver.problem();
+  const std::size_t m = p.num_front_ends();
+  const std::size_t n = p.num_datacenters();
+  const std::size_t stride = m < 16 ? 1 : m / 16;
+  const double rho = solver.options().rho;
+  KktSummary summary;
+  for (std::size_t i = 0; i < m; i += stride) {
+    const double arrival = p.arrivals[i];
+    if (arrival <= 0.0) continue;
+    Vec row(n);
+    for (std::size_t j = 0; j < n; ++j) row[j] = lambda(i, j);
+    auto gradient = [&](const Vec& x) {
+      double avg_latency = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        avg_latency += x[j] * p.latency_s(i, j);
+      avg_latency /= arrival;
+      const double uprime = p.utility->derivative(avg_latency);
+      Vec g(n);
+      for (std::size_t j = 0; j < n; ++j)
+        g[j] = -p.latency_weight * uprime * p.latency_s(i, j) -
+               varphi_snap(i, j) - rho * (a_snap(i, j) - x[j]);
+      return g;
+    };
+    auto project = [&](const Vec& x) { return project_simplex(x, arrival); };
+    const auto check = check_first_order_optimality(row, gradient, project,
+                                                    1e-6, 1e-5, arrival);
+    summary.max_residual = std::max(summary.max_residual, check.residual);
+    summary.passed = summary.passed && check.passed;
+  }
+  return summary;
+}
+
 }  // namespace
 
 int main() {
@@ -117,5 +207,83 @@ int main() {
   obs::JsonValue entry = obs::JsonValue::object();
   entry.set("rows", std::move(rows));
   bench::write_bench_entry("parallel_scaling", std::move(entry));
+
+  // ---- Size-scaling frontier: default kernels vs. the fast path, serial.
+  std::cout << "\n=== Size-scaling frontier (serial) ===\n";
+  std::cout << "fast path = Condat projection + active-set screening "
+               "(full verification pass every "
+            << admm::ActiveSetOptions{}.full_pass_every << " steps)\n\n";
+  // Timed windows are multiples of the screening period where affordable, so
+  // the fast-path mean amortizes the periodic full verification pass.
+  const auto frontier = bench::bench_sizes({
+      {64, 16, 96},
+      {256, 32, 32},
+      {1024, 128, 8},
+      {4096, 256, 8},
+  });
+  TablePrinter frontier_table({"M", "N", "default us/iter", "fast us/iter",
+                               "pre-PR us", "default speedup", "fast speedup",
+                               "KKT max res", "KKT pass"});
+  CsvWriter frontier_csv(
+      "ufc_scaling_frontier.csv",
+      {"m", "n", "iterations", "default_us_per_iter", "fast_us_per_iter",
+       "pre_pr_us", "default_speedup", "fast_speedup", "kkt_max_residual",
+       "kkt_passed"});
+  obs::JsonValue frontier_rows = obs::JsonValue::array();
+  for (const auto& size : frontier) {
+    const auto problem = random_problem(size.m, size.n);
+    const int warmup = 2;
+
+    admm::AdmgOptions defaults;
+    defaults.threads = 1;
+    const double default_us =
+        frontier_us_per_iteration(problem, defaults, warmup, size.iterations);
+
+    admm::AdmgOptions fast = defaults;
+    fast.inner.projection = SimplexProjection::Condat;
+    fast.screening.enabled = true;
+    admm::AdmgSolver fast_solver(problem, fast);
+    for (int k = 0; k < warmup; ++k) fast_solver.step();
+    const auto start = std::chrono::steady_clock::now();
+    for (int k = 0; k < size.iterations; ++k) fast_solver.step();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double fast_us =
+        std::chrono::duration<double, std::micro>(elapsed).count() /
+        static_cast<double>(size.iterations);
+    const KktSummary kkt = validate_lambda_kkt(fast_solver);
+
+    const double pre_pr = pre_frontier_serial_us(size.m, size.n);
+    const double default_speedup = pre_pr > 0.0 ? pre_pr / default_us : 0.0;
+    const double fast_speedup = pre_pr > 0.0 ? pre_pr / fast_us : 0.0;
+    frontier_table.add_row(
+        std::to_string(size.m),
+        {static_cast<double>(size.n), default_us, fast_us, pre_pr,
+         default_speedup, fast_speedup, kkt.max_residual,
+         kkt.passed ? 1.0 : 0.0},
+        2);
+    frontier_csv.row({static_cast<double>(size.m),
+                      static_cast<double>(size.n),
+                      static_cast<double>(size.iterations), default_us,
+                      fast_us, pre_pr, default_speedup, fast_speedup,
+                      kkt.max_residual, kkt.passed ? 1.0 : 0.0});
+    obs::JsonValue row = obs::JsonValue::object();
+    row.set("m", obs::JsonValue(static_cast<std::int64_t>(size.m)));
+    row.set("n", obs::JsonValue(static_cast<std::int64_t>(size.n)));
+    row.set("iterations", obs::JsonValue(size.iterations));
+    row.set("default_us_per_iter", obs::JsonValue(default_us));
+    row.set("fast_us_per_iter", obs::JsonValue(fast_us));
+    row.set("pre_pr_us", obs::JsonValue(pre_pr));
+    row.set("default_speedup", obs::JsonValue(default_speedup));
+    row.set("fast_speedup", obs::JsonValue(fast_speedup));
+    row.set("kkt_max_residual", obs::JsonValue(kkt.max_residual));
+    row.set("kkt_passed", obs::JsonValue(kkt.passed));
+    frontier_rows.push_back(std::move(row));
+  }
+  frontier_table.print();
+  bench::note_csv(frontier_csv);
+
+  obs::JsonValue frontier_entry = obs::JsonValue::object();
+  frontier_entry.set("rows", std::move(frontier_rows));
+  bench::write_bench_entry("scaling_frontier", std::move(frontier_entry));
   return 0;
 }

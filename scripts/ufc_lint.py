@@ -31,6 +31,14 @@ Rules (each documented in docs/STATIC_ANALYSIS.md):
                     may appear only in src/admm/engine.cpp; every other file
                     must call the shared correct_* helpers, so all four
                     drivers provably run the same prediction/correction loop.
+  no-sort-in-hot-path
+                    No std::sort / std::stable_sort / std::partial_sort in the
+                    ADM-G hot path (src/admm/** and the projection fast paths
+                    in src/math/projections.*): the O(n) Condat projection
+                    exists precisely so the per-iteration cost has no n log n
+                    term. The bit-pinned sort-based reference implementation
+                    lives in src/math/projections_reference.cpp, the one file
+                    exempt by name.
   obs-layering      The observability layer (src/obs) consumes solver results,
                     never drives solves: it may include only obs/, util/,
                     model/ headers and the dedicated result/telemetry seams
@@ -192,7 +200,12 @@ def check_bench_csv_name(rel: str, lines: list[str]) -> list[Finding]:
 # construction (temporary or named local) is flagged. References and pointers
 # (`const Vec&`, `Vec*`) do not allocate and pass.
 ALLOC_RE = re.compile(r"\b(Mat|Vec)\s*(?:[A-Za-z_]\w*\s*)?[({]")
-STEP_DEF_RE = re.compile(r"\b(?:AdmgSolver|InProcessExecutor)\s*::\s*step\s*\(")
+# The per-iteration hot path: step() plus the pass helpers it dispatches to
+# (full/screened lambda and datacenter passes extracted from the step body).
+STEP_DEF_RE = re.compile(
+    r"\b(?:AdmgSolver|InProcessExecutor)\s*::\s*"
+    r"(?:step|run_full_datacenter_pass|run_screened_lambda_pass|"
+    r"run_screened_datacenter_pass)\s*\(")
 
 
 def _body_span(text: str, open_paren: int) -> tuple[int, int] | None:
@@ -243,6 +256,39 @@ def check_no_alloc_in_step(rel: str, lines: list[str]) -> list[Finding]:
                     rel, i + 1, "no-alloc-in-step",
                     "Mat/Vec constructed inside the ADM-G step hot path; "
                     "allocate it once in reset() and reuse the workspace"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: no-sort-in-hot-path
+# --------------------------------------------------------------------------
+# The ADM-G step's per-iteration cost must stay O(n) per projection: the
+# Condat algorithm (src/math/projections.cpp) replaced the sort-and-threshold
+# method in the hot path, and the n log n reference survives only as the
+# bit-pinned cross-validation baseline in src/math/projections_reference.cpp.
+# A std::sort reappearing under src/admm or in the projection fast paths
+# silently reintroduces the scaling term the frontier bench exists to keep
+# out.
+SORT_HOT_PATH_PREFIXES = ("src/admm/",)
+SORT_HOT_PATH_FILES = {"src/math/projections.hpp", "src/math/projections.cpp"}
+SORT_REFERENCE_FILE = "src/math/projections_reference.cpp"
+SORT_CALL_RE = re.compile(r"\bstd\s*::\s*(?:stable_sort|partial_sort|sort)\s*\(")
+
+
+def check_no_sort_in_hot_path(rel: str, lines: list[str]) -> list[Finding]:
+    if rel == SORT_REFERENCE_FILE:
+        return []
+    if not (rel.startswith(SORT_HOT_PATH_PREFIXES) or rel in SORT_HOT_PATH_FILES):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        code = _strip_comments_and_strings(line)
+        if SORT_CALL_RE.search(code) and not _suppressed(lines, i, "no-sort-in-hot-path"):
+            findings.append(Finding(
+                rel, i + 1, "no-sort-in-hot-path",
+                "std::sort in the ADM-G hot path; use the O(n) Condat "
+                "projection — the sort-based reference lives only in "
+                "src/math/projections_reference.cpp"))
     return findings
 
 
@@ -448,6 +494,7 @@ RULES = {
     "float-equal": (check_float_equal, "no ==/!= on float literals outside tolerance helpers"),
     "bench-csv-name": (check_bench_csv_name, "bench binaries write only ufc_*.csv"),
     "no-alloc-in-step": (check_no_alloc_in_step, "no Mat/Vec construction inside the ADM-G step hot path"),
+    "no-sort-in-hot-path": (check_no_sort_in_hot_path, "no std::sort in src/admm or the projection fast paths"),
     "finite-iterate-guard": (check_finite_iterate_guard, "the engine iteration loop must consult SolverWatchdog::observe"),
     "engine-single-loop": (check_engine_single_loop, "GBS correction arithmetic only in src/admm/engine.cpp"),
     "obs-layering": (check_obs_layering, "src/obs includes only seam headers, never solver drivers"),
@@ -664,6 +711,47 @@ def self_test() -> int:
                    "}\n")
             findings = self.lint_source("src/admm/admg.cpp", cpp)
             self.assertNotIn("no-alloc-in-step", self.rules_of(findings))
+
+        def test_no_sort_in_hot_path_admm_flagged(self):
+            cpp = "void f(double* a, double* b) { std::sort(a, b); }\n"
+            findings = self.lint_source("src/admm/blocks.cpp", cpp)
+            self.assertIn("no-sort-in-hot-path", self.rules_of(findings))
+
+        def test_no_sort_in_hot_path_projection_fast_path_flagged(self):
+            cpp = "void p(std::vector<double>& s) { std::stable_sort(s.begin(), s.end()); }\n"
+            findings = self.lint_source("src/math/projections.cpp", cpp)
+            self.assertIn("no-sort-in-hot-path", self.rules_of(findings))
+
+        def test_no_sort_in_hot_path_reference_file_exempt(self):
+            cpp = "void p(std::vector<double>& s) { std::sort(s.begin(), s.end()); }\n"
+            findings = self.lint_source("src/math/projections_reference.cpp", cpp)
+            self.assertNotIn("no-sort-in-hot-path", self.rules_of(findings))
+
+        def test_no_sort_in_hot_path_other_layers_exempt(self):
+            cpp = "void f(std::vector<double>& s) { std::sort(s.begin(), s.end()); }\n"
+            findings = self.lint_source("src/opt/quantiles.cpp", cpp)
+            self.assertNotIn("no-sort-in-hot-path", self.rules_of(findings))
+
+        def test_no_sort_in_hot_path_comment_ignored(self):
+            cpp = "// the reference uses std::sort(v.begin(), v.end())\nint f();\n"
+            findings = self.lint_source("src/admm/engine.cpp", cpp)
+            self.assertNotIn("no-sort-in-hot-path", self.rules_of(findings))
+
+        def test_no_sort_in_hot_path_suppressed(self):
+            cpp = ("void f(double* a, double* b) {\n"
+                   "  // ufc-lint: allow(no-sort-in-hot-path)\n"
+                   "  std::sort(a, b);\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/blocks.cpp", cpp)
+            self.assertNotIn("no-sort-in-hot-path", self.rules_of(findings))
+
+        def test_no_alloc_in_step_pass_helper_flagged(self):
+            cpp = ("void InProcessExecutor::run_screened_datacenter_pass() {\n"
+                   "  Vec scratch(n_);\n"
+                   "  use(scratch);\n"
+                   "}\n")
+            findings = self.lint_source("src/admm/engine.cpp", cpp)
+            self.assertIn("no-alloc-in-step", self.rules_of(findings))
 
         def test_finite_iterate_guard_missing_observe_flagged(self):
             cpp = ("SolveCore AdmgEngine::solve(BlockExecutor& executor, int first) {\n"

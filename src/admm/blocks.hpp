@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "math/projections.hpp"
 #include "math/vector.hpp"
 #include "model/emission.hpp"
 #include "model/utility.hpp"
@@ -38,12 +39,26 @@ enum class InnerMethod {
 struct InnerSolverOptions {
   FistaOptions fista;
   InnerMethod method = InnerMethod::Fista;
+  /// Simplex-projection algorithm used by the FISTA hot path (the PG
+  /// ablation keeps the sort-based reference; Exact solves a QP instead).
+  /// SortThreshold reproduces the pinned hexfloat baselines; Condat is the
+  /// O(n) scaling choice and agrees with the reference to a few ulps of tau.
+  SimplexProjection projection = SimplexProjection::SortThreshold;
 };
 
 /// Reusable scratch for the *_into block solvers: FISTA iterate buffers, the
-/// simplex projection's sort scratch and the exact QP's coefficient vectors.
+/// simplex projection's scratch and the exact QP's coefficient vectors.
 /// One instance per worker thread; every buffer reaches its steady size
 /// after the first solve and is never reallocated again.
+///
+/// sort_scratch ownership (audited): the buffer is OWNED here and only
+/// borrowed by project_*_into / project_*_condat_into, which assign or
+/// resize it to the input length per call. A worker alternates between
+/// lambda rows (length N) and a columns (length M); std::vector::assign
+/// never releases capacity, so the capacity climbs monotonically to
+/// max(M, N) during the first engine step and no reallocation happens on
+/// any later call — there is deliberately no shrinking, because the next
+/// solve of either length reuses the same allocation.
 struct BlockWorkspace {
   FistaWorkspace fista;
   std::vector<double> sort_scratch;

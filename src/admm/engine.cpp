@@ -149,6 +149,7 @@ InProcessExecutor::InProcessExecutor(const UfcProblem& problem,
   UFC_EXPECTS(options_.max_iterations > 0);
   UFC_EXPECTS(options_.tolerance > 0.0);
   UFC_EXPECTS(options_.threads >= 0);
+  UFC_EXPECTS(options_.screening.full_pass_every >= 1);
 
   sigma_ = options_.workload_scale > 0.0 ? options_.workload_scale
                                          : natural_workload_scale(original_);
@@ -174,6 +175,9 @@ InProcessExecutor::InProcessExecutor(const UfcProblem& problem,
 void InProcessExecutor::enable_partial(double participation,
                                        std::uint64_t seed) {
   UFC_EXPECTS(participation > 0.0 && participation < 1.0);
+  // A straggler's cached lambda row bypasses the screened-pass bookkeeping,
+  // so the support invariants cannot be maintained under both models.
+  UFC_EXPECTS(!options_.screening.enabled);
   partial_ = true;
   participation_ = participation;
   rng_ = Rng(seed);
@@ -207,17 +211,36 @@ void InProcessExecutor::reset() {
   stepped_ = false;
 
   // Step workspace, allocated once here so step() itself never allocates:
-  // the tilde matrix, the column-sum cache and one scratch set per worker.
+  // the tilde matrix, the transposed mirrors, the column-sum caches and one
+  // scratch set per worker.
   lambda_tilde_ = Mat(m_, n_, 0.0);
+  lambda_tilde_t_ = Mat(n_, m_, 0.0);
+  a_t_ = Mat(n_, m_, 0.0);
+  varphi_t_ = Mat(n_, m_, 0.0);
   a_col_sum_.resize(n_);
+  a_col_sum_post_.resize(n_);
+  post_sums_fresh_ = false;
   participate_.assign(m_, 1);
+  const std::size_t max_dim = std::max(m_, n_);
   scratch_.resize(pool_.thread_count());
   for (auto& ws : scratch_) {
-    ws.varphi_col.resize(m_);
-    ws.lambda_col.resize(m_);
-    ws.a_col.resize(m_);
     ws.a_new.resize(m_);
+    // Compact gather buffers reach max capacity here; the screened passes
+    // resize them per row/column strictly within that capacity.
+    ws.sub_latency.resize(max_dim);
+    ws.sub_a.resize(max_dim);
+    ws.sub_varphi.resize(max_dim);
+    ws.sub_lambda.resize(max_dim);
+    ws.sub_warm.resize(max_dim);
+    ws.sub_out.resize(max_dim);
+    ws.support_scratch.reserve(m_);
   }
+  row_support_.assign(m_, {});
+  col_support_.assign(n_, {});
+  chunk_grew_.assign(pool_.thread_count(), 0);
+  screen_ready_ = false;
+  screen_verified_ = false;
+  steps_since_full_ = 0;
   chunk_change_.assign(pool_.thread_count(), 0.0);
   chunk_predict_seconds_.assign(pool_.thread_count(), 0.0);
   chunk_correct_seconds_.assign(pool_.thread_count(), 0.0);
@@ -226,8 +249,13 @@ void InProcessExecutor::reset() {
 double InProcessExecutor::balance_residual() const {
   double r = 0.0;
   for (std::size_t j = 0; j < n_; ++j) {
+    // The maintained post-correction sums are bitwise equal to col_sum
+    // (same increasing-i addition order); the fallback only runs before the
+    // first step or right after restore().
+    const double col_sum =
+        post_sums_fresh_ ? a_col_sum_post_[j] : a_.col_sum(j);
     const double balance = problem_.alpha_mw(j) +
-                           problem_.beta_mw(j) * a_.col_sum(j) - mu_[j] -
+                           problem_.beta_mw(j) * col_sum - mu_[j] -
                            nu_[j];
     r = std::max(r, std::abs(balance));
   }
@@ -243,7 +271,7 @@ double InProcessExecutor::objective() const {
 }
 
 bool InProcessExecutor::is_converged() const {
-  return stepped_ &&
+  return stepped_ && inputs_fresh(0) &&
          balance_residual() / balance_scale_ < options_.tolerance &&
          copy_residual() / copy_scale_ < options_.tolerance &&
          last_change_ / copy_scale_ < options_.tolerance;
@@ -267,10 +295,15 @@ void InProcessExecutor::step(int /*iteration*/) {
               0.0);
   }
   const double rho = options_.rho;
-  const bool pin_mu = options_.pinning == BlockPinning::PinMu;
-  const bool pin_nu = options_.pinning == BlockPinning::PinNu;
-  const bool gbs = options_.gaussian_back_substitution;
-  const double eps = gbs ? options_.epsilon : 1.0;
+
+  // Pass mode: with screening enabled, full (unrestricted) verification
+  // passes run first thing and every full_pass_every-th step; everything in
+  // between runs restricted to the current supports. The facade always
+  // passes iteration 0, so scheduling uses the internal counter.
+  const bool screening = options_.screening.enabled;
+  const bool full_pass =
+      !screening || !screen_ready_ ||
+      steps_since_full_ + 1 >= options_.screening.full_pass_every;
 
   // Straggler draws happen serially in ascending front-end order before the
   // parallel pass, so the consumed random stream (and therefore the iterate
@@ -284,7 +317,8 @@ void InProcessExecutor::step(int /*iteration*/) {
 
   // Cache the column sums of a^k once per step. The row-major pass adds each
   // column's entries in increasing-i order, which is bitwise the same as
-  // Mat::col_sum and as the runtime agent's sum(a_).
+  // Mat::col_sum and as the runtime agent's sum(a_). (Out-of-support entries
+  // are exact zeros, so the screened iterate loses nothing here.)
   a_col_sum_.fill(0.0);
   for (std::size_t i = 0; i < m_; ++i) {
     const auto row = a_.row_span(i);
@@ -294,33 +328,37 @@ void InProcessExecutor::step(int /*iteration*/) {
   // ---- Step 1.1: lambda predictions, one independent task per front-end.
   const auto lambda_pass_started =
       profile_ ? monotonic_now() : MonotonicTick{};
-  pool_.parallel_for_chunks(
-      0, m_, [&](std::size_t begin, std::size_t end, std::size_t c) {
-        BlockWorkspace& ws = scratch_[c].blocks;
-        for (std::size_t i = begin; i < end; ++i) {
-          if (partial_ && participate_[i] == 0) {
-            // Straggler: the coordinator keeps this front-end's cached
-            // prediction. lambda_ holds the previous step's predictions
-            // (post-swap), so copying the row into lambda~ reproduces the
-            // stale proposal exactly; at the cold start both rows are zero.
-            const auto cached = lambda_.row_span(i);
-            const auto stale = lambda_tilde_.row_span(i);
-            std::copy(cached.begin(), cached.end(), stale.begin());
-            continue;
+  if (full_pass) {
+    pool_.parallel_for_chunks(
+        0, m_, [&](std::size_t begin, std::size_t end, std::size_t c) {
+          BlockWorkspace& ws = scratch_[c].blocks;
+          for (std::size_t i = begin; i < end; ++i) {
+            if (partial_ && participate_[i] == 0) {
+              // Straggler: the coordinator keeps this front-end's cached
+              // prediction. lambda_ holds the previous step's predictions
+              // (post-swap), so copying the row into lambda~ reproduces the
+              // stale proposal exactly; at the cold start both rows are zero.
+              const auto cached = lambda_.row_span(i);
+              const auto stale = lambda_tilde_.row_span(i);
+              std::copy(cached.begin(), cached.end(), stale.begin());
+              continue;
+            }
+            LambdaBlockInputs in;
+            in.arrival = problem_.arrivals[i];
+            in.latency_row = problem_.latency_s.row_span(i);
+            in.a_row = a_.row_span(i);
+            in.varphi_row = varphi_.row_span(i);
+            in.rho = rho;
+            in.latency_weight = problem_.latency_weight;
+            in.utility = problem_.utility.get();
+            solve_lambda_block_into(in, lambda_.row_span(i),
+                                    lambda_tilde_.row_span(i), ws,
+                                    options_.inner);
           }
-          LambdaBlockInputs in;
-          in.arrival = problem_.arrivals[i];
-          in.latency_row = problem_.latency_s.row_span(i);
-          in.a_row = a_.row_span(i);
-          in.varphi_row = varphi_.row_span(i);
-          in.rho = rho;
-          in.latency_weight = problem_.latency_weight;
-          in.utility = problem_.utility.get();
-          solve_lambda_block_into(in, lambda_.row_span(i),
-                                  lambda_tilde_.row_span(i), ws,
-                                  options_.inner);
-        }
-      });
+        });
+  } else {
+    run_screened_lambda_pass();
+  }
 
   if (profile_)
     profile_last_.lambda_pass_seconds =
@@ -330,6 +368,74 @@ void InProcessExecutor::step(int /*iteration*/) {
   // reads only iteration-k state of its own column (plus lambda~ and the
   // column-sum cache, both finalized above), so tasks are independent.
   std::fill(chunk_change_.begin(), chunk_change_.end(), 0.0);
+  if (full_pass) {
+    run_full_datacenter_pass();
+  } else {
+    run_screened_datacenter_pass();
+  }
+
+  if (profile_) {
+    // Summed worker-thread time (not wall time): chunks overlap, so the
+    // phase totals measure compute cost, comparable across thread counts.
+    for (const double s : chunk_predict_seconds_)
+      profile_last_.prediction_seconds += s;
+    for (const double s : chunk_correct_seconds_)
+      profile_last_.correction_seconds += s;
+  }
+
+  // lambda is the first block: accepted as predicted. Swapping (instead of
+  // moving) keeps lambda_tilde_'s storage for the next step; a full pass
+  // rewrites every row, a screened pass zero-fills and scatters every row.
+  std::swap(lambda_, lambda_tilde_);
+
+  if (screening) {
+    if (full_pass) {
+      rebuild_row_supports();
+      bool grew = false;
+      for (const unsigned char g : chunk_grew_) grew = grew || g != 0;
+      // The convergence gate: only a full pass whose support did not grow
+      // may certify the iterate (ActiveSetOptions contract).
+      screen_verified_ = !grew;
+      screen_ready_ = true;
+      steps_since_full_ = 0;
+    } else {
+      screen_verified_ = false;
+      ++steps_since_full_;
+    }
+  }
+
+  // max is exact and order-insensitive, so the cross-chunk reduction is
+  // bit-identical for every chunking.
+  double change = 0.0;
+  for (double c : chunk_change_) change = std::max(change, c);
+  last_change_ = change;
+  post_sums_fresh_ = true;
+  stepped_ = true;
+}
+
+// Fused per-datacenter prediction + correction (steps 1.2-1.5 + step 2) over
+// the transposed mirrors: each column task reads and writes contiguous rows
+// of the N x M transposes instead of gathering/scattering strided columns of
+// the row-major primaries. Values and evaluation order are identical to the
+// former col_into/set_col formulation bit for bit — only the memory layout
+// changed. With screening enabled this pass additionally rebuilds each
+// column's support from the corrected state and records growth.
+void InProcessExecutor::run_full_datacenter_pass() {
+  using util::monotonic_now;
+  using util::MonotonicTick;
+  using util::seconds_between;
+  const double rho = options_.rho;
+  const bool pin_mu = options_.pinning == BlockPinning::PinMu;
+  const bool pin_nu = options_.pinning == BlockPinning::PinNu;
+  const bool gbs = options_.gaussian_back_substitution;
+  const double eps = gbs ? options_.epsilon : 1.0;
+  const bool screening = options_.screening.enabled;
+
+  varphi_.transpose_into(varphi_t_);
+  lambda_tilde_.transpose_into(lambda_tilde_t_);
+  a_.transpose_into(a_t_);
+  std::fill(chunk_grew_.begin(), chunk_grew_.end(), 0);
+
   pool_.parallel_for_chunks(
       0, n_, [&](std::size_t begin, std::size_t end, std::size_t c) {
         WorkerScratch& ws = scratch_[c];
@@ -373,10 +479,12 @@ void InProcessExecutor::step(int /*iteration*/) {
             nu_tilde = solve_nu_block(in);
           }
 
-          // 1.4 a-minimization (uses lambda~, mu~, nu~, phi^k, varphi^k).
-          varphi_.col_into(j, ws.varphi_col);
-          lambda_tilde_.col_into(j, ws.lambda_col);
-          a_.col_into(j, ws.a_col);
+          // 1.4 a-minimization (uses lambda~, mu~, nu~, phi^k, varphi^k) —
+          // directly on the contiguous transposed rows.
+          const auto varphi_col = varphi_t_.row_span(j);
+          const auto lambda_col = lambda_tilde_t_.row_span(j);
+          const auto a_col = a_t_.row_span(j);
+          ws.a_new.resize(m_);
           {
             ABlockInputs in;
             in.alpha = alpha;
@@ -384,11 +492,11 @@ void InProcessExecutor::step(int /*iteration*/) {
             in.mu = mu_tilde;
             in.nu = nu_tilde;
             in.phi = phi_[j];
-            in.varphi_col = ws.varphi_col.span();
-            in.lambda_col = ws.lambda_col.span();
+            in.varphi_col = varphi_col;
+            in.lambda_col = lambda_col;
             in.rho = rho;
             in.capacity = problem_.datacenters[j].servers;
-            solve_a_block_into(in, ws.a_col.span(), ws.a_new.span(), ws.blocks,
+            solve_a_block_into(in, a_col, ws.a_new.span(), ws.blocks,
                                options_.inner);
           }
 
@@ -408,16 +516,242 @@ void InProcessExecutor::step(int /*iteration*/) {
                 seconds_between(column_started, correction_started);
 
           // Step 2 (or the plain-ADMM acceptance when gbs is off), applied
-          // in the already-gathered column buffers, then scattered back.
-          // Each variable's correction reads only its own old value, so
-          // sequencing varphi -> a -> (phi, nu, mu) is bitwise the same as
-          // the paper's backward order.
-          correct_varphi_block(ws.varphi_col.span(), ws.a_new.span(),
-                               ws.lambda_col.span(), rho, eps, gbs);
+          // in place on the transposed rows. Each variable's correction
+          // reads only its own old value, so sequencing varphi -> a ->
+          // (phi, nu, mu) is bitwise the same as the paper's backward order.
+          correct_varphi_block(varphi_col, ws.a_new.span(), lambda_col, rho,
+                               eps, gbs);
           const ABlockCorrection corr =
-              correct_a_block(ws.a_col.span(), ws.a_new.span(), eps, gbs);
-          varphi_.set_col(j, ws.varphi_col.span());
-          a_.set_col(j, ws.a_col.span());
+              correct_a_block(a_col, ws.a_new.span(), eps, gbs);
+          // Post-correction column sum in increasing-i order: bitwise equal
+          // to Mat::col_sum on the transposed-back primary.
+          double col_total = 0.0;
+          for (std::size_t i = 0; i < m_; ++i) col_total += a_col[i];
+          a_col_sum_post_[j] = col_total;
+          change = std::max(change, corr.max_change);
+          change = std::max(
+              change, correct_sources(phi_[j], nu_[j], mu_[j], phi_tilde,
+                                      nu_tilde, mu_tilde, beta, corr.delta_sum,
+                                      eps, gbs, pin_mu, pin_nu));
+
+          if (screening) {
+            // Rebuild this column's support from the corrected state: the
+            // combined nonzero pattern of a (post-correction) and lambda~
+            // (which becomes lambda at the end-of-step swap).
+            auto& fresh = ws.support_scratch;
+            fresh.clear();
+            for (std::size_t i = 0; i < m_; ++i) {
+              // ufc-lint: allow(float-equal) — support membership is defined
+              // by exact zeros: the projections emit hard zeros and screened
+              // passes never write outside the support.
+              if (a_col[i] != 0.0 || lambda_col[i] != 0.0)
+                fresh.push_back(static_cast<std::uint32_t>(i));
+            }
+            auto& previous = col_support_[j];
+            // Growth = any fresh index absent from the previous support
+            // (both ascending; merge scan).
+            bool grew = false;
+            std::size_t p = 0;
+            for (const std::uint32_t i : fresh) {
+              while (p < previous.size() && previous[p] < i) ++p;
+              if (p == previous.size() || previous[p] != i) {
+                grew = true;
+                break;
+              }
+            }
+            if (grew) chunk_grew_[c] = 1;
+            previous.assign(fresh.begin(), fresh.end());
+          }
+          if (profile_)
+            chunk_correct_seconds_[c] +=
+                seconds_between(correction_started, monotonic_now());
+        }
+        chunk_change_[c] = change;
+      });
+
+  varphi_t_.transpose_into(varphi_);
+  a_t_.transpose_into(a_);
+}
+
+// Restricted lambda pass: each front-end solves its sub-problem over its
+// support set only. The restriction is exact for the restricted problem —
+// out-of-support lambda entries are exact zeros, so the latency, dual and
+// proximal terms they would contribute are constants — but the restricted
+// FISTA solve uses the restricted Lipschitz constant, which is why screened
+// iterates are not bit-identical to unscreened ones.
+void InProcessExecutor::run_screened_lambda_pass() {
+  const double rho = options_.rho;
+  pool_.parallel_for_chunks(
+      0, m_, [&](std::size_t begin, std::size_t end, std::size_t c) {
+        WorkerScratch& ws = scratch_[c];
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto out_row = lambda_tilde_.row_span(i);
+          // Zero the whole prediction row first: lambda_tilde_ holds the
+          // two-steps-old lambda after the swap cycle, which may have
+          // support the pattern has since dropped.
+          std::fill(out_row.begin(), out_row.end(), 0.0);
+          if (problem_.arrivals[i] <= 0.0) continue;
+          const auto& support = row_support_[i];
+          LambdaBlockInputs in;
+          in.arrival = problem_.arrivals[i];
+          in.rho = rho;
+          in.latency_weight = problem_.latency_weight;
+          in.utility = problem_.utility.get();
+          if (support.empty()) {
+            // Defensive: a positive-arrival row always has support after a
+            // full pass (its lambda row sums to the arrival). Solve the
+            // full row rather than emit an infeasible all-zero row.
+            in.latency_row = problem_.latency_s.row_span(i);
+            in.a_row = a_.row_span(i);
+            in.varphi_row = varphi_.row_span(i);
+            solve_lambda_block_into(in, lambda_.row_span(i), out_row,
+                                    ws.blocks, options_.inner);
+            continue;
+          }
+          const std::size_t s = support.size();
+          ws.sub_latency.resize(s);
+          ws.sub_a.resize(s);
+          ws.sub_varphi.resize(s);
+          ws.sub_warm.resize(s);
+          ws.sub_out.resize(s);
+          const auto lat = problem_.latency_s.row_span(i);
+          const auto a_row = a_.row_span(i);
+          const auto varphi_row = varphi_.row_span(i);
+          const auto warm_row = lambda_.row_span(i);
+          for (std::size_t k = 0; k < s; ++k) {
+            const std::size_t j = support[k];
+            ws.sub_latency[k] = lat[j];
+            ws.sub_a[k] = a_row[j];
+            ws.sub_varphi[k] = varphi_row[j];
+            ws.sub_warm[k] = warm_row[j];
+          }
+          in.latency_row = ws.sub_latency.span();
+          in.a_row = ws.sub_a.span();
+          in.varphi_row = ws.sub_varphi.span();
+          solve_lambda_block_into(in, ws.sub_warm.span(), ws.sub_out.span(),
+                                  ws.blocks, options_.inner);
+          for (std::size_t k = 0; k < s; ++k)
+            out_row[support[k]] = ws.sub_out[k];
+        }
+      });
+}
+
+// Restricted datacenter pass: mu, nu and phi keep their exact full
+// arithmetic (they depend on the column sums, which the exact-zero support
+// invariant preserves); the a solve and the varphi/a corrections run on the
+// compact support gather only, and out-of-support varphi entries stay frozen
+// (their correction would be a no-op: a~ = lambda~ = 0 there).
+void InProcessExecutor::run_screened_datacenter_pass() {
+  using util::monotonic_now;
+  using util::MonotonicTick;
+  using util::seconds_between;
+  const double rho = options_.rho;
+  const bool pin_mu = options_.pinning == BlockPinning::PinMu;
+  const bool pin_nu = options_.pinning == BlockPinning::PinNu;
+  const bool gbs = options_.gaussian_back_substitution;
+  const double eps = gbs ? options_.epsilon : 1.0;
+
+  pool_.parallel_for_chunks(
+      0, n_, [&](std::size_t begin, std::size_t end, std::size_t c) {
+        WorkerScratch& ws = scratch_[c];
+        double change = 0.0;
+        for (std::size_t j = begin; j < end; ++j) {
+          const auto column_started =
+              profile_ ? monotonic_now() : MonotonicTick{};
+          const double alpha = problem_.alpha_mw(j);
+          const double beta = problem_.beta_mw(j);
+          const double a_col_sum_k = a_col_sum_[j];
+
+          double mu_tilde = 0.0;
+          if (!pin_mu) {
+            MuBlockInputs in;
+            in.alpha = alpha;
+            in.beta = beta;
+            in.a_col_sum = a_col_sum_k;
+            in.nu = nu_[j];
+            in.phi = phi_[j];
+            in.rho = rho;
+            in.fuel_cell_price = problem_.fuel_cell_price;
+            in.mu_max = problem_.datacenters[j].fuel_cell_capacity_mw;
+            mu_tilde = solve_mu_block(in);
+          }
+
+          double nu_tilde = 0.0;
+          if (!pin_nu) {
+            NuBlockInputs in;
+            in.alpha = alpha;
+            in.beta = beta;
+            in.a_col_sum = a_col_sum_k;
+            in.mu = mu_tilde;
+            in.phi = phi_[j];
+            in.rho = rho;
+            in.grid_price = problem_.datacenters[j].grid_price;
+            in.carbon_tons_per_mwh =
+                problem_.datacenters[j].carbon_rate / 1000.0;
+            in.emission_cost = problem_.datacenters[j].emission_cost.get();
+            nu_tilde = solve_nu_block(in);
+          }
+
+          const auto& support = col_support_[j];
+          const std::size_t s = support.size();
+          double a_tilde_sum = 0.0;
+          ABlockCorrection corr;
+          if (s > 0) {
+            ws.sub_varphi.resize(s);
+            ws.sub_lambda.resize(s);
+            ws.sub_a.resize(s);
+            ws.a_new.resize(s);
+            const double* varphi_base = varphi_.data();
+            const double* lambda_base = lambda_tilde_.data();
+            const double* a_base = a_.data();
+            for (std::size_t k = 0; k < s; ++k) {
+              const std::size_t idx = support[k] * n_ + j;
+              ws.sub_varphi[k] = varphi_base[idx];
+              ws.sub_lambda[k] = lambda_base[idx];
+              ws.sub_a[k] = a_base[idx];
+            }
+            ABlockInputs in;
+            in.alpha = alpha;
+            in.beta = beta;
+            in.mu = mu_tilde;
+            in.nu = nu_tilde;
+            in.phi = phi_[j];
+            in.varphi_col = ws.sub_varphi.span();
+            in.lambda_col = ws.sub_lambda.span();
+            in.rho = rho;
+            in.capacity = problem_.datacenters[j].servers;
+            solve_a_block_into(in, ws.sub_a.span(), ws.a_new.span(),
+                               ws.blocks, options_.inner);
+            for (std::size_t k = 0; k < s; ++k) a_tilde_sum += ws.a_new[k];
+          }
+          const double phi_tilde = update_phi(phi_[j], rho, alpha, beta,
+                                              a_tilde_sum, mu_tilde, nu_tilde);
+
+          const auto correction_started =
+              profile_ ? monotonic_now() : MonotonicTick{};
+          if (profile_)
+            chunk_predict_seconds_[c] +=
+                seconds_between(column_started, correction_started);
+
+          double col_total = 0.0;
+          if (s > 0) {
+            correct_varphi_block(ws.sub_varphi.span(), ws.a_new.span(),
+                                 ws.sub_lambda.span(), rho, eps, gbs);
+            corr = correct_a_block(ws.sub_a.span(), ws.a_new.span(), eps, gbs);
+            double* varphi_base = varphi_.data();
+            double* a_base = a_.data();
+            // Scatter back and accumulate the post-correction column sum in
+            // increasing-i order; the skipped entries are exact zeros, which
+            // are additive identities on these nonnegative partial sums, so
+            // the result is bitwise equal to the full-column scan.
+            for (std::size_t k = 0; k < s; ++k) {
+              const std::size_t idx = support[k] * n_ + j;
+              varphi_base[idx] = ws.sub_varphi[k];
+              a_base[idx] = ws.sub_a[k];
+              col_total += ws.sub_a[k];
+            }
+          }
+          a_col_sum_post_[j] = col_total;
           change = std::max(change, corr.max_change);
           change = std::max(
               change, correct_sources(phi_[j], nu_[j], mu_[j], phi_tilde,
@@ -429,27 +763,13 @@ void InProcessExecutor::step(int /*iteration*/) {
         }
         chunk_change_[c] = change;
       });
+}
 
-  if (profile_) {
-    // Summed worker-thread time (not wall time): chunks overlap, so the
-    // phase totals measure compute cost, comparable across thread counts.
-    for (const double s : chunk_predict_seconds_)
-      profile_last_.prediction_seconds += s;
-    for (const double s : chunk_correct_seconds_)
-      profile_last_.correction_seconds += s;
-  }
-
-  // lambda is the first block: accepted as predicted. Swapping (instead of
-  // moving) keeps lambda_tilde_'s storage for the next step; every row is
-  // fully rewritten by step 1.1.
-  std::swap(lambda_, lambda_tilde_);
-
-  // max is exact and order-insensitive, so the cross-chunk reduction is
-  // bit-identical for every chunking.
-  double change = 0.0;
-  for (double c : chunk_change_) change = std::max(change, c);
-  last_change_ = change;
-  stepped_ = true;
+void InProcessExecutor::rebuild_row_supports() {
+  for (auto& row : row_support_) row.clear();
+  for (std::size_t j = 0; j < n_; ++j)
+    for (const std::uint32_t i : col_support_[j])
+      row_support_[i].push_back(static_cast<std::uint32_t>(j));
 }
 
 void InProcessExecutor::set_problem(const UfcProblem& problem) {
@@ -464,6 +784,12 @@ void InProcessExecutor::set_problem(const UfcProblem& problem) {
   // Residual scales track the new slot's magnitudes.
   update_residual_scales();
   stepped_ = false;  // convergence must be re-established on the new slot
+  // The warm-started iterate carries over, so the cached post-correction
+  // column sums stay valid — but the supports were certified against the old
+  // problem, so the next step must be a full verification pass.
+  screen_ready_ = false;
+  screen_verified_ = false;
+  steps_since_full_ = 0;
 }
 
 bool InProcessExecutor::iterate_finite() const {
@@ -509,6 +835,14 @@ void InProcessExecutor::restore(std::span<const std::byte> bytes) {
   wire::read_f64s(bytes, offset, nu_.span());
   wire::read_f64s(bytes, offset, phi_.span());
   UFC_EXPECTS(offset == bytes.size());
+  // Screening bookkeeping is deliberately not serialized (the checkpoint
+  // format predates it and a restored run may use different options): force
+  // the next step to be a full verification pass, and drop the cached
+  // column sums, which describe the pre-restore iterate.
+  post_sums_fresh_ = false;
+  screen_ready_ = false;
+  screen_verified_ = false;
+  steps_since_full_ = 0;
 }
 
 PartialParticipationExecutor::PartialParticipationExecutor(

@@ -45,6 +45,25 @@ enum class BlockPinning {
   PinNu,  ///< FuelCell strategy: nu_j = 0 for all j (needs full fuel-cell capacity).
 };
 
+/// Active-set screening for the in-process executor (scaling feature; see
+/// docs/PERFORMANCE.md "Scaling frontier"). At the optimum most lambda_ij
+/// are zero — each front-end routes to a few near datacenters — so between
+/// periodic full passes the lambda and a solves are restricted to the
+/// current support pattern (the combined nonzero pattern of lambda and a,
+/// maintained per row and per column). Exactness contract: every
+/// `full_pass_every`-th step runs the unrestricted pass and rebuilds the
+/// supports; convergence is only ever declared on an iterate produced by a
+/// full pass whose support did not grow (a growing full pass resets that
+/// gate). Screened iterates are NOT bit-identical to unscreened ones — the
+/// restricted inner solves use the restricted Lipschitz constant — but the
+/// fixed point is validated by the same residual gate and the KKT checker.
+struct ActiveSetOptions {
+  bool enabled = false;
+  /// Period of unrestricted verification passes. 1 = every pass full
+  /// (screening effectively off, gate bookkeeping only).
+  int full_pass_every = 8;
+};
+
 struct AdmgOptions {
   /// Penalty parameter. The paper reports rho = 0.3 for its (unstated)
   /// variable scaling; with our mean-arrival workload normalization the
@@ -69,6 +88,9 @@ struct AdmgOptions {
   /// choice of ADM-G guards against.
   bool gaussian_back_substitution = true;
   InnerSolverOptions inner;
+  /// Active-set screening (in-process executor only; incompatible with the
+  /// straggler model, ignored by the message-passing runtime).
+  ActiveSetOptions screening;
   BlockPinning pinning = BlockPinning::None;
   /// Record per-iteration residuals/objective (costs one evaluate() per
   /// iteration; cheap at paper scale).
@@ -213,6 +235,14 @@ class InProcessExecutor : public BlockExecutor {
   InProcessExecutor(const UfcProblem& problem, AdmgOptions options);
 
   void step(int iteration) override;
+  /// With screening enabled, false until the most recent step was a full
+  /// (unrestricted) pass whose support pattern did not grow — the engine's
+  /// convergence gate therefore never accepts a screened iterate. Always
+  /// true with screening disabled.
+  bool inputs_fresh(int iteration) const override {
+    (void)iteration;
+    return !options_.screening.enabled || screen_verified_;
+  }
   void set_phase_profiling(bool enabled) override { profile_ = enabled; }
   const PhaseProfile* phase_profile() const override {
     return profile_ ? &profile_last_ : nullptr;
@@ -259,7 +289,10 @@ class InProcessExecutor : public BlockExecutor {
 
   /// Serializes the complete iterate (primal, dual, last-change tracking)
   /// with the shared wire codec. A restored executor continues
-  /// bit-identically to one that never paused.
+  /// bit-identically to one that never paused — for default options; the
+  /// active-set bookkeeping is deliberately NOT serialized, so a restored
+  /// screened run re-verifies with a full pass first (exactness preserved,
+  /// step-for-step trajectory not).
   std::vector<std::byte> checkpoint() const;
   /// Restores a checkpoint() image. The executor must hold a problem with
   /// the same dimensions and workload normalization; anything else
@@ -273,20 +306,30 @@ class InProcessExecutor : public BlockExecutor {
   /// cached one from its last participating step. Requires
   /// participation in (0, 1); at exactly 1 the model is left disabled so the
   /// step consumes no randomness and stays bit-identical to the synchronous
-  /// path.
+  /// path. Incompatible with active-set screening (a straggler's cached
+  /// prediction would bypass the support bookkeeping).
   void enable_partial(double participation, std::uint64_t seed);
 
  private:
-  /// Per-worker scratch: block-solver workspace plus the column gather
-  /// buffers of the fused datacenter pass. One instance per pool thread,
-  /// indexed by parallel_for_chunks' chunk index; every buffer reaches its
-  /// steady size in reset() and is never reallocated inside step().
+  /// Per-worker scratch: block-solver workspace, the a~ prediction buffer,
+  /// and the compact gather buffers of the screened passes. One instance per
+  /// pool thread, indexed by parallel_for_chunks' chunk index; every buffer
+  /// reaches its steady capacity in reset() (max(M, N)) and is never
+  /// reallocated inside step() — screened passes resize within capacity.
   struct WorkerScratch {
     BlockWorkspace blocks;
-    Vec varphi_col, lambda_col, a_col, a_new;
+    Vec a_new;  ///< a~ prediction: full column (M) or compact support.
+    // Screened-pass gathers: compact views of a row/column restricted to
+    // its support set.
+    Vec sub_latency, sub_a, sub_varphi, sub_lambda, sub_warm, sub_out;
+    std::vector<std::uint32_t> support_scratch;  ///< Rebuilt column support.
   };
 
   void update_residual_scales();
+  void run_full_datacenter_pass();
+  void run_screened_lambda_pass();
+  void run_screened_datacenter_pass();
+  void rebuild_row_supports();
 
   UfcProblem original_;  ///< As given (for the final evaluation).
   UfcProblem problem_;   ///< Workload-normalized.
@@ -315,6 +358,26 @@ class InProcessExecutor : public BlockExecutor {
   Vec a_col_sum_;                      ///< Per-step cache of a^k column sums.
   std::vector<WorkerScratch> scratch_; ///< One per pool thread.
   std::vector<double> chunk_change_;   ///< Per-chunk last-change maxima.
+
+  // Transposed mirrors (N x M) for the fused datacenter pass: the pass works
+  // on contiguous rows of these instead of striding the row-major primaries,
+  // then transposes the corrected state back (cache-blocked both ways).
+  Mat lambda_tilde_t_, a_t_, varphi_t_;
+  /// Post-correction a column sums, maintained by both datacenter passes in
+  /// increasing-i order (bitwise equal to Mat::col_sum) so balance_residual
+  /// stops re-striding a_ every iteration.
+  Vec a_col_sum_post_;
+  bool post_sums_fresh_ = false;
+
+  // Active-set screening state (options_.screening; see ActiveSetOptions).
+  // Supports hold the combined nonzero pattern of lambda and a, ascending,
+  // rebuilt by every full pass; out-of-support lambda/a entries are exact
+  // zeros and their varphi duals are frozen between full passes.
+  bool screen_ready_ = false;     ///< Supports valid (a full pass ran).
+  bool screen_verified_ = false;  ///< Last step was a full, non-growing pass.
+  int steps_since_full_ = 0;
+  std::vector<std::vector<std::uint32_t>> row_support_, col_support_;
+  std::vector<unsigned char> chunk_grew_;  ///< Per-chunk support growth.
 
   // Phase profiling (set_phase_profiling). The fused datacenter pass splits
   // its time per column into prediction vs correction, accumulated per chunk

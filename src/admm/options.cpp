@@ -15,6 +15,18 @@ AdmgOptions options_from_config(const Config& config, AdmgOptions defaults) {
       config.get_bool("solver.gaussian_back_substitution",
                       options.gaussian_back_substitution);
   options.threads = config.get_int("solver.threads", options.threads);
+  const std::string projection = config.get_string(
+      "solver.projection",
+      options.inner.projection == SimplexProjection::Condat ? "condat"
+                                                            : "sort");
+  UFC_EXPECTS(projection == "sort" || projection == "condat");
+  options.inner.projection = projection == "condat"
+                                 ? SimplexProjection::Condat
+                                 : SimplexProjection::SortThreshold;
+  options.screening.enabled =
+      config.get_bool("solver.screening", options.screening.enabled);
+  options.screening.full_pass_every = config.get_int(
+      "solver.screening_full_pass_every", options.screening.full_pass_every);
   // Same domains the solver constructor enforces, checked here so a typo in
   // the INI file surfaces as a config error, not a solver-internal one.
   UFC_EXPECTS(options.rho > 0.0);
@@ -22,6 +34,7 @@ AdmgOptions options_from_config(const Config& config, AdmgOptions defaults) {
   UFC_EXPECTS(options.tolerance > 0.0);
   UFC_EXPECTS(options.max_iterations > 0);
   UFC_EXPECTS(options.threads >= 0);
+  UFC_EXPECTS(options.screening.full_pass_every >= 1);
   return options;
 }
 

@@ -76,6 +76,24 @@ double Mat::col_sum(std::size_t c) const {
   return total;
 }
 
+void Mat::transpose_into(Mat& out) const {
+  UFC_EXPECTS(&out != this);
+  if (out.rows_ != cols_ || out.cols_ != rows_) out = Mat(cols_, rows_);
+  // 32x32 tiles (8 KiB) keep one row stripe of the source and one column
+  // stripe of the destination resident in L1 together, so every cache line
+  // touched is fully consumed before eviction.
+  constexpr std::size_t kBlock = 32;
+  for (std::size_t rb = 0; rb < rows_; rb += kBlock) {
+    const std::size_t rend = std::min(rows_, rb + kBlock);
+    for (std::size_t cb = 0; cb < cols_; cb += kBlock) {
+      const std::size_t cend = std::min(cols_, cb + kBlock);
+      for (std::size_t r = rb; r < rend; ++r)
+        for (std::size_t c = cb; c < cend; ++c)
+          out.data_[c * rows_ + r] = data_[r * cols_ + c];
+    }
+  }
+}
+
 void Mat::fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }

@@ -40,6 +40,13 @@ class Mat {
   double row_sum(std::size_t r) const;
   double col_sum(std::size_t c) const;
 
+  /// Writes the transpose into `out` (resized to cols() x rows()). Uses a
+  /// cache-blocked kernel so both source rows and destination rows stay in
+  /// cache: this is how the per-datacenter pass of the ADM-G engine obtains
+  /// contiguous column views without striding row-major memory. `out` must
+  /// not alias *this.
+  void transpose_into(Mat& out) const;
+
   void fill(double value);
 
   Mat& operator+=(const Mat& other);

@@ -1,0 +1,74 @@
+// Sort-and-threshold simplex projections (Held/Wolfe/Crowder).
+//
+// This is the bit-pinned REFERENCE implementation: the pinned hexfloat
+// baselines in tests/admm were captured against exactly this arithmetic, so
+// these definitions must not change rounding behaviour. The hot path uses
+// Condat's O(n) scan in projections.cpp when SimplexProjection::Condat is
+// selected; this file is the only place in the projection/ADM-G hot path
+// where std::sort is allowed (see the no-sort-in-hot-path lint rule, which
+// exempts this file by name).
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "math/projections.hpp"
+#include "util/contract.hpp"
+
+namespace ufc {
+
+void project_simplex_into(std::span<const double> v, double total,
+                          std::span<double> out,
+                          std::vector<double>& sort_scratch) {
+  UFC_EXPECTS(total >= 0.0);
+  UFC_EXPECTS(!v.empty());
+  UFC_EXPECTS(out.size() == v.size());
+  // ufc-lint: allow(float-equal) — exact-zero guard: the degenerate
+  // zero-mass simplex has the all-zeros point as its only member.
+  if (total == 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  // Sort descending, find the threshold tau with
+  //   tau = (prefix_sum(k) - total) / k
+  // for the largest k such that sorted[k-1] > tau.
+  sort_scratch.assign(v.begin(), v.end());
+  std::sort(sort_scratch.begin(), sort_scratch.end(), std::greater<>());
+  double prefix = 0.0;
+  double tau = 0.0;
+  std::size_t support = 0;
+  for (std::size_t k = 0; k < sort_scratch.size(); ++k) {
+    prefix += sort_scratch[k];
+    const double candidate = (prefix - total) / static_cast<double>(k + 1);
+    if (sort_scratch[k] - candidate > 0.0) {
+      tau = candidate;
+      support = k + 1;
+    } else {
+      break;
+    }
+  }
+  UFC_ENSURES(support > 0);
+  // tau depends only on the sorted copy, so out may alias v.
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out[i] = std::max(v[i] - tau, 0.0);
+}
+
+void project_capped_simplex_into(std::span<const double> v, double cap,
+                                 std::span<double> out,
+                                 std::vector<double>& sort_scratch) {
+  UFC_EXPECTS(cap >= 0.0);
+  UFC_EXPECTS(out.size() == v.size());
+  // Same addition order as sum(project_nonnegative(v)), so the branch below
+  // agrees bitwise with project_capped_simplex.
+  double clipped_sum = 0.0;
+  for (double x : v) clipped_sum += std::max(x, 0.0);
+  if (clipped_sum <= cap) {
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = std::max(v[i], 0.0);
+    return;
+  }
+  // Projection onto the intersection equals the simplex projection when the
+  // inequality is active (standard KKT argument: the multiplier of the sum
+  // constraint is positive, so the constraint binds).
+  project_simplex_into(v, cap, out, sort_scratch);
+}
+
+}  // namespace ufc

@@ -1,0 +1,17 @@
+// Portable restrict qualifier for hot-loop pointer declarations.
+//
+// The ADM-G inner loops (gradient assembly, gather/scatter over support
+// sets) take their operands as std::span, which the compiler cannot prove
+// non-aliasing; hoisting the data pointers into UFC_RESTRICT-qualified
+// locals removes the runtime alias checks and lets the loops auto-vectorize.
+// Only apply it where the contract genuinely forbids aliasing — the simplex
+// projections, for example, allow out to alias v and must not use it.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define UFC_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define UFC_RESTRICT __restrict
+#else
+#define UFC_RESTRICT
+#endif

@@ -89,5 +89,41 @@ TEST(Mat, NormsAndSum) {
   EXPECT_DOUBLE_EQ(max_abs_diff(m, z), 4.0);
 }
 
+TEST(Mat, TransposeIntoSwapsIndices) {
+  const Mat m = make_counting(2, 3);
+  Mat t;
+  m.transpose_into(t);
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) EXPECT_EQ(t(c, r), m(r, c));
+}
+
+TEST(Mat, TransposeIntoResizesMismatchedOutput) {
+  const Mat m = make_counting(3, 2);
+  Mat t(5, 7);  // wrong shape: must be re-shaped, not trip a contract
+  m.transpose_into(t);
+  ASSERT_EQ(t.rows(), 2u);
+  ASSERT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t(1, 2), m(2, 1));
+}
+
+TEST(Mat, TransposeIntoRoundTripsAcrossBlockBoundary) {
+  // 37x65 straddles the 32x32 tiling in both dimensions, covering the
+  // partial edge tiles; a round trip must restore every entry bitwise.
+  const Mat m = make_counting(37, 65);
+  Mat t, back;
+  m.transpose_into(t);
+  t.transpose_into(back);
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  EXPECT_EQ(max_abs_diff(back, m), 0.0);
+}
+
+TEST(Mat, TransposeIntoSelfAliasThrows) {
+  Mat m = make_counting(2, 2);
+  EXPECT_THROW(m.transpose_into(m), ContractViolation);
+}
+
 }  // namespace
 }  // namespace ufc

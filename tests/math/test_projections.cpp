@@ -3,6 +3,9 @@
 // inequality <v - P(v), x - P(v)> <= 0 for sampled feasible x.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "math/projections.hpp"
 #include "util/contract.hpp"
 #include "util/rng.hpp"
@@ -166,6 +169,160 @@ TEST(ProjectNonnegative, ClipsNegatives) {
   const Vec p = project_nonnegative(Vec{-1.0, 2.0});
   EXPECT_DOUBLE_EQ(p[0], 0.0);
   EXPECT_DOUBLE_EQ(p[1], 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Condat O(n) projection vs. the sort-and-threshold reference.
+//
+// Both compute the same threshold tau mathematically, but accumulate it in
+// different orders, so the outputs may differ by a few ulps of tau. The
+// tolerance below is the documented bound: 32 ulps of the problem magnitude
+// (docs/PERFORMANCE.md, "Scaling frontier"). Support sets may legitimately
+// differ only for entries within that band of tau, whose values are ~0 in
+// both outputs, so value closeness is the meaningful contract.
+
+double ulp_scale(const Vec& v, double total) {
+  double scale = std::max(1.0, total);
+  for (double x : v) scale = std::max(scale, std::abs(x));
+  return 32.0 * std::numeric_limits<double>::epsilon() * scale;
+}
+
+Vec condat_simplex(const Vec& v, double total) {
+  Vec out(v.size());
+  std::vector<double> scratch;
+  project_simplex_condat_into(v.span(), total, out.span(), scratch);
+  return out;
+}
+
+Vec condat_capped(const Vec& v, double cap) {
+  Vec out(v.size());
+  std::vector<double> scratch;
+  project_capped_simplex_condat_into(v.span(), cap, out.span(), scratch);
+  return out;
+}
+
+class CondatVsSortProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CondatVsSortProperty, AgreesWithReferenceOnRandomInputs) {
+  Rng rng(GetParam() + 2000);
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 200));
+  const double total = rng.uniform(0.1, 50.0);
+  const Vec v = random_vec(rng, n, -20.0, 20.0);
+  const Vec reference = project_simplex(v, total);
+  const Vec fast = condat_simplex(v, total);
+  EXPECT_TRUE(in_simplex(fast, total));
+  EXPECT_LE(max_abs_diff(fast, reference), ulp_scale(v, total));
+}
+
+TEST_P(CondatVsSortProperty, CappedAgreesWithReferenceOnRandomInputs) {
+  Rng rng(GetParam() + 3000);
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 200));
+  const double cap = rng.uniform(0.1, 20.0);
+  const Vec v = random_vec(rng, n, -10.0, 10.0);
+  const Vec reference = project_capped_simplex(v, cap);
+  const Vec fast = condat_capped(v, cap);
+  double s = 0.0;
+  for (double x : fast) {
+    EXPECT_GE(x, 0.0);
+    s += x;
+  }
+  EXPECT_LE(s, cap + ulp_scale(v, cap));
+  EXPECT_LE(max_abs_diff(fast, reference), ulp_scale(v, cap));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CondatVsSortProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(CondatProjection, AllEntriesTied) {
+  // Every entry equal: projection splits the total uniformly. Exercises the
+  // pruning sweep with a fully tied active list.
+  const std::size_t n = 9;
+  const Vec v(n, 3.7);
+  const Vec fast = condat_simplex(v, 1.0);
+  const Vec reference = project_simplex(v, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fast[i], 1.0 / static_cast<double>(n), 1e-12);
+  }
+  EXPECT_LE(max_abs_diff(fast, reference), ulp_scale(v, 1.0));
+}
+
+TEST(CondatProjection, TiedBlocksStraddlingThreshold) {
+  // Two tied blocks, one above and one below the threshold.
+  const Vec v{5.0, 5.0, 5.0, 1.0, 1.0, 1.0};
+  const Vec fast = condat_simplex(v, 2.0);
+  const Vec reference = project_simplex(v, 2.0);
+  EXPECT_TRUE(in_simplex(fast, 2.0));
+  EXPECT_LE(max_abs_diff(fast, reference), ulp_scale(v, 2.0));
+  EXPECT_DOUBLE_EQ(fast[3], 0.0);  // below-threshold entries are hard zeros
+}
+
+TEST(CondatProjection, AllZeroInput) {
+  const Vec v(5, 0.0);
+  const Vec fast = condat_simplex(v, 2.0);
+  const Vec reference = project_simplex(v, 2.0);
+  EXPECT_LE(max_abs_diff(fast, reference), ulp_scale(v, 2.0));
+  for (double x : fast) EXPECT_NEAR(x, 0.4, 1e-15);
+}
+
+TEST(CondatProjection, SingleDominantEntry) {
+  // One huge entry takes the whole budget; the rest are hard zeros.
+  Vec v(6, -3.0);
+  v[2] = 100.0;
+  const Vec fast = condat_simplex(v, 1.5);
+  EXPECT_DOUBLE_EQ(fast[2], 1.5);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 2) {
+      EXPECT_DOUBLE_EQ(fast[i], 0.0);
+    }
+  }
+}
+
+TEST(CondatProjection, SingleElementVector) {
+  const Vec fast = condat_simplex(Vec{(-4.0)}, 2.5);
+  EXPECT_DOUBLE_EQ(fast[0], 2.5);
+}
+
+TEST(CondatProjection, ZeroTotalGivesZeroVector) {
+  const Vec fast = condat_simplex(Vec{3.0, -1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(fast[0], 0.0);
+  EXPECT_DOUBLE_EQ(fast[1], 0.0);
+}
+
+TEST(CondatProjection, InPlaceAliasingMatchesOutOfPlace) {
+  // The contract allows out to alias v; verify bitwise agreement.
+  const Vec v{2.0, -1.0, 0.5, 0.5};
+  const Vec expected = condat_simplex(v, 1.0);
+  Vec inplace = v;
+  std::vector<double> scratch;
+  project_simplex_condat_into(inplace.span(), 1.0, inplace.span(), scratch);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(inplace[i], expected[i]);
+}
+
+TEST(CondatProjection, ScratchGrowsButNeverShrinks) {
+  std::vector<double> scratch;
+  Vec out8(8);
+  condat_simplex(Vec(3, 1.0), 1.0);  // warm-up irrelevant to scratch below
+  project_simplex_condat_into(Vec(8, 1.0).span(), 1.0, out8.span(), scratch);
+  const std::size_t cap_after_8 = scratch.capacity();
+  Vec out3(3);
+  project_simplex_condat_into(Vec(3, 1.0).span(), 1.0, out3.span(), scratch);
+  EXPECT_EQ(scratch.capacity(), cap_after_8);
+}
+
+TEST(CondatCappedProjection, SlackCaseOnlyClipsNegatives) {
+  const Vec fast = condat_capped(Vec{0.5, -0.2, 0.3}, 10.0);
+  EXPECT_DOUBLE_EQ(fast[0], 0.5);
+  EXPECT_DOUBLE_EQ(fast[1], 0.0);
+  EXPECT_DOUBLE_EQ(fast[2], 0.3);
+}
+
+TEST(CondatCappedProjection, TightCaseMatchesSimplexCondat) {
+  const Vec v{3.0, 2.0, 1.0};
+  const Vec capped = condat_capped(v, 2.0);
+  const Vec simplex = condat_simplex(v, 2.0);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(capped[i], simplex[i]);
 }
 
 }  // namespace
