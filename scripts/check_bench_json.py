@@ -143,8 +143,42 @@ def check_bench_document(doc, errors: Errors) -> None:
         metrics = entry.get("metrics")
         if not isinstance(metrics, dict) or not metrics:
             errors.add(where, '"metrics" must be a non-empty object')
-        elif "solver" in metrics and isinstance(metrics["solver"], dict):
+            continue
+        if "solver" in metrics and isinstance(metrics["solver"], dict):
             check_metrics(metrics["solver"], errors, f"{where}.metrics.solver")
+        if "transport_overhead" in metrics:
+            check_transport_overhead(metrics["transport_overhead"], errors,
+                                     f"{where}.metrics.transport_overhead")
+
+
+TRANSPORTS = {"in_process", "unix", "tcp"}
+
+
+def check_transport_overhead(section, errors: Errors, where: str) -> None:
+    """The socket_bus bench's section: rows of {transport, m, n,
+    rounds_per_sec, bytes_per_round} comparing in-process, Unix-domain and
+    TCP-loopback transports at a few protocol sizes."""
+    if not isinstance(section, list) or not section:
+        errors.add(where, "must be a non-empty list of rows")
+        return
+    for index, row in enumerate(section):
+        here = f"{where}[{index}]"
+        if not isinstance(row, dict):
+            errors.add(here, "row must be an object")
+            continue
+        if row.get("transport") not in TRANSPORTS:
+            errors.add(here, f"transport {row.get('transport')!r} must be one "
+                             f"of {sorted(TRANSPORTS)}")
+        for key in ("m", "n"):
+            value = row.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or \
+                    value <= 0:
+                errors.add(here, f"{key!r} must be a positive integer")
+        for key in ("rounds_per_sec", "bytes_per_round"):
+            value = row.get(key)
+            if not is_number(value) or \
+                    (isinstance(value, (int, float)) and value <= 0):
+                errors.add(here, f"{key!r} must be a positive number")
 
 
 # --------------------------------------------------------------------------
@@ -275,6 +309,42 @@ def self_test() -> int:
         def test_empty_metrics_fails(self):
             doc = {"schema": "ufc-bench-v1",
                    "benchmarks": [{"name": "a", "metrics": {}}]}
+            self.assertTrue(messages_for(doc))
+
+        def test_good_transport_overhead_passes(self):
+            doc = {"schema": "ufc-bench-v1",
+                   "benchmarks": [{"name": "socket_bus", "metrics": {
+                       "transport_overhead": [
+                           {"transport": "in_process", "m": 4, "n": 3,
+                            "rounds": 200, "rounds_per_sec": 120000.0,
+                            "bytes_per_round": 1224.0},
+                           {"transport": "unix", "m": 4, "n": 3,
+                            "rounds": 200, "rounds_per_sec": 9000.0,
+                            "bytes_per_round": 1416.0}]}}]}
+            self.assertEqual(messages_for(doc), [])
+
+        def test_transport_overhead_unknown_transport_fails(self):
+            doc = {"schema": "ufc-bench-v1",
+                   "benchmarks": [{"name": "socket_bus", "metrics": {
+                       "transport_overhead": [
+                           {"transport": "carrier_pigeon", "m": 4, "n": 3,
+                            "rounds_per_sec": 1.0,
+                            "bytes_per_round": 1.0}]}}]}
+            self.assertTrue(messages_for(doc))
+
+        def test_transport_overhead_nonpositive_rate_fails(self):
+            doc = {"schema": "ufc-bench-v1",
+                   "benchmarks": [{"name": "socket_bus", "metrics": {
+                       "transport_overhead": [
+                           {"transport": "tcp", "m": 4, "n": 3,
+                            "rounds_per_sec": 0.0,
+                            "bytes_per_round": 100.0}]}}]}
+            self.assertTrue(messages_for(doc))
+
+        def test_transport_overhead_empty_list_fails(self):
+            doc = {"schema": "ufc-bench-v1",
+                   "benchmarks": [{"name": "socket_bus", "metrics": {
+                       "transport_overhead": []}}]}
             self.assertTrue(messages_for(doc))
 
         def test_negative_counter_fails(self):

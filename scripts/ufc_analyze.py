@@ -48,6 +48,18 @@ docs/ARCHITECTURE.md "Layer DAG" and docs/STATIC_ANALYSIS.md):
                     through a callee that its parameters are passed into
                     (call-graph-aware version of ufc_lint's per-file
                     expects-guard).
+  net-io-confinement
+                    Raw OS networking/process calls (socket, connect, bind,
+                    accept, poll, fork, kill, waitpid, recv*, ...) may appear
+                    only in src/net/socket_bus.cpp and src/net/supervisor.cpp
+                    — everything else talks through the Transport/Supervisor
+                    APIs, so the entire OS surface stays reviewable in two
+                    files. Within those two files the genuinely blocking
+                    calls (poll, waitpid — every fd is O_NONBLOCK, so the
+                    rest cannot block) must sit inside a function that takes
+                    an explicit deadline parameter, and poll's literal
+                    infinite timeout (-1) is banned outright: no socket path
+                    may wait forever (docs/DISTRIBUTION.md).
 
 Suppressing a finding: append `// ufc-analyze: allow(<rule>)` (with a
 reason!) to the offending line, or place it alone on a comment line above.
@@ -850,6 +862,96 @@ def check_expects_reach(tree: Tree) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# Rule: net-io-confinement
+# ---------------------------------------------------------------------------
+# The two files allowed to touch the OS: the socket transport and the process
+# supervisor. Everything else in src/ goes through their APIs.
+NET_IO_HOME = ("src/net/socket_bus.cpp", "src/net/supervisor.cpp")
+# Call-form matches only: `::poll(` / `poll(`, never `poll_pending(` (the \b
+# plus the following `(` excludes identifiers that merely embed a name) and
+# never `std::bind(` (the lookbehind rejects a qualified scope).
+_OS_CALL_NAMES = (
+    r"socketpair|socket|connect|bind|listen|accept4|accept|poll|fork|"
+    r"exec[lv]p?e?|kill|waitpid|recvfrom|recvmsg|recv|sendto|sendmsg|"
+    r"setsockopt|getsockopt|getsockname|getpeername|inet_pton|inet_ntop|"
+    r"select|epoll_wait|epoll_create1?|sigaction")
+OS_CALL_RE = re.compile(
+    rf"(?<![\w.>:])(?:::\s*)?\b({_OS_CALL_NAMES})\s*\(")
+# With every fd O_NONBLOCK, these are the only two calls that can park the
+# process; each call site must live in a deadline-scoped function.
+BLOCKING_CALL_RE = re.compile(r"(?<![\w.>:])(?:::\s*)?\b(poll|waitpid)\s*\(")
+POLL_FOREVER_RE = re.compile(r"\bpoll\s*\([^;()]*(?:\([^()]*\)[^;()]*)*,\s*-1\s*\)")
+# Tokens that may legally precede a genuine call expression. Any OTHER
+# identifier before the name means a return type — i.e. the line declares a
+# same-named function (Rng::fork, Widget::connect, ...), which is not an OS
+# call.
+_CALL_CONTEXT_KEYWORDS = {"return", "case", "throw", "else", "do", "goto",
+                          "co_return", "co_await", "co_yield"}
+
+
+def _declares_not_calls(code: str, match_start: int) -> bool:
+    before = code[:match_start].rstrip()
+    m = re.search(r"([A-Za-z_]\w*)$", before)
+    return bool(m) and m.group(1) not in _CALL_CONTEXT_KEYWORDS
+
+
+def _enclosing_params(source: SourceFile, offset: int) -> list[str] | None:
+    """Parameter names of the function definition whose body contains text
+    offset `offset`, or None when the offset is outside every definition."""
+    for m in DEF_RE.finditer(source.text):
+        span = _body_span(source.text, m.end() - 1)
+        if span is not None and span[0] <= offset < span[1]:
+            return _parameter_names(source.text[m.start():span[0]])
+    return None
+
+
+def check_net_io_confinement(tree: Tree) -> list[Finding]:
+    findings = []
+    for source in tree.files.values():
+        if not source.rel.startswith("src/"):
+            continue
+        confined = source.rel in NET_IO_HOME
+        offset = 0
+        for i, line in enumerate(source.lines):
+            code = _strip_comments_and_strings(line)
+            line_offset = offset
+            offset += len(source.lines[i]) + 1
+            if not confined:
+                m = OS_CALL_RE.search(code)
+                if m and _declares_not_calls(code, m.start()):
+                    m = None
+                if m and not _suppressed(source.lines, i,
+                                         "net-io-confinement"):
+                    findings.append(Finding(
+                        source.rel, i + 1, "net-io-confinement",
+                        f"raw OS call `{m.group(1)}` outside the confined "
+                        f"files {list(NET_IO_HOME)}: all socket and process "
+                        "machinery flows through SocketBus/Supervisor so the "
+                        "OS surface stays reviewable in one place"))
+                continue
+            if POLL_FOREVER_RE.search(code) and not _suppressed(
+                    source.lines, i, "net-io-confinement"):
+                findings.append(Finding(
+                    source.rel, i + 1, "net-io-confinement",
+                    "poll with an infinite timeout (-1): every socket wait "
+                    "must be bounded by an explicit deadline — use "
+                    "IoDeadline::remaining_ms()"))
+                continue
+            m = BLOCKING_CALL_RE.search(code)
+            if m and not _suppressed(source.lines, i, "net-io-confinement"):
+                params = _enclosing_params(
+                    source, line_offset + code.find(m.group(1)))
+                if params is None or not any("deadline" in p for p in params):
+                    findings.append(Finding(
+                        source.rel, i + 1, "net-io-confinement",
+                        f"blocking call `{m.group(1)}` in a function without "
+                        "a deadline parameter: the no-call-blocks-forever "
+                        "contract requires every potentially blocking wait "
+                        "to be scoped by a caller-supplied deadline"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Layer graph emission
 # ---------------------------------------------------------------------------
 def layer_graph_dot(tree: Tree) -> str:
@@ -912,6 +1014,9 @@ RULES = {
     "global-state": (check_global_state, "no mutable namespace-scope state in solver layers"),
     "step-exceptions": (check_step_exceptions, "no try/catch/throw in the iteration hot path"),
     "expects-reach": (check_expects_reach, "admm/net entry points reach a UFC_EXPECTS guard"),
+    "net-io-confinement": (check_net_io_confinement,
+                           "raw OS calls only in socket_bus/supervisor; "
+                           "blocking waits deadline-scoped"),
     "dot-stale": (None, "committed docs layer graph matches the tree"),
 }
 

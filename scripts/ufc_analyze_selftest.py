@@ -313,6 +313,89 @@ class ExpectsReachTests(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class NetIoConfinementTests(unittest.TestCase):
+    def _confine(self, files):
+        with tempfile.TemporaryDirectory() as tmp:
+            return ua.check_net_io_confinement(make_tree(tmp, files))
+
+    def test_os_call_outside_confined_files_fails(self):
+        findings = self._confine({
+            "src/net/bus.cpp": "int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n",
+        })
+        self.assertEqual(rules_of(findings), ["net-io-confinement"])
+        self.assertIn("socket", findings[0].message)
+
+    def test_fork_in_runtime_fails(self):
+        findings = self._confine({
+            "src/net/runtime.cpp": "const pid_t pid = fork();\n",
+        })
+        self.assertEqual(rules_of(findings), ["net-io-confinement"])
+
+    def test_os_call_in_confined_file_passes(self):
+        findings = self._confine({
+            "src/net/socket_bus.cpp":
+                "int make(int deadline_ms) {\n"
+                "  return ::socket(AF_UNIX, SOCK_STREAM, 0);\n}\n",
+        })
+        self.assertEqual(findings, [])
+
+    def test_lookalike_identifiers_pass(self):
+        # poll_pending / connect_to_hub / std::bind are not OS calls.
+        findings = self._confine({
+            "src/net/runtime.cpp":
+                "auto n = bus.poll_pending(node, deadline_ms);\n"
+                "bool up = socket_->connect_to_hub(timeout);\n"
+                "auto f = std::bind(&Runtime::round, this);\n",
+        })
+        self.assertEqual(findings, [])
+
+    def test_blocking_call_without_deadline_parameter_fails(self):
+        findings = self._confine({
+            "src/net/socket_bus.cpp":
+                "void SocketBus::spin() {\n"
+                "  ::poll(fds.data(), fds.size(), 50);\n}\n",
+        })
+        self.assertEqual(rules_of(findings), ["net-io-confinement"])
+        self.assertIn("deadline", findings[0].message)
+
+    def test_blocking_call_with_deadline_parameter_passes(self):
+        findings = self._confine({
+            "src/net/socket_bus.cpp":
+                "bool SocketBus::pump(int deadline_ms) {\n"
+                "  return ::poll(fds.data(), fds.size(), deadline_ms) > 0;\n"
+                "}\n",
+            "src/net/supervisor.cpp":
+                "int reap(pid_t pid, int deadline_ms) {\n"
+                "  int status = 0;\n"
+                "  return ::waitpid(pid, &status, WNOHANG);\n}\n",
+        })
+        self.assertEqual(findings, [])
+
+    def test_infinite_poll_timeout_fails_even_with_deadline_param(self):
+        findings = self._confine({
+            "src/net/socket_bus.cpp":
+                "bool SocketBus::pump(int deadline_ms) {\n"
+                "  return ::poll(fds.data(), fds.size(), -1) > 0;\n}\n",
+        })
+        self.assertEqual(rules_of(findings), ["net-io-confinement"])
+        self.assertIn("infinite", findings[0].message)
+
+    def test_tests_and_bench_not_audited(self):
+        findings = self._confine({
+            "tests/net/test_socket_bus.cpp": "int fd = ::socket(1, 2, 3);\n",
+            "bench/bench_socket_bus.cpp": "pid_t pid = fork();\n",
+        })
+        self.assertEqual(findings, [])
+
+    def test_suppression(self):
+        findings = self._confine({
+            "src/net/bus.cpp":
+                "// ufc-analyze: allow(net-io-confinement)\n"
+                "int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n",
+        })
+        self.assertEqual(findings, [])
+
+
 class GraphAndReportTests(unittest.TestCase):
     FILES = {
         "src/admm/solver.hpp": '#include "math/vec.hpp"\n',
@@ -357,7 +440,7 @@ class GraphAndReportTests(unittest.TestCase):
         for rule in ("include-layering", "include-cycle", "dangling-include",
                      "wall-clock", "ordered-containers", "rng-discipline",
                      "global-state", "step-exceptions", "expects-reach",
-                     "dot-stale"):
+                     "net-io-confinement", "dot-stale"):
             self.assertIn(rule, ua.RULES)
             self.assertTrue(ua.RULES[rule][1])
 
@@ -368,6 +451,7 @@ def run() -> int:
         loader.loadTestsFromTestCase(LayeringTests),
         loader.loadTestsFromTestCase(ConstructBanTests),
         loader.loadTestsFromTestCase(ExpectsReachTests),
+        loader.loadTestsFromTestCase(NetIoConfinementTests),
         loader.loadTestsFromTestCase(GraphAndReportTests),
     ])
     result = unittest.TextTestRunner(verbosity=2).run(suite)

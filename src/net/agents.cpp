@@ -38,7 +38,7 @@ std::size_t FrontEndAgent::position_of(NodeId source) const {
   return static_cast<std::size_t>(it - ids.begin());
 }
 
-void FrontEndAgent::send_proposals(MessageBus& bus, int iteration) {
+void FrontEndAgent::send_proposals(Transport& bus, int iteration) {
   UFC_EXPECTS(iteration >= 0);
   admm::LambdaBlockInputs in;
   in.arrival = config_.arrival;
@@ -61,7 +61,7 @@ void FrontEndAgent::send_proposals(MessageBus& bus, int iteration) {
   }
 }
 
-void FrontEndAgent::process_assignments(MessageBus& bus, int iteration) {
+void FrontEndAgent::process_assignments(Transport& bus, int iteration) {
   const bool stale_ok = config_.protocol.allow_stale;
   std::size_t received = 0;
   for (auto& msg : bus.drain(id())) {
@@ -175,7 +175,7 @@ DatacenterAgent::DatacenterAgent(DatacenterLocalConfig config)
   last_proposal_round_.assign(config_.num_front_ends, -1);
 }
 
-void DatacenterAgent::process_proposals(MessageBus& bus, int iteration) {
+void DatacenterAgent::process_proposals(Transport& bus, int iteration) {
   const std::size_t m = config_.num_front_ends;
   const bool stale_ok = config_.protocol.allow_stale;
   std::size_t received = 0;
@@ -325,6 +325,51 @@ void DatacenterAgent::restore_state(std::span<const std::byte> bytes,
     r = wire::read<std::int32_t>(bytes, offset);
   last_balance_residual_ = wire::read<double>(bytes, offset);
   stale_proposals_ = wire::read<std::uint64_t>(bytes, offset);
+}
+
+Message DatacenterAgent::make_state_sync(int iteration) const {
+  UFC_EXPECTS(iteration >= 0);
+  const std::size_t m = config_.num_front_ends;
+  Message msg;
+  msg.source = id();
+  msg.destination = kCoordinatorId;
+  msg.type = MessageType::StateSync;
+  msg.iteration = iteration;
+  msg.payload.reserve(6 + 3 * m);
+  msg.payload = {mu_,
+                 nu_,
+                 phi_,
+                 last_balance_residual_,
+                 static_cast<double>(oldest_input_round()),
+                 static_cast<double>(stale_proposals_)};
+  msg.payload.insert(msg.payload.end(), a_.begin(), a_.end());
+  msg.payload.insert(msg.payload.end(), lambda_tilde_cache_.begin(),
+                     lambda_tilde_cache_.end());
+  msg.payload.insert(msg.payload.end(), varphi_cache_.begin(),
+                     varphi_cache_.end());
+  return msg;
+}
+
+void DatacenterAgent::sync_remote(const Message& message) {
+  const std::size_t m = config_.num_front_ends;
+  UFC_EXPECTS(message.type == MessageType::StateSync);
+  UFC_EXPECTS(message.source == id());
+  UFC_EXPECTS(message.payload.size() == 6 + 3 * m);
+  mu_ = message.payload[0];
+  nu_ = message.payload[1];
+  phi_ = message.payload[2];
+  last_balance_residual_ = message.payload[3];
+  // The remote tracks per-front-end input ages; the shadow only needs the
+  // aggregate the coordinator reads (oldest round for the convergence bound,
+  // stale count for the report).
+  const auto oldest = static_cast<std::int32_t>(message.payload[4]);
+  std::fill(last_proposal_round_.begin(), last_proposal_round_.end(), oldest);
+  stale_proposals_ = static_cast<std::uint64_t>(message.payload[5]);
+  for (std::size_t i = 0; i < m; ++i) {
+    a_[i] = message.payload[6 + i];
+    lambda_tilde_cache_[i] = message.payload[6 + m + i];
+    varphi_cache_[i] = message.payload[6 + 2 * m + i];
+  }
 }
 
 void DatacenterAgent::load_iterate(std::span<const double> a_col,

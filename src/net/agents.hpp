@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "admm/blocks.hpp"
-#include "net/bus.hpp"
+#include "net/transport.hpp"
 
 namespace ufc::net {
 
@@ -57,14 +57,15 @@ class FrontEndAgent {
   explicit FrontEndAgent(FrontEndLocalConfig config);
 
   /// Procedure 1: solve the lambda block from local state and send
-  /// (lambda~_ij, varphi_ij^k) to every datacenter.
-  void send_proposals(MessageBus& bus, int iteration);
+  /// (lambda~_ij, varphi_ij^k) to every datacenter. Runs on any Transport —
+  /// in-process bus or socket-backed — unchanged.
+  void send_proposals(Transport& bus, int iteration);
 
   /// Procedures 4-5 + correction: consume the datacenters' a~_ij replies,
   /// update the local dual, apply the back-substitution corrections, and
   /// report the local copy residual max_j |a_ij - lambda_ij| to the
   /// coordinator.
-  void process_assignments(MessageBus& bus, int iteration);
+  void process_assignments(Transport& bus, int iteration);
 
   NodeId id() const { return front_end_id(config_.index); }
   const Vec& lambda() const { return lambda_; }
@@ -132,8 +133,9 @@ class DatacenterAgent {
   /// Procedures 2-5 + correction: consume this iteration's proposals,
   /// solve the mu, nu and a blocks, reply a~_ij to every front-end, update
   /// the local dual phi_j, apply the back-substitution corrections, and
-  /// report the local balance residual to the coordinator.
-  void process_proposals(MessageBus& bus, int iteration);
+  /// report the local balance residual to the coordinator. Runs on any
+  /// Transport — in-process bus or socket-backed — unchanged.
+  void process_proposals(Transport& bus, int iteration);
 
   NodeId id() const { return datacenter_id(config_.index); }
   double mu() const { return mu_; }
@@ -158,6 +160,16 @@ class DatacenterAgent {
   void load_iterate(std::span<const double> a_col,
                     std::span<const double> varphi_col, double mu, double nu,
                     double phi);
+
+  /// Multi-process seam (docs/DISTRIBUTION.md): the post-round iterate of
+  /// this datacenter as a StateSync message to the coordinator, so the
+  /// coordinator-side shadow agent can track a remotely hosted one.
+  Message make_state_sync(int iteration) const;
+  /// Applies a StateSync produced by make_state_sync() in another process:
+  /// adopts the remote iterate bit-for-bit and ages every proposal slot to
+  /// the remote's reported oldest input round (shape-checked; malformed
+  /// messages throw ufc::ContractViolation).
+  void sync_remote(const Message& message);
 
  private:
   DatacenterLocalConfig config_;

@@ -152,6 +152,14 @@ std::size_t MessageBus::pending(NodeId destination) const {
   return it == queues_.end() ? 0 : it->second.size();
 }
 
+std::size_t MessageBus::poll_pending(NodeId destination, int deadline_ms) {
+  // In-process, waiting cannot make anything arrive: delivery happens inside
+  // send() and begin_round(), both of which run on the caller's own thread.
+  // The deadline is therefore accepted but never waited out.
+  UFC_EXPECTS(deadline_ms >= 0);
+  return pending(destination);
+}
+
 void MessageBus::clear_queues() {
   queues_.clear();
   delayed_.clear();

@@ -29,17 +29,10 @@
 #include "net/faults.hpp"
 #include "net/link_stats.hpp"
 #include "net/message.hpp"
+#include "net/transport.hpp"
 #include "util/rng.hpp"
 
 namespace ufc::net {
-
-/// What became of one send() call.
-enum class SendOutcome {
-  Delivered,  ///< Enqueued at the destination this round.
-  Delayed,    ///< In flight; released by a later begin_round().
-  Corrupted,  ///< Transmitted but discarded by the receiver integrity check.
-  Failed,     ///< Attempt cap exhausted (loss, partition or crashed peer).
-};
 
 struct BusConfig {
   std::uint64_t seed = 1;  ///< Drives every random fault draw.
@@ -50,7 +43,7 @@ struct BusConfig {
   FaultPlan faults;
 };
 
-class MessageBus {
+class MessageBus final : public Transport {
  public:
   /// Legacy transport: loss_rate in [0, 1) is the probability that any
   /// single transmission attempt is dropped (then retried; `seed` makes
@@ -64,31 +57,44 @@ class MessageBus {
   /// release round has arrived (deterministic order: release round, then
   /// send order) into its destination queue. Scripted fault windows are
   /// evaluated against this clock.
-  void begin_round(int round);
-  int current_round() const { return round_; }
+  void begin_round(int round) override;
+  int current_round() const override { return round_; }
 
   /// Sends under the configured transport. Every attempt is counted in
   /// bytes; drops are counted as retransmissions. See SendOutcome.
-  SendOutcome send(Message message);
+  SendOutcome send(Message message) override;
 
   /// Pops the next pending message for `destination`, FIFO per destination.
-  std::optional<Message> receive(NodeId destination);
+  /// NON-BLOCKING (Transport contract): returns std::nullopt immediately
+  /// when the queue is empty — there is no wait deadline because nothing can
+  /// arrive while the caller holds the thread; delivery happens inside
+  /// send() and begin_round().
+  std::optional<Message> receive(NodeId destination) override;
 
-  /// Drains all pending messages for `destination`.
-  std::vector<Message> drain(NodeId destination);
+  /// Drains all pending messages for `destination`. Non-blocking (see
+  /// receive()).
+  std::vector<Message> drain(NodeId destination) override;
 
   /// Number of messages currently queued for `destination`.
-  std::size_t pending(NodeId destination) const;
+  std::size_t pending(NodeId destination) const override;
+
+  /// Poll helper documenting the same deadline semantics as the socket
+  /// transport: returns pending(destination) immediately, because simulated
+  /// time does not pass while the caller waits — every message that can
+  /// arrive this round is already queued. The deadline is accepted (and
+  /// contract-checked non-negative) so callers are written once against the
+  /// Transport contract.
+  std::size_t poll_pending(NodeId destination, int deadline_ms) override;
 
   /// Messages in flight (delayed, not yet released).
   std::size_t delayed_pending() const { return delayed_.size(); }
 
   /// Drops every queued and delayed message (membership changes flush
   /// in-flight traffic; the degraded protocol absorbs the loss).
-  void clear_queues();
+  void clear_queues() override;
 
   const BusConfig& config() const { return config_; }
-  const LinkStats& total() const { return total_; }
+  const LinkStats& total() const override { return total_; }
   /// Stats for the (source, destination) link; zeros if never used.
   LinkStats link(NodeId source, NodeId destination) const;
 

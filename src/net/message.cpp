@@ -69,7 +69,7 @@ Message deserialize(std::span<const std::byte> bytes) {
   message.source = wire::read<NodeId>(bytes, offset);
   message.destination = wire::read<NodeId>(bytes, offset);
   const auto type = wire::read<std::uint8_t>(bytes, offset);
-  UFC_EXPECTS(type >= 1 && type <= 3);
+  UFC_EXPECTS(type >= 1 && type <= 4);
   message.type = static_cast<MessageType>(type);
   message.iteration = wire::read<std::int32_t>(bytes, offset);
   const auto count = wire::read<std::uint32_t>(bytes, offset);

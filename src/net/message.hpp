@@ -22,6 +22,13 @@ enum class MessageType : std::uint8_t {
   RoutingProposal = 1,    ///< FE -> DC: lambda~_ij and varphi_ij^k.
   RoutingAssignment = 2,  ///< DC -> FE: a~_ij.
   ConvergenceReport = 3,  ///< Agent -> coordinator: local residual.
+  /// Remote DC -> coordinator: the complete post-round iterate of a
+  /// datacenter hosted in another process, so the coordinator's shadow agent
+  /// tracks it (multi-process distribution, docs/DISTRIBUTION.md). Payload
+  /// (size 6 + 3m): [mu, nu, phi, balance_residual, oldest_input_round,
+  /// stale_proposals, a_col..., lambda_cache..., varphi_cache...]. Never
+  /// used by the in-process runtime.
+  StateSync = 4,
 };
 
 /// Node addressing: front-ends and datacenters get disjoint id ranges; the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/socket_bus.hpp"
 #include "util/contract.hpp"
 #include "util/logging.hpp"
 #include "util/wire.hpp"
@@ -72,6 +73,18 @@ DistributedAdmgRuntime::DistributedAdmgRuntime(const UfcProblem& problem,
   UFC_EXPECTS(options_.degraded || (options_.faults.delivery_preserving() &&
                                     options_.max_attempts == 0));
   UFC_EXPECTS(options_.max_stale_rounds >= 0);
+  transport_ = options_.remote.socket != nullptr
+                   ? static_cast<Transport*>(options_.remote.socket)
+                   : &bus_;
+  if (options_.remote.socket != nullptr) {
+    UFC_EXPECTS(options_.remote.round_deadline_ms >= 0);
+    // Remote hosting rides the real network: scripted/random bus faults
+    // would be simulated on top of genuine ones, and remote datacenter
+    // crashes arrive as EOFs, not FaultPlan windows.
+    UFC_EXPECTS(options_.faults.delivery_preserving());
+    for (std::size_t original : options_.remote.remote_dcs)
+      UFC_EXPECTS(original < problem.num_datacenters());
+  }
   // Eventual delivery (loss with retries, bounded delay) keeps input ages
   // bounded; the auto gate admits exactly that envelope.
   const auto& rf = options_.faults.random();
@@ -154,25 +167,79 @@ void DistributedAdmgRuntime::update_residual_scales() {
   balance_scale_ = max_demand;
 }
 
+bool DistributedAdmgRuntime::is_remote(std::size_t pos) const {
+  if (options_.remote.socket == nullptr) return false;
+  const auto& remote = options_.remote.remote_dcs;
+  return std::find(remote.begin(), remote.end(), active_dcs_[pos]) !=
+         remote.end();
+}
+
+void DistributedAdmgRuntime::absorb_coordinator_message(const Message& message,
+                                                        int iteration) {
+  // Receipt of any report this round proves the sender was recently alive.
+  if (message.type == MessageType::StateSync) {
+    for (std::size_t j = 0; j < datacenters_.size(); ++j) {
+      if (datacenters_[j].id() != message.source) continue;
+      UFC_EXPECTS(is_remote(j));
+      datacenters_[j].sync_remote(message);
+      last_seen_[message.source] = iteration;
+      auto& synced = remote_synced_[message.source];
+      synced = std::max(synced, static_cast<int>(message.iteration));
+      return;
+    }
+    return;  // A straggler from a datacenter already removed: ignore.
+  }
+  UFC_EXPECTS(message.type == MessageType::ConvergenceReport);
+  last_seen_[message.source] = iteration;
+}
+
+void DistributedAdmgRuntime::pump_remote(int iteration) {
+  SocketBus* socket = options_.remote.socket;
+  const IoDeadline deadline(options_.remote.round_deadline_ms);
+  const auto outstanding = [&]() {
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < datacenters_.size(); ++j) {
+      if (!is_remote(j)) continue;
+      const NodeId node = datacenters_[j].id();
+      if (eof_nodes_.count(node) > 0) continue;  // Dead stream: don't wait.
+      const auto it = remote_synced_.find(node);
+      if (it == remote_synced_.end() || it->second < iteration) ++count;
+    }
+    return count;
+  };
+  while (outstanding() > 0) {
+    socket->pump(deadline.remaining_ms());
+    for (auto& msg : socket->drain(kCoordinatorId))
+      absorb_coordinator_message(msg, iteration);
+    for (NodeId node : socket->take_newly_disconnected())
+      eof_nodes_.insert(node);
+    if (deadline.expired()) break;
+  }
+}
+
 void DistributedAdmgRuntime::round(int iteration) {
-  bus_.begin_round(iteration);
+  transport_->begin_round(iteration);
   const auto& faults = bus_.config().faults;
   for (auto& fe : front_ends_)
     if (!faults.node_down(fe.id(), iteration))
-      fe.send_proposals(bus_, iteration);
-  for (auto& dc : datacenters_)
+      fe.send_proposals(*transport_, iteration);
+  for (std::size_t j = 0; j < datacenters_.size(); ++j) {
+    if (is_remote(j)) continue;  // Executed by its worker process.
+    auto& dc = datacenters_[j];
     if (!faults.node_down(dc.id(), iteration))
-      dc.process_proposals(bus_, iteration);
+      dc.process_proposals(*transport_, iteration);
+  }
+  // Remote datacenters run concurrently in their worker processes; wait
+  // (deadline-bounded) for their assignments + StateSync before the
+  // front-ends consume assignments.
+  if (options_.remote.socket != nullptr) pump_remote(iteration);
   for (auto& fe : front_ends_)
     if (!faults.node_down(fe.id(), iteration))
-      fe.process_assignments(bus_, iteration);
+      fe.process_assignments(*transport_, iteration);
   // The coordinator consumes the residual reports (values are also exposed
-  // on the agents for tests) and keeps its health table: receipt of any
-  // report this round proves the sender was recently alive.
-  for (auto& msg : bus_.drain(kCoordinatorId)) {
-    UFC_EXPECTS(msg.type == MessageType::ConvergenceReport);
-    last_seen_[msg.source] = iteration;
-  }
+  // on the agents for tests) and keeps its health table.
+  for (auto& msg : transport_->drain(kCoordinatorId))
+    absorb_coordinator_message(msg, iteration);
 }
 
 bool DistributedAdmgRuntime::remove_dead(int round) {
@@ -181,9 +248,15 @@ bool DistributedAdmgRuntime::remove_dead(int round) {
     const std::size_t n = datacenters_.size();
     std::size_t dead = n;
     for (std::size_t j = 0; j < n; ++j) {
-      const auto it = last_seen_.find(datacenters_[j].id());
+      const NodeId node = datacenters_[j].id();
+      const auto it = last_seen_.find(node);
       const int last = it == last_seen_.end() ? -1 : it->second;
-      if (round - last >= options_.dead_after_rounds) {
+      // A node whose stream reported EOF/reset is known-dead at the OS
+      // level; one silent round confirms it. Without that signal only
+      // sustained silence is proof.
+      const int threshold =
+          eof_nodes_.count(node) > 0 ? 1 : options_.dead_after_rounds;
+      if (round - last >= threshold) {
         dead = j;
         break;
       }
@@ -258,6 +331,8 @@ bool DistributedAdmgRuntime::remove_datacenter(std::size_t pos) {
   active_dcs_.erase(active_dcs_.begin() + static_cast<std::ptrdiff_t>(pos));
   removed_dcs_.push_back(original_index);
   last_seen_.erase(datacenter_id(original_index));
+  eof_nodes_.erase(datacenter_id(original_index));
+  remote_synced_.erase(datacenter_id(original_index));
 
   build_agents();
   for (std::size_t i = 0; i < m; ++i)
@@ -270,7 +345,7 @@ bool DistributedAdmgRuntime::remove_datacenter(std::size_t pos) {
 
   // In-flight traffic addressed the old topology; flush it. The degraded
   // protocol treats the flushed messages as lost.
-  bus_.clear_queues();
+  transport_->clear_queues();
   update_residual_scales();
   return true;
 }
@@ -418,7 +493,7 @@ DistributedReport DistributedAdmgRuntime::run() {
   report.stale_inputs = stale_inputs();
   report.active_datacenters = active_dcs_;
   report.removed_datacenters = removed_dcs_;
-  report.network = bus_.total();
+  report.network = transport_->total();
   return report;
 }
 
@@ -495,7 +570,7 @@ void DistributedAdmgRuntime::restore(std::span<const std::byte> bytes) {
   UFC_EXPECTS(offset == bytes.size());
   // Whatever was in flight when the image was taken is gone; anything
   // queued locally belongs to a different timeline.
-  bus_.clear_queues();
+  transport_->clear_queues();
 }
 
 }  // namespace ufc::net

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -33,6 +34,23 @@
 #include "net/faults.hpp"
 
 namespace ufc::net {
+
+class SocketBus;
+
+/// Multi-process seam (docs/DISTRIBUTION.md): when `socket` is set, the
+/// runtime is the coordinator process of a supervised fleet. The listed
+/// datacenters are hosted in worker processes: the runtime keeps shadow
+/// agents for them (fed by StateSync messages) instead of executing their
+/// procedures locally, and every protocol message travels the socket.
+struct RemoteHosting {
+  SocketBus* socket = nullptr;      ///< Not owned; null = fully in-process.
+  /// ORIGINAL datacenter indices hosted remotely.
+  std::vector<std::size_t> remote_dcs;
+  /// Per-round wait for the remote datacenters' replies. A worker that
+  /// misses the deadline contributes stale inputs that round (degraded
+  /// mode) and is eventually declared dead via the health table.
+  int round_deadline_ms = 2000;
+};
 
 struct DistributedOptions {
   admm::AdmgOptions admg;     ///< Same knobs as the monolithic solver; the
@@ -58,6 +76,8 @@ struct DistributedOptions {
   /// blocking convergence until the health tracker or the watchdog acts.
   /// 0 = auto: 1 + max_delay_rounds when random delay is active, else 1.
   int max_stale_rounds = 0;
+  /// Multi-process hosting (see RemoteHosting). Default: everything local.
+  RemoteHosting remote;
 };
 
 /// Report of a distributed solve: the shared SolveCore plus the network- and
@@ -100,6 +120,9 @@ class DistributedAdmgRuntime {
   double balance_residual() const;  ///< Max over datacenter reports.
   double copy_residual() const;     ///< Max over front-end reports.
   const MessageBus& bus() const { return bus_; }
+  /// The transport every protocol message travels: the in-process bus by
+  /// default, the socket bus when remote hosting is configured.
+  const Transport& transport() const { return *transport_; }
 
   /// True iff every agent's local state is finite.
   bool iterate_finite() const;
@@ -116,6 +139,14 @@ class DistributedAdmgRuntime {
   /// caller's original units.
   const UfcProblem& current_problem() const { return original_; }
   int next_round() const { return next_round_; }
+
+  /// The datacenter agents, positional with active_datacenters(). A forked
+  /// worker process copies the ones it hosts out of the inherited runtime —
+  /// after a checkpoint restore they carry the restored iterate, so the
+  /// whole fleet resumes from one consistent image.
+  std::span<const DatacenterAgent> datacenter_agents() const {
+    return datacenters_;
+  }
 
   /// Serializes the complete solver-relevant state: active membership,
   /// every agent's iterate and caches, coordinator health table and round
@@ -141,8 +172,19 @@ class DistributedAdmgRuntime {
   /// cold-start state.
   void build_agents();
   /// Declares and removes every datacenter silent for dead_after_rounds as
-  /// of `round`; returns true if the topology changed.
+  /// of `round` — or, once its hosting peer's stream reported EOF/reset,
+  /// silent for just one round; returns true if the topology changed.
   bool remove_dead(int round);
+  /// True iff active position `pos` is hosted in a worker process.
+  bool is_remote(std::size_t pos) const;
+  /// Coordinator inbox handler: ConvergenceReport updates the health table;
+  /// StateSync additionally refreshes the remote datacenter's shadow agent.
+  void absorb_coordinator_message(const Message& message, int iteration);
+  /// Remote phase of round(): pumps the socket until every live remote
+  /// datacenter has delivered this round's StateSync (stream order
+  /// guarantees its assignments arrived first) or the round deadline
+  /// elapses, folding EOF'd peers into the health machinery.
+  void pump_remote(int iteration);
   /// Removes the datacenter at active position `pos`, warm-restarting the
   /// survivors on the reduced problem. Returns false (and keeps the
   /// datacenter) when removal would make the problem infeasible or empty.
@@ -154,6 +196,9 @@ class DistributedAdmgRuntime {
   ProtocolConfig protocol_;
   double sigma_ = 1.0;
   MessageBus bus_;
+  /// Every protocol send/receive goes through this; &bus_ unless remote
+  /// hosting routed it to the socket bus.
+  Transport* transport_ = nullptr;
   std::vector<FrontEndAgent> front_ends_;
   std::vector<DatacenterAgent> datacenters_;
   /// Original index of each active datacenter, positional with
@@ -163,6 +208,12 @@ class DistributedAdmgRuntime {
   /// Coordinator health table: last round a ConvergenceReport from this
   /// node was received (absent = never).
   std::map<NodeId, int> last_seen_;
+  /// Nodes whose hosting stream died (EOF/ECONNRESET). Real liveness signal:
+  /// remove_dead() gives these a one-round grace instead of
+  /// dead_after_rounds.
+  std::set<NodeId> eof_nodes_;
+  /// Newest StateSync round received per remote datacenter.
+  std::map<NodeId, int> remote_synced_;
   int stale_bound_ = 1;  ///< Resolved max_stale_rounds (see DistributedOptions).
   int next_round_ = 0;
   double balance_scale_ = 1.0;

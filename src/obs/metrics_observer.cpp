@@ -54,4 +54,18 @@ void record_link_stats(MetricsRegistry& registry, const net::LinkStats& stats,
   registry.counter(prefix + ".backoff_rounds").add(stats.backoff_rounds);
 }
 
+void record_counter_table(MetricsRegistry& registry,
+                          const std::map<std::string, std::uint64_t>& counters,
+                          const std::string& prefix) {
+  for (const auto& [name, value] : counters)
+    registry.counter(prefix + "." + name).add(value);
+}
+
+void record_gauge_table(MetricsRegistry& registry,
+                        const std::map<std::string, double>& gauges,
+                        const std::string& prefix) {
+  for (const auto& [name, value] : gauges)
+    registry.gauge(prefix + "." + name).set(value);
+}
+
 }  // namespace ufc::obs

@@ -10,6 +10,8 @@
 // (net/link_stats.hpp).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "admm/telemetry.hpp"
@@ -50,5 +52,19 @@ class MetricsObserver : public admm::IterationObserver {
 /// .backoff_rounds.
 void record_link_stats(MetricsRegistry& registry, const net::LinkStats& stats,
                        const std::string& prefix = "net");
+
+/// Records a plain name->value counter table under `prefix`. The socket
+/// supervisor ships per-worker measurement tables as plain maps (the net
+/// layer cannot depend on obs); merging them here in worker-index order
+/// keeps multi-process metrics deterministic.
+void record_counter_table(MetricsRegistry& registry,
+                          const std::map<std::string, std::uint64_t>& counters,
+                          const std::string& prefix);
+
+/// Gauge-table sibling of record_counter_table (last writer wins, so merge
+/// order is the caller's contract — workers merge in index order).
+void record_gauge_table(MetricsRegistry& registry,
+                        const std::map<std::string, double>& gauges,
+                        const std::string& prefix);
 
 }  // namespace ufc::obs

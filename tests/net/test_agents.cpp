@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "net/agents.hpp"
+#include "net/bus.hpp"
 #include "util/contract.hpp"
 
 namespace ufc::net {

@@ -133,10 +133,25 @@ TEST(SerializationFuzz, MutatedConvergenceReportFramesAreSafe) {
   fuzz_mutations(MessageType::ConvergenceReport, 0, 303);
 }
 
+TEST(SerializationFuzz, MutatedStateSyncFramesAreSafe) {
+  // 6 + 3m for m = 4: the multi-process shadow-sync payload.
+  fuzz_mutations(MessageType::StateSync, 18, 404);
+}
+
+TEST(Serialization, StateSyncRoundTrips) {
+  Message msg;
+  msg.source = datacenter_id(2);
+  msg.destination = kCoordinatorId;
+  msg.type = MessageType::StateSync;
+  msg.iteration = 9;
+  msg.payload = {1.0, 2.0, 3.0, 0.5, 8.0, 4.0, 0.1, 0.2, 0.3};
+  EXPECT_EQ(deserialize(serialize(msg)), msg);
+}
+
 TEST(SerializationFuzz, EveryPrefixTruncationThrows) {
   for (const auto type :
        {MessageType::RoutingProposal, MessageType::RoutingAssignment,
-        MessageType::ConvergenceReport}) {
+        MessageType::ConvergenceReport, MessageType::StateSync}) {
     const auto wire = serialize(make_fuzz_seed(type, 3));
     for (std::size_t len = 0; len < wire.size(); ++len) {
       const std::span<const std::byte> prefix{wire.data(), len};

@@ -1,0 +1,438 @@
+// Socket transport tests: stream-framing fuzz (no sockets needed) and live
+// hub/worker exchanges over Unix-domain and TCP-loopback sockets.
+//
+// The loopback tests run the worker side on a std::thread inside this
+// process: the two SocketBus objects share nothing but the OS socket, which
+// is exactly the cross-process topology, and keeps the suite TSan-clean.
+// Environments without socket support skip gracefully.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_bus.hpp"
+#include "util/clock.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace ufc::net {
+namespace {
+
+std::vector<std::byte> data_frame_bytes(std::size_t payload_len,
+                                        std::int32_t iteration = 3) {
+  Message msg;
+  msg.source = front_end_id(1);
+  msg.destination = datacenter_id(0);
+  msg.type = MessageType::RoutingProposal;
+  msg.iteration = iteration;
+  msg.payload.resize(payload_len, 0.25);
+  return encode_frame(FrameKind::Data, serialize(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Framing fuzz (satellite: >= 2000 trials per failure kind, no UB, no hang).
+
+TEST(SocketFraming, FrameRoundTripsThroughReader) {
+  const auto bytes = data_frame_bytes(4);
+  FrameReader reader;
+  reader.feed(bytes);
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, FrameKind::Data);
+  const Message decoded = deserialize(frame->body);
+  EXPECT_EQ(decoded.payload.size(), 4u);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(SocketFraming, EveryTruncatedPrefixYieldsNoFrameAndNoThrow) {
+  const auto bytes = data_frame_bytes(6);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    FrameReader reader;
+    reader.feed({bytes.data(), len});
+    if (len < 2 * sizeof(std::uint32_t)) {
+      // Header incomplete: the reader must simply wait for more bytes.
+      EXPECT_FALSE(reader.next().has_value());
+    } else {
+      // Header visible and valid, body truncated: also wait, never throw.
+      EXPECT_FALSE(reader.next().has_value());
+      EXPECT_EQ(reader.buffered(), len);
+    }
+  }
+}
+
+TEST(SocketFraming, OversizedDeclaredLengthRejectedBeforeBodyArrives) {
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto oversize = static_cast<std::uint32_t>(
+        kMaxFrameBytes + 1 +
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30)));
+    std::vector<std::byte> header;
+    {
+      // Hand-build the 8-byte header so the length can exceed what
+      // encode_frame would ever produce.
+      const auto kind = static_cast<std::uint32_t>(
+          rng.uniform_int(1, 4));
+      for (std::size_t b = 0; b < 4; ++b)
+        header.push_back(static_cast<std::byte>((kind >> (8 * b)) & 0xFF));
+      for (std::size_t b = 0; b < 4; ++b)
+        header.push_back(
+            static_cast<std::byte>((oversize >> (8 * b)) & 0xFF));
+    }
+    FrameReader reader;
+    // Only the header is fed — the declared multi-gigabyte body never
+    // arrives. The reader must reject NOW, before allocating for it.
+    reader.feed(header);
+    EXPECT_THROW(reader.next(), ContractViolation);
+  }
+}
+
+TEST(SocketFraming, UnknownFrameKindsThrow) {
+  Rng rng(22);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto kind = static_cast<std::uint32_t>(
+        rng.uniform_int(0, 1) == 0
+            ? rng.uniform_int(5, 1 << 24)
+            : 0);
+    std::vector<std::byte> header;
+    for (std::size_t b = 0; b < 4; ++b)
+      header.push_back(static_cast<std::byte>((kind >> (8 * b)) & 0xFF));
+    for (std::size_t b = 0; b < 4; ++b) header.push_back(std::byte{0});
+    FrameReader reader;
+    reader.feed(header);
+    EXPECT_THROW(reader.next(), ContractViolation);
+  }
+}
+
+TEST(SocketFraming, PartialReadsAcrossArbitraryChunkBoundaries) {
+  // Several messages of different sizes, delivered in random chunkings:
+  // the reassembled frame stream must be identical every time.
+  std::vector<std::byte> stream;
+  std::vector<std::size_t> payload_lens = {0, 1, 7, 33, 2};
+  for (std::size_t len : payload_lens) {
+    const auto bytes = data_frame_bytes(len);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  Rng rng(33);
+  for (int trial = 0; trial < 2000; ++trial) {
+    FrameReader reader;
+    std::vector<std::size_t> seen;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const auto chunk = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(stream.size() - offset)));
+      reader.feed({stream.data() + offset, chunk});
+      offset += chunk;
+      while (auto frame = reader.next())
+        seen.push_back(deserialize(frame->body).payload.size());
+    }
+    EXPECT_EQ(seen, payload_lens);
+    EXPECT_EQ(reader.buffered(), 0u);
+  }
+}
+
+TEST(SocketFraming, InterleavedControlAndDataFrames) {
+  // Hello / Data / Metrics / Shutdown interleaved on one stream, fed byte
+  // by byte: kinds and bodies must come out exactly as encoded.
+  Rng rng(44);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::byte> stream;
+    std::vector<FrameKind> kinds;
+    const int frames = static_cast<int>(rng.uniform_int(1, 6));
+    for (int f = 0; f < frames; ++f) {
+      const auto kind =
+          static_cast<FrameKind>(rng.uniform_int(1, 4));
+      kinds.push_back(kind);
+      std::vector<std::byte> body(
+          static_cast<std::size_t>(rng.uniform_int(0, 64)));
+      for (auto& b : body)
+        b = static_cast<std::byte>(rng.uniform_int(0, 255));
+      const auto bytes = encode_frame(kind, body);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+    }
+    FrameReader reader;
+    std::vector<FrameKind> seen;
+    for (std::byte b : stream) {
+      reader.feed({&b, 1});
+      while (auto frame = reader.next()) seen.push_back(frame->kind);
+    }
+    EXPECT_EQ(seen, kinds);
+  }
+}
+
+TEST(SocketFraming, HelloBodyRoundTripsAndRejectsMalformed) {
+  const std::vector<NodeId> nodes = {datacenter_id(0), datacenter_id(3),
+                                     kCoordinatorId};
+  const auto body = encode_hello_body(7, nodes);
+  const HelloBody back = decode_hello_body(body);
+  EXPECT_EQ(back.worker_index, 7u);
+  EXPECT_EQ(back.nodes, nodes);
+  for (std::size_t len = 0; len < body.size(); ++len)
+    EXPECT_THROW(decode_hello_body({body.data(), len}), ContractViolation);
+}
+
+TEST(SocketFraming, MetricsBodyRoundTripsAndSurvivesMutation) {
+  const std::map<std::string, std::uint64_t> counters = {
+      {"worker.rounds_processed", 41}, {"worker.net.bytes", 123456}};
+  const std::map<std::string, double> gauges = {
+      {"worker.uptime_seconds", 1.25}};
+  const auto body = encode_metrics_body(counters, gauges);
+  const MetricsBody back = decode_metrics_body(body);
+  EXPECT_EQ(back.counters, counters);
+  EXPECT_EQ(back.gauges, gauges);
+
+  Rng rng(55);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto mutated = body;
+    const int flips = static_cast<int>(rng.uniform_int(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] ^= static_cast<std::byte>(rng.uniform_int(1, 255));
+    }
+    try {
+      const MetricsBody decoded = decode_metrics_body(mutated);
+      // Mutated keys may re-sort or collide in the maps, so byte-exact
+      // re-encoding is not guaranteed — but the decode→encode→decode loop
+      // must be a fixed point.
+      const auto reencoded =
+          encode_metrics_body(decoded.counters, decoded.gauges);
+      const MetricsBody again = decode_metrics_body(reencoded);
+      EXPECT_EQ(again.counters, decoded.counters);
+      EXPECT_EQ(again.gauges, decoded.gauges);
+    } catch (const ContractViolation&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+TEST(SocketFraming, EncodeFrameRejectsOversizedBody) {
+  const std::vector<std::byte> body(kMaxFrameBytes + 1);
+  EXPECT_THROW(encode_frame(FrameKind::Data, body), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Live socket exchanges.
+
+std::string unique_socket_path(const char* tag) {
+  static int counter = 0;
+  return "/tmp/ufc_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++) +
+         ".sock";
+}
+
+SocketBusConfig hub_config(const SocketEndpoint& endpoint) {
+  SocketBusConfig config;
+  config.endpoint = endpoint;
+  config.hub = true;
+  config.local_nodes = {kCoordinatorId, front_end_id(0), front_end_id(1)};
+  return config;
+}
+
+SocketBusConfig worker_config(const SocketEndpoint& endpoint) {
+  SocketBusConfig config;
+  config.endpoint = endpoint;
+  config.hub = false;
+  config.worker_index = 0;
+  config.local_nodes = {datacenter_id(0)};
+  return config;
+}
+
+/// Builds the hub or skips the test when the environment refuses sockets.
+std::optional<SocketBus> try_make_hub(const SocketEndpoint& endpoint) {
+  try {
+    return std::optional<SocketBus>(std::in_place, hub_config(endpoint));
+  } catch (const std::runtime_error& error) {
+    return std::nullopt;
+  }
+}
+
+Message proposal_to(NodeId destination, std::int32_t iteration) {
+  Message msg;
+  msg.source = front_end_id(0);
+  msg.destination = destination;
+  msg.type = MessageType::RoutingProposal;
+  msg.iteration = iteration;
+  msg.payload = {0.5, -1.5};
+  return msg;
+}
+
+void exercise_round_trip(const SocketEndpoint& hub_endpoint) {
+  auto hub = try_make_hub(hub_endpoint);
+  if (!hub.has_value()) GTEST_SKIP() << "socket support unavailable";
+  SocketEndpoint worker_endpoint = hub_endpoint;
+  if (worker_endpoint.unix_path.empty())
+    worker_endpoint.tcp_port = hub->bound_tcp_port();
+
+  // The worker side runs on a thread; the two buses share only the socket.
+  std::thread worker([worker_endpoint] {
+    SocketBus bus(worker_config(worker_endpoint));
+    ASSERT_TRUE(bus.connect_to_hub(4000));
+    // Wait for the proposal, echo an assignment + a report back.
+    ASSERT_GT(bus.poll_pending(datacenter_id(0), 4000), 0u);
+    const auto messages = bus.drain(datacenter_id(0));
+    ASSERT_EQ(messages.size(), 1u);
+    EXPECT_EQ(messages[0].type, MessageType::RoutingProposal);
+    EXPECT_EQ(messages[0].payload, (std::vector<double>{0.5, -1.5}));
+    Message reply;
+    reply.source = datacenter_id(0);
+    reply.destination = front_end_id(0);
+    reply.type = MessageType::RoutingAssignment;
+    reply.iteration = messages[0].iteration;
+    reply.payload = {0.75};
+    EXPECT_EQ(bus.send(reply), SendOutcome::Delivered);
+    Message report;
+    report.source = datacenter_id(0);
+    report.destination = kCoordinatorId;
+    report.type = MessageType::ConvergenceReport;
+    report.iteration = messages[0].iteration;
+    report.payload = {1e-3};
+    EXPECT_EQ(bus.send(report), SendOutcome::Delivered);
+    // Stay alive until the hub says shutdown, then confirm with metrics.
+    const IoDeadline deadline(4000);
+    while (!bus.shutdown_requested() && !deadline.expired())
+      bus.pump(deadline.remaining_ms());
+    EXPECT_TRUE(bus.shutdown_requested());
+    EXPECT_EQ(bus.send_metrics({{"worker.rounds_processed", 1}}, {}, 2000),
+              SendOutcome::Delivered);
+  });
+
+  ASSERT_EQ(hub->wait_for_workers(1, 4000), 1u);
+  hub->begin_round(3);
+  EXPECT_EQ(hub->send(proposal_to(datacenter_id(0), 3)),
+            SendOutcome::Delivered);
+  // The assignment must land at the front-end, the report at the
+  // coordinator — both via the real wire.
+  ASSERT_GT(hub->poll_pending(front_end_id(0), 4000), 0u);
+  const auto assignment = hub->receive(front_end_id(0));
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_EQ(assignment->type, MessageType::RoutingAssignment);
+  EXPECT_EQ(assignment->payload, std::vector<double>{0.75});
+  ASSERT_GT(hub->poll_pending(kCoordinatorId, 4000), 0u);
+  EXPECT_EQ(hub->max_pending_iteration(kCoordinatorId), 3);
+  const auto report = hub->receive(kCoordinatorId);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->type, MessageType::ConvergenceReport);
+
+  hub->send_shutdown(2000);
+  const IoDeadline deadline(4000);
+  while (hub->take_worker_metrics().empty() && !deadline.expired()) {
+    hub->pump(deadline.remaining_ms());
+    if (!hub->connected_workers()) break;
+  }
+  worker.join();
+  EXPECT_GT(hub->total().messages, 0u);
+  EXPECT_GT(hub->total().bytes, 0u);
+}
+
+TEST(SocketBusLive, UnixRoundTripAndShutdown) {
+  SocketEndpoint endpoint;
+  endpoint.unix_path = unique_socket_path("rt");
+  exercise_round_trip(endpoint);
+}
+
+TEST(SocketBusLive, TcpLoopbackRoundTrip) {
+  SocketEndpoint endpoint;  // unix_path empty = TCP, port 0 = ephemeral.
+  exercise_round_trip(endpoint);
+}
+
+TEST(SocketBusLive, LocalShortCircuitNeverTouchesTheWire) {
+  SocketEndpoint endpoint;
+  endpoint.unix_path = unique_socket_path("local");
+  auto hub = try_make_hub(endpoint);
+  if (!hub.has_value()) GTEST_SKIP() << "socket support unavailable";
+  const Message msg = proposal_to(front_end_id(1), 0);
+  EXPECT_EQ(hub->send(msg), SendOutcome::Delivered);
+  EXPECT_EQ(hub->pending(front_end_id(1)), 1u);
+  const auto back = hub->receive(front_end_id(1));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST(SocketBusLive, SendToUnknownNodeFailsInsteadOfHanging) {
+  SocketEndpoint endpoint;
+  endpoint.unix_path = unique_socket_path("unknown");
+  auto hub = try_make_hub(endpoint);
+  if (!hub.has_value()) GTEST_SKIP() << "socket support unavailable";
+  // No worker ever announced datacenter 5: the send must fail fast.
+  EXPECT_EQ(hub->send(proposal_to(datacenter_id(5), 0)),
+            SendOutcome::Failed);
+  EXPECT_EQ(hub->total().delivery_failures, 1u);
+}
+
+TEST(SocketBusLive, ConnectToAbsentHubFailsWithBackoffAccounting) {
+  SocketEndpoint endpoint;
+  endpoint.unix_path = unique_socket_path("absent");
+  SocketBusConfig config = worker_config(endpoint);
+  config.max_attempts = 3;
+  config.connect_timeout_ms = 50;
+  SocketBus bus(std::move(config));
+  const util::MonotonicTimer timer;
+  EXPECT_FALSE(bus.connect_to_hub(300));
+  // Deadline-bounded: nowhere near a hang.
+  EXPECT_LT(timer.elapsed_seconds(), 5.0);
+  EXPECT_EQ(bus.total().retransmissions, 3u);
+  // 2^0 + 2^1 between the three attempts (none after the last).
+  EXPECT_EQ(bus.total().backoff_rounds, 3u);
+  // And a send to a remote node surfaces Failed, not a hang.
+  EXPECT_EQ(bus.send(proposal_to(kCoordinatorId, 0)), SendOutcome::Failed);
+}
+
+TEST(SocketBusLive, WorkerDeathSurfacesAsNewlyDisconnected) {
+  SocketEndpoint endpoint;
+  endpoint.unix_path = unique_socket_path("death");
+  auto hub = try_make_hub(endpoint);
+  if (!hub.has_value()) GTEST_SKIP() << "socket support unavailable";
+  {
+    SocketBus bus(worker_config(endpoint));
+    ASSERT_TRUE(bus.connect_to_hub(4000));
+    ASSERT_EQ(hub->wait_for_workers(1, 4000), 1u);
+    // Destructor closes the stream: the OS-level death signal.
+  }
+  const IoDeadline deadline(4000);
+  std::vector<NodeId> dead;
+  while (dead.empty() && !deadline.expired()) {
+    hub->pump(deadline.remaining_ms());
+    dead = hub->take_newly_disconnected();
+  }
+  EXPECT_EQ(dead, std::vector<NodeId>{datacenter_id(0)});
+  EXPECT_EQ(hub->connected_workers(), 0u);
+}
+
+TEST(SocketBusLive, PollPendingHonorsDeadlineWhenNothingArrives) {
+  SocketEndpoint endpoint;
+  endpoint.unix_path = unique_socket_path("deadline");
+  auto hub = try_make_hub(endpoint);
+  if (!hub.has_value()) GTEST_SKIP() << "socket support unavailable";
+  const util::MonotonicTimer timer;
+  EXPECT_EQ(hub->poll_pending(kCoordinatorId, 100), 0u);
+  const double waited = timer.elapsed_seconds();
+  EXPECT_GE(waited, 0.05);  // It did wait...
+  EXPECT_LT(waited, 5.0);   // ...but returned promptly at the deadline.
+}
+
+TEST(SocketBusContract, UnboundedAttemptsAreRejected) {
+  SocketEndpoint endpoint;
+  endpoint.unix_path = unique_socket_path("contract");
+  SocketBusConfig config = worker_config(endpoint);
+  config.max_attempts = 0;  // Legal on the in-process bus, not on a socket.
+  EXPECT_THROW(SocketBus{std::move(config)}, ContractViolation);
+}
+
+TEST(SocketBusContract, EmptyLocalNodesAreRejected) {
+  SocketEndpoint endpoint;
+  endpoint.unix_path = unique_socket_path("nodes");
+  SocketBusConfig config = worker_config(endpoint);
+  config.local_nodes.clear();
+  EXPECT_THROW(SocketBus{std::move(config)}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc::net
