@@ -42,6 +42,7 @@
 #include "sim/sweep.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
+#include "util/paths.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -139,8 +140,8 @@ int cmd_simulate(const Config& config, MetricsCapture* capture) {
             << "%  I_fg avg " << fixed(cmp.average_improvement_fg(), 1)
             << "%\n";
 
-  const std::string csv_path =
-      config.get_string("output.csv", "ufc_simulate.csv");
+  const std::string csv_path = util::output_path(
+      config, config.get_string("output.csv", "ufc_simulate.csv"));
   CsvWriter csv(csv_path, {"hour", "ufc_grid", "ufc_fuel_cell", "ufc_hybrid"});
   for (std::size_t t = 0; t < cmp.grid.slots.size(); ++t)
     csv.row({static_cast<double>(cmp.grid.slots[t].slot),
@@ -211,7 +212,8 @@ int cmd_traces(const Config& config, MetricsCapture* capture) {
     capture->manifest.set("scenario",
                           sim::scenario_config_json(scenario.config()));
   }
-  const std::string csv_path = config.get_string("output.csv", "ufc_traces.csv");
+  const std::string csv_path = util::output_path(
+      config, config.get_string("output.csv", "ufc_traces.csv"));
   CsvWriter csv(csv_path,
                 {"hour", "workload", "price_calgary", "price_san_jose",
                  "price_dallas", "price_pittsburgh", "carbon_calgary",

@@ -149,6 +149,9 @@ def check_bench_document(doc, errors: Errors) -> None:
         if "transport_overhead" in metrics:
             check_transport_overhead(metrics["transport_overhead"], errors,
                                      f"{where}.metrics.transport_overhead")
+        if "iteration_frontier" in metrics:
+            check_iteration_frontier(metrics["iteration_frontier"], errors,
+                                     f"{where}.metrics.iteration_frontier")
 
 
 TRANSPORTS = {"in_process", "unix", "tcp"}
@@ -179,6 +182,56 @@ def check_transport_overhead(section, errors: Errors, where: str) -> None:
             if not is_number(value) or \
                     (isinstance(value, (int, float)) and value <= 0):
                 errors.add(here, f"{key!r} must be a positive number")
+
+
+PENALTIES = {"fixed", "residual-balance"}
+ACCELERATIONS = {"none", "over-relaxation", "anderson"}
+
+
+def check_iteration_frontier(section, errors: Errors, where: str) -> None:
+    """The bench_ingredients section: rows of {m, n, penalty, acceleration,
+    iterations, converged, wall_seconds, speedup_vs_fixed} comparing solver-
+    ingredient compositions against the fixed+none baseline per size. Every
+    (m, n) size must carry that baseline row, or the speedup column has no
+    denominator."""
+    if not isinstance(section, list) or not section:
+        errors.add(where, "must be a non-empty list of rows")
+        return
+    sizes: set[tuple] = set()
+    baselines: set[tuple] = set()
+    for index, row in enumerate(section):
+        here = f"{where}[{index}]"
+        if not isinstance(row, dict):
+            errors.add(here, "row must be an object")
+            continue
+        for key in ("m", "n", "iterations"):
+            value = row.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or \
+                    value <= 0:
+                errors.add(here, f"{key!r} must be a positive integer")
+        penalty = row.get("penalty")
+        if penalty not in PENALTIES:
+            errors.add(here, f"penalty {penalty!r} must be one of "
+                             f"{sorted(PENALTIES)}")
+        acceleration = row.get("acceleration")
+        if acceleration not in ACCELERATIONS:
+            errors.add(here, f"acceleration {acceleration!r} must be one of "
+                             f"{sorted(ACCELERATIONS)}")
+        if not isinstance(row.get("converged"), bool):
+            errors.add(here, '"converged" must be a boolean')
+        for key in ("wall_seconds", "speedup_vs_fixed"):
+            value = row.get(key)
+            if not is_number(value) or \
+                    (isinstance(value, (int, float)) and value < 0):
+                errors.add(here, f"{key!r} must be a non-negative number")
+        if isinstance(row.get("m"), int) and isinstance(row.get("n"), int):
+            size = (row["m"], row["n"])
+            sizes.add(size)
+            if penalty == "fixed" and acceleration == "none":
+                baselines.add(size)
+    for size in sorted(sizes - baselines):
+        errors.add(where, f"size {size[0]}x{size[1]} has no fixed+none "
+                          "baseline row")
 
 
 # --------------------------------------------------------------------------
@@ -346,6 +399,62 @@ def self_test() -> int:
                    "benchmarks": [{"name": "socket_bus", "metrics": {
                        "transport_overhead": []}}]}
             self.assertTrue(messages_for(doc))
+
+        def _frontier_doc(self, rows):
+            return {"schema": "ufc-bench-v1",
+                    "benchmarks": [{"name": "ingredients", "metrics": {
+                        "iteration_frontier": rows}}]}
+
+        def test_good_iteration_frontier_passes(self):
+            doc = self._frontier_doc([
+                {"m": 64, "n": 16, "penalty": "fixed", "acceleration": "none",
+                 "iterations": 500, "converged": True, "wall_seconds": 1.5,
+                 "speedup_vs_fixed": 1.0},
+                {"m": 64, "n": 16, "penalty": "fixed",
+                 "acceleration": "anderson", "iterations": 200,
+                 "converged": True, "wall_seconds": 0.7,
+                 "speedup_vs_fixed": 2.5}])
+            self.assertEqual(messages_for(doc), [])
+
+        def test_iteration_frontier_unknown_penalty_fails(self):
+            doc = self._frontier_doc([
+                {"m": 64, "n": 16, "penalty": "warm-start",
+                 "acceleration": "none", "iterations": 1, "converged": True,
+                 "wall_seconds": 0.1, "speedup_vs_fixed": 1.0}])
+            self.assertTrue(messages_for(doc))
+
+        def test_iteration_frontier_unknown_acceleration_fails(self):
+            doc = self._frontier_doc([
+                {"m": 64, "n": 16, "penalty": "fixed",
+                 "acceleration": "nesterov", "iterations": 1,
+                 "converged": True, "wall_seconds": 0.1,
+                 "speedup_vs_fixed": 1.0}])
+            self.assertTrue(messages_for(doc))
+
+        def test_iteration_frontier_missing_baseline_fails(self):
+            doc = self._frontier_doc([
+                {"m": 64, "n": 16, "penalty": "fixed",
+                 "acceleration": "anderson", "iterations": 200,
+                 "converged": True, "wall_seconds": 0.7,
+                 "speedup_vs_fixed": 2.5}])
+            self.assertTrue(messages_for(doc))
+
+        def test_iteration_frontier_nonboolean_converged_fails(self):
+            doc = self._frontier_doc([
+                {"m": 64, "n": 16, "penalty": "fixed", "acceleration": "none",
+                 "iterations": 1, "converged": 1, "wall_seconds": 0.1,
+                 "speedup_vs_fixed": 1.0}])
+            self.assertTrue(messages_for(doc))
+
+        def test_iteration_frontier_negative_speedup_fails(self):
+            doc = self._frontier_doc([
+                {"m": 64, "n": 16, "penalty": "fixed", "acceleration": "none",
+                 "iterations": 1, "converged": True, "wall_seconds": 0.1,
+                 "speedup_vs_fixed": -2.0}])
+            self.assertTrue(messages_for(doc))
+
+        def test_iteration_frontier_empty_list_fails(self):
+            self.assertTrue(messages_for(self._frontier_doc([])))
 
         def test_negative_counter_fails(self):
             doc = dict(GOOD_RUN)

@@ -54,6 +54,14 @@ class AdmgSolver {
   /// kept from construction so iterates remain directly comparable.
   void set_problem(const UfcProblem& problem) { exec_.set_problem(problem); }
 
+  /// Seeds the iterate from a caller-unit solution (e.g. a centralized
+  /// oracle's plan): routing and its copy take solution.lambda normalized,
+  /// mu/nu carry over, and the multipliers start from the plan's KKT prices
+  /// (phi_j = the dispatched source's marginal cost, varphi = -beta phi).
+  /// The next solve_warm continues from this point — the warm-start
+  /// consumer of the second-order backend.
+  void seed(const UfcSolution& solution) { exec_.seed(solution); }
+
   /// One prediction + correction step on the current state. Exposed so
   /// tests can compare the message-passing runtime iterate-by-iterate.
   void step() { exec_.step(0); }

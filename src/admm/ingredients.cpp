@@ -1,0 +1,361 @@
+#include "admm/ingredients.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Penalty policies
+// ---------------------------------------------------------------------------
+
+/// The default: rho is whatever AdmgOptions::rho says, forever. fixed()
+/// lets the engine skip the penalty seam, preserving bit-identity.
+class FixedPenalty final : public PenaltyPolicy {
+ public:
+  std::string_view name() const override { return "fixed"; }
+  bool fixed() const override { return true; }
+  double propose(double rho, double /*scaled_primal*/,
+                 double /*scaled_dual*/) override {
+    return rho;
+  }
+};
+
+/// Boyd-style residual balancing (Boyd et al. 2011, §3.4.1): a large primal
+/// residual means rho is too small to enforce the constraints, a large dual
+/// proxy means rho is so large the iterates crawl. Both comparisons use the
+/// engine's scaled (dimensionless) residuals, so the trigger ratio is
+/// problem-size independent.
+class ResidualBalancePenalty final : public PenaltyPolicy {
+ public:
+  explicit ResidualBalancePenalty(const IngredientOptions& knobs)
+      : ratio_(knobs.balance_ratio),
+        increase_(knobs.increase),
+        decrease_(knobs.decrease),
+        period_(knobs.balance_period) {
+    UFC_EXPECTS(ratio_ > 1.0);
+    UFC_EXPECTS(increase_ > 1.0);
+    UFC_EXPECTS(decrease_ > 1.0);
+    UFC_EXPECTS(period_ >= 1);
+  }
+
+  std::string_view name() const override { return "residual-balance"; }
+
+  double propose(double rho, double scaled_primal,
+                 double scaled_dual) override {
+    // The window pins rho to four decades around its starting value: a
+    // degenerate residual pair (dual proxy stuck at ~0 while the primal
+    // stalls) would otherwise ratchet rho geometrically without bound and
+    // overflow the closed-form block solves, which divide by rho.
+    if (calls_ == 0) {
+      floor_ = rho / kWindow;
+      ceiling_ = rho * kWindow;
+    }
+    // Decide only every period_-th iteration: the dual proxy needs a few
+    // plain steps after each rho change before it reflects the new map
+    // rather than the change itself (see IngredientOptions::balance_period).
+    if (++calls_ % period_ != 0) return rho;
+    if (scaled_primal > ratio_ * scaled_dual)
+      return std::min(rho * increase_, ceiling_);
+    if (scaled_dual > ratio_ * scaled_primal)
+      return std::max(rho / decrease_, floor_);
+    return rho;
+  }
+
+ private:
+  static constexpr double kWindow = 1e4;
+
+  double ratio_;
+  double increase_;
+  double decrease_;
+  int period_;
+  double floor_ = 0.0;
+  double ceiling_ = 0.0;
+  std::uint64_t calls_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Acceleration policies
+// ---------------------------------------------------------------------------
+
+/// The default: never propose a candidate. identity() lets the engine skip
+/// the acceleration seam (no iterate snapshots), preserving bit-identity.
+class NoAcceleration final : public AccelerationPolicy {
+ public:
+  std::string_view name() const override { return "none"; }
+  bool identity() const override { return true; }
+  void begin(std::size_t /*size*/) override {}
+  bool propose(std::span<const double> /*previous*/,
+               std::span<const double> /*stepped*/,
+               std::span<double> /*candidate*/) override {
+    return false;
+  }
+  bool accept(double /*plain_residual*/,
+              double /*candidate_residual*/) override {
+    return true;
+  }
+};
+
+/// Krasnosel'skii–Mann-style extrapolation of the whole prediction-
+/// correction map: candidate = x^k + alpha (T(x^k) - x^k). The iterate's
+/// equality structure survives exactly — both x^k and T(x^k) satisfy the
+/// per-row routing sums, and affine combinations preserve them — while
+/// inequality slack (lambda >= 0, capacity caps) may be transiently
+/// violated; the next step's block projections restore it. Safeguard:
+/// non-finite candidates fall back to the plain iterate.
+class OverRelaxationAcceleration final : public AccelerationPolicy {
+ public:
+  explicit OverRelaxationAcceleration(const IngredientOptions& knobs)
+      : alpha_(knobs.over_relaxation) {
+    UFC_EXPECTS(alpha_ > 0.0 && alpha_ < 2.0);
+  }
+
+  std::string_view name() const override { return "over-relaxation"; }
+
+  void begin(std::size_t /*size*/) override { fallbacks_ = 0; }
+
+  bool propose(std::span<const double> previous,
+               std::span<const double> stepped,
+               std::span<double> candidate) override {
+    UFC_EXPECTS(previous.size() == candidate.size() &&
+                stepped.size() == candidate.size());
+    for (std::size_t i = 0; i < candidate.size(); ++i)
+      candidate[i] = previous[i] + alpha_ * (stepped[i] - previous[i]);
+    return true;
+  }
+
+  bool accept(double /*plain_residual*/, double candidate_residual) override {
+    if (std::isfinite(candidate_residual)) return true;
+    ++fallbacks_;
+    return false;
+  }
+
+  std::uint64_t fallbacks() const override { return fallbacks_; }
+
+ private:
+  double alpha_;
+  std::uint64_t fallbacks_ = 0;
+};
+
+/// Type-II Anderson mixing over the fixed-point residual f(x) = T(x) - x:
+/// keep the last `memory` difference pairs (dG_p, dF_p), solve the least-
+/// squares mixing weights from the normal equations (dF' dF) gamma = dF' f_k
+/// and propose  candidate = T(x^k) - dG gamma.
+///
+/// The normal equations are solved by Gaussian elimination WITHOUT pivoting
+/// or Tikhonov regularization — deliberately: a singular Gram matrix
+/// divides by zero and a near-singular one blows the weights past
+/// kWeightCap, and propose() then declines to offer a candidate, counts the
+/// fallback and purges the degenerate history. That makes the safeguard
+/// path an ordinary, testable event rather than a numerical accident.
+class AndersonAcceleration final : public AccelerationPolicy {
+ public:
+  explicit AndersonAcceleration(const IngredientOptions& knobs)
+      : memory_(static_cast<std::size_t>(knobs.anderson_memory)),
+        safeguard_(knobs.anderson_safeguard) {
+    UFC_EXPECTS(knobs.anderson_memory >= 1);
+    UFC_EXPECTS(safeguard_ > 0.0);
+  }
+
+  std::string_view name() const override { return "anderson"; }
+
+  void begin(std::size_t size) override {
+    size_ = size;
+    dg_.assign(memory_ * size, 0.0);
+    df_.assign(memory_ * size, 0.0);
+    f_.assign(size, 0.0);
+    prev_g_.assign(size, 0.0);
+    prev_f_.assign(size, 0.0);
+    gram_.assign(memory_ * memory_, 0.0);
+    gamma_.assign(memory_, 0.0);
+    cols_ = 0;
+    next_ = 0;
+    have_previous_ = false;
+    fallbacks_ = 0;
+  }
+
+  bool propose(std::span<const double> previous,
+               std::span<const double> stepped,
+               std::span<double> candidate) override {
+    UFC_EXPECTS(previous.size() == size_ && stepped.size() == size_ &&
+                candidate.size() == size_);
+    for (std::size_t i = 0; i < size_; ++i) f_[i] = stepped[i] - previous[i];
+    if (have_previous_) {
+      double* dg = dg_.data() + next_ * size_;
+      double* df = df_.data() + next_ * size_;
+      for (std::size_t i = 0; i < size_; ++i) {
+        dg[i] = stepped[i] - prev_g_[i];
+        df[i] = f_[i] - prev_f_[i];
+      }
+      next_ = (next_ + 1) % memory_;
+      cols_ = std::min(cols_ + 1, memory_);
+    }
+    std::copy(stepped.begin(), stepped.end(), prev_g_.begin());
+    std::copy(f_.begin(), f_.end(), prev_f_.begin());
+    have_previous_ = true;
+    if (cols_ == 0) return false;  // mixing needs at least one pair
+
+    // Normal equations over the active columns (ring order is irrelevant to
+    // the least-squares solution).
+    for (std::size_t p = 0; p < cols_; ++p) {
+      const double* dfp = df_.data() + p * size_;
+      gamma_[p] = dot(dfp, f_.data());
+      for (std::size_t q = p; q < cols_; ++q) {
+        const double g = dot(dfp, df_.data() + q * size_);
+        gram_[p * memory_ + q] = g;
+        gram_[q * memory_ + p] = g;
+      }
+    }
+    solve_in_place();
+
+    // Degenerate-solve gate. Exactly singular Gram matrices give NaN
+    // weights; NEAR-singular ones give finite but astronomical weights, and
+    // the mixed candidate then teleports the multiplier blocks somewhere the
+    // residual safeguard cannot see (accept() measures primal feasibility
+    // only — a wild-dual candidate looks fine until the next plain step
+    // explodes). Both shapes are the same event: the history no longer
+    // determines a trustworthy mixture, so count the fallback and purge.
+    double weight_mass = 0.0;
+    for (std::size_t p = 0; p < cols_; ++p) weight_mass += std::abs(gamma_[p]);
+    if (!(weight_mass <= kWeightCap)) {  // NaN fails the comparison too
+      ++fallbacks_;
+      reset();
+      return false;
+    }
+
+    std::copy(stepped.begin(), stepped.end(), candidate.begin());
+    for (std::size_t p = 0; p < cols_; ++p) {
+      const double* dgp = dg_.data() + p * size_;
+      const double w = gamma_[p];
+      for (std::size_t i = 0; i < size_; ++i) candidate[i] -= w * dgp[i];
+    }
+    return true;
+  }
+
+  bool accept(double plain_residual, double candidate_residual) override {
+    best_ = std::min(best_, plain_residual);
+    // NaN (non-finite candidate) fails the comparison, so it always falls
+    // through to the rejection path. Gating against the best residual seen
+    // so far (not just the plain step's) keeps a chain of "slightly worse"
+    // accepts from compounding: against the plain residual alone the bound
+    // ratchets upward with the diverging trajectory and finite overflow can
+    // reach the block solves before any single accept looks bad.
+    if (std::isfinite(candidate_residual) &&
+        candidate_residual <= safeguard_ * plain_residual &&
+        candidate_residual <= safeguard_ * best_) {
+      best_ = std::min(best_, candidate_residual);
+      return true;
+    }
+    ++fallbacks_;
+    // The rejected mixture means the history no longer predicts the map;
+    // purge it so the divergence cannot feed the next candidates.
+    reset();
+    return false;
+  }
+
+  void reset() override {
+    cols_ = 0;
+    next_ = 0;
+    have_previous_ = false;
+  }
+
+  std::uint64_t fallbacks() const override { return fallbacks_; }
+
+ private:
+  double dot(const double* a, const double* b) const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) total += a[i] * b[i];
+    return total;
+  }
+
+  /// Gaussian elimination on (gram_, gamma_) without pivoting: singular
+  /// systems produce non-finite gamma_ (see class comment).
+  void solve_in_place() {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double pivot = gram_[k * memory_ + k];
+      for (std::size_t r = k + 1; r < cols_; ++r) {
+        const double factor = gram_[r * memory_ + k] / pivot;
+        for (std::size_t c = k; c < cols_; ++c)
+          gram_[r * memory_ + c] -= factor * gram_[k * memory_ + c];
+        gamma_[r] -= factor * gamma_[k];
+      }
+    }
+    for (std::size_t k = cols_; k-- > 0;) {
+      double value = gamma_[k];
+      for (std::size_t c = k + 1; c < cols_; ++c)
+        value -= gram_[k * memory_ + c] * gamma_[c];
+      gamma_[k] = value / gram_[k * memory_ + k];
+    }
+  }
+
+  /// l1 bound on the mixing weights: well-conditioned histories produce
+  /// O(1) weights, so anything beyond this is a near-singular solve.
+  static constexpr double kWeightCap = 1e4;
+
+  std::size_t memory_;
+  double safeguard_;
+  std::size_t size_ = 0;
+  std::vector<double> dg_, df_, f_, prev_g_, prev_f_, gram_, gamma_;
+  std::size_t cols_ = 0;
+  std::size_t next_ = 0;
+  bool have_previous_ = false;
+  std::uint64_t fallbacks_ = 0;
+  /// Smallest residual observed on the accepted trajectory; survives
+  /// reset() because it describes the iterate, not the mixing history.
+  double best_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+Registry<PenaltyPolicy, AdmgOptions> penalty_registry() {
+  Registry<PenaltyPolicy, AdmgOptions> registry("penalty");
+  registry.add("fixed", [](const AdmgOptions& /*options*/) {
+    return std::unique_ptr<PenaltyPolicy>(std::make_unique<FixedPenalty>());
+  });
+  registry.add("residual-balance", [](const AdmgOptions& options) {
+    return std::unique_ptr<PenaltyPolicy>(
+        std::make_unique<ResidualBalancePenalty>(options.ingredients));
+  });
+  return registry;
+}
+
+Registry<AccelerationPolicy, AdmgOptions> acceleration_registry() {
+  Registry<AccelerationPolicy, AdmgOptions> registry("acceleration");
+  registry.add("none", [](const AdmgOptions& /*options*/) {
+    return std::unique_ptr<AccelerationPolicy>(
+        std::make_unique<NoAcceleration>());
+  });
+  registry.add("over-relaxation", [](const AdmgOptions& options) {
+    return std::unique_ptr<AccelerationPolicy>(
+        std::make_unique<OverRelaxationAcceleration>(options.ingredients));
+  });
+  registry.add("anderson", [](const AdmgOptions& options) {
+    return std::unique_ptr<AccelerationPolicy>(
+        std::make_unique<AndersonAcceleration>(options.ingredients));
+  });
+  return registry;
+}
+
+void validate_ingredients(const AdmgOptions& options) {
+  const IngredientOptions& knobs = options.ingredients;
+  UFC_EXPECTS(knobs.balance_ratio > 1.0);
+  UFC_EXPECTS(knobs.increase > 1.0);
+  UFC_EXPECTS(knobs.decrease > 1.0);
+  UFC_EXPECTS(knobs.balance_period >= 1);
+  UFC_EXPECTS(knobs.over_relaxation > 0.0 && knobs.over_relaxation < 2.0);
+  UFC_EXPECTS(knobs.anderson_memory >= 1);
+  UFC_EXPECTS(knobs.anderson_safeguard > 0.0);
+  // Resolve both names so an unknown one is rejected with the registry's
+  // available-name message; the built policies are discarded.
+  penalty_registry().create(options.penalty, options);
+  acceleration_registry().create(options.acceleration, options);
+}
+
+}  // namespace ufc::admm

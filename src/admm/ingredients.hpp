@@ -1,0 +1,111 @@
+// Pluggable solver ingredients: penalty schedule and iterate acceleration.
+//
+// The engine's solve loop (engine.cpp) is deliberately policy-agnostic — it
+// moves buffers and calls the two abstract interfaces below; every update
+// rule lives in this translation unit's concrete policies, created
+// exclusively through the admm::Registry seam (registry-confinement analyzer
+// rule). Built-in compositions (docs/SOLVER_INGREDIENTS.md):
+//
+//   penalty       "fixed"             rho never changes (default; the pinned
+//                                     bit-identical baseline behavior)
+//                 "residual-balance"  Boyd-style adaptive rho: increase when
+//                                     the primal residual dominates the dual
+//                                     proxy, decrease in the mirrored case,
+//                                     clamped to a fixed window around the
+//                                     starting rho. The duals are never
+//                                     rescaled: the engine runs the unscaled
+//                                     convention y += rho (a - lambda), under
+//                                     which phi/varphi are rho-independent
+//                                     prices.
+//   acceleration  "none"              accept the plain step (default)
+//                 "over-relaxation"   x^{k+1} = x^k + alpha (T(x^k) - x^k),
+//                                     alpha in (0, 2)
+//                 "anderson"          type-II Anderson mixing over a bounded
+//                                     history of residual pairs, with a
+//                                     safeguarded fallback to the plain
+//                                     iterate on non-finite candidates or
+//                                     residual growth.
+//
+// The per-solve protocol: begin(size) resets history; each iteration the
+// engine calls propose(previous, stepped, candidate); if a candidate is
+// proposed, the engine installs it, measures its scaled residual (NaN when
+// the candidate is non-finite) and asks accept(plain, candidate) — a
+// rejection counts a fallback, purges poisoned history, and the engine
+// restores the plain iterate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "admm/engine.hpp"
+#include "admm/registry.hpp"
+
+namespace ufc::admm {
+
+/// Per-iteration penalty (rho) schedule.
+class PenaltyPolicy {
+ public:
+  virtual ~PenaltyPolicy() = default;
+  virtual std::string_view name() const = 0;
+  /// True when the policy never changes rho; the engine then skips the
+  /// penalty seam entirely (the bit-identity fast path).
+  virtual bool fixed() const { return false; }
+  /// Proposes the penalty for the next iteration. `scaled_primal` is the
+  /// larger of the scaled balance and copy residuals, `scaled_dual` the
+  /// scaled last-change (the ADMM dual-residual proxy). Returning `rho`
+  /// unchanged (exactly) keeps the current penalty.
+  virtual double propose(double rho, double scaled_primal,
+                         double scaled_dual) = 0;
+};
+
+/// Iterate-level acceleration over the executor's flat iterate.
+class AccelerationPolicy {
+ public:
+  virtual ~AccelerationPolicy() = default;
+  virtual std::string_view name() const = 0;
+  /// True when the policy never proposes a candidate; the engine then skips
+  /// the acceleration seam entirely (the bit-identity fast path).
+  virtual bool identity() const { return false; }
+  /// Resets mixing history (and the fallback counter) for a solve over a
+  /// flat iterate of `size` entries.
+  virtual void begin(std::size_t size) = 0;
+  /// Given the pre-step iterate and the plain stepped iterate T(previous),
+  /// writes an accelerated candidate and returns true; returning false
+  /// keeps the plain iterate for this iteration (history is still
+  /// recorded). All three spans have the begin() size.
+  virtual bool propose(std::span<const double> previous,
+                       std::span<const double> stepped,
+                       std::span<double> candidate) = 0;
+  /// Safeguard: keep or reject the proposed candidate. `candidate_residual`
+  /// is the executor's scaled residual at the candidate — NaN when the
+  /// candidate is non-finite, which no comparison accepts. Rejection counts
+  /// a fallback and purges any history the rejected candidate poisoned; the
+  /// engine then restores the plain iterate.
+  virtual bool accept(double plain_residual, double candidate_residual) = 0;
+  /// Purges any mixing history while keeping the fallback count. The engine
+  /// calls this whenever the fixed-point map changes under the policy — a
+  /// penalty update reshapes every block proximal step, so residual pairs
+  /// recorded under the old rho must not be mixed with pairs from the new
+  /// one.
+  virtual void reset() {}
+  /// Safeguard fallbacks since begin().
+  virtual std::uint64_t fallbacks() const { return 0; }
+};
+
+/// The penalty-policy seam registry with the built-ins ("fixed",
+/// "residual-balance") registered. Built per call — no namespace-scope
+/// state — so callers may freely extend their copy.
+Registry<PenaltyPolicy, AdmgOptions> penalty_registry();
+
+/// The acceleration seam registry with the built-ins ("none",
+/// "over-relaxation", "anderson") registered.
+Registry<AccelerationPolicy, AdmgOptions> acceleration_registry();
+
+/// Validates every ingredient knob domain (unconditionally, so a typo in a
+/// currently-unused knob still surfaces) and resolves both names through
+/// the registries (unknown names throw with the available-name list).
+/// Called by the executor constructors and mirrored by options_from_config.
+void validate_ingredients(const AdmgOptions& options);
+
+}  // namespace ufc::admm

@@ -1,5 +1,6 @@
 #include "admm/options.hpp"
 
+#include "admm/ingredients.hpp"
 #include "util/contract.hpp"
 
 namespace ufc::admm {
@@ -27,6 +28,24 @@ AdmgOptions options_from_config(const Config& config, AdmgOptions defaults) {
       config.get_bool("solver.screening", options.screening.enabled);
   options.screening.full_pass_every = config.get_int(
       "solver.screening_full_pass_every", options.screening.full_pass_every);
+  // Solver-ingredient composition (docs/SOLVER_INGREDIENTS.md).
+  options.penalty = config.get_string("solver.penalty", options.penalty);
+  options.acceleration =
+      config.get_string("solver.acceleration", options.acceleration);
+  options.ingredients.balance_ratio = config.get_double(
+      "solver.penalty_balance_ratio", options.ingredients.balance_ratio);
+  options.ingredients.increase = config.get_double(
+      "solver.penalty_increase", options.ingredients.increase);
+  options.ingredients.decrease = config.get_double(
+      "solver.penalty_decrease", options.ingredients.decrease);
+  options.ingredients.balance_period = config.get_int(
+      "solver.penalty_period", options.ingredients.balance_period);
+  options.ingredients.over_relaxation = config.get_double(
+      "solver.over_relaxation", options.ingredients.over_relaxation);
+  options.ingredients.anderson_memory = config.get_int(
+      "solver.anderson_memory", options.ingredients.anderson_memory);
+  options.ingredients.anderson_safeguard = config.get_double(
+      "solver.anderson_safeguard", options.ingredients.anderson_safeguard);
   // Same domains the solver constructor enforces, checked here so a typo in
   // the INI file surfaces as a config error, not a solver-internal one.
   UFC_EXPECTS(options.rho > 0.0);
@@ -35,6 +54,9 @@ AdmgOptions options_from_config(const Config& config, AdmgOptions defaults) {
   UFC_EXPECTS(options.max_iterations > 0);
   UFC_EXPECTS(options.threads >= 0);
   UFC_EXPECTS(options.screening.full_pass_every >= 1);
+  // Ingredient knob domains and names, mirrored from the solver layer; an
+  // unknown name throws listing the registered alternatives.
+  validate_ingredients(options);
   return options;
 }
 

@@ -1,0 +1,97 @@
+// Name -> factory registry for solver ingredients.
+//
+// The engine's pluggable pieces — penalty schedule, acceleration, centralized
+// backend — are "ingredients" composed at runtime by name (the Uno
+// architecture the ROADMAP points at): each seam owns a Registry mapping a
+// stable string name to a factory, and every construction of a concrete
+// ingredient flows through Registry::create (the registry-confinement
+// analyzer rule pins this). The registry is introspectable — names() feeds
+// --help text and the rejection message of an unknown name lists every
+// registered alternative — and value-built per call by the seam's
+// *_registry() function, so there is no mutable namespace-scope state (the
+// global-state analyzer rule bans exactly that in solver layers).
+//
+// Contracts: registering the same name twice throws ufc::ContractViolation
+// (a silent overwrite would make composition depend on registration order);
+// creating an unknown name throws with the available-name list in the
+// message, so a config typo tells the user what it could have said.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+
+/// Name -> factory map for one ingredient seam. `Interface` is the abstract
+/// ingredient type, `Context` the options struct its factories read their
+/// knobs from (AdmgOptions for engine ingredients, CentralizedOptions for
+/// centralized backends).
+template <typename Interface, typename Context>
+class Registry {
+ public:
+  using Factory = std::function<std::unique_ptr<Interface>(const Context&)>;
+
+  /// `kind` names the seam in contract messages ("penalty", "acceleration",
+  /// "centralized method").
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {
+    UFC_EXPECTS(!kind_.empty());
+  }
+
+  /// Registers `factory` under `name`. Duplicate names are a contract
+  /// violation, not an overwrite.
+  void add(const std::string& name, Factory factory) {
+    UFC_EXPECTS(!name.empty());
+    UFC_EXPECTS(factory != nullptr);
+    if (entries_.find(name) != entries_.end())
+      throw ContractViolation("duplicate " + kind_ + " registration: \"" +
+                              name + "\"");
+    entries_.emplace(name, std::move(factory));
+  }
+
+  bool contains(const std::string& name) const {
+    return entries_.find(name) != entries_.end();
+  }
+
+  /// Registered names in sorted order — the introspection surface for
+  /// --help output and config rejection messages.
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& entry : entries_) out.push_back(entry.first);
+    return out;
+  }
+
+  /// names() joined as "a, b, c" for one-line messages.
+  std::string names_joined() const {
+    std::string out;
+    for (const auto& entry : entries_) {
+      if (!out.empty()) out += ", ";
+      out += entry.first;
+    }
+    return out;
+  }
+
+  /// Builds the ingredient registered under `name` with knobs from
+  /// `context`. Unknown names throw ContractViolation whose message lists
+  /// every registered name.
+  std::unique_ptr<Interface> create(const std::string& name,
+                                    const Context& context) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+      throw ContractViolation("unknown " + kind_ + " \"" + name +
+                              "\" (available: " + names_joined() + ")");
+    return it->second(context);
+  }
+
+ private:
+  std::string kind_;
+  std::map<std::string, Factory> entries_;
+};
+
+}  // namespace ufc::admm

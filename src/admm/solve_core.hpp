@@ -8,6 +8,7 @@
 // iteration engine.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "admm/watchdog.hpp"
@@ -37,6 +38,12 @@ struct SolveCore {
   WatchdogVerdict watchdog_verdict = WatchdogVerdict::Healthy;
   /// True when the returned solution came from the centralized fallback.
   bool fallback_centralized = false;
+  /// Safeguard fallbacks of the acceleration ingredient (0 under the default
+  /// "none" acceleration — it never proposes, so it never falls back).
+  std::uint64_t acceleration_fallbacks = 0;
+  /// The penalty parameter at the end of the solve; equals AdmgOptions::rho
+  /// under the default "fixed" penalty.
+  double final_penalty = 0.0;
   AdmgTrace trace;
 };
 

@@ -1,0 +1,116 @@
+#include "opt/newton.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/contract.hpp"
+
+namespace ufc {
+
+NewtonResult projected_newton(
+    const Vec& x0, const std::function<double(const Vec&)>& value,
+    const std::function<Vec(const Vec&)>& gradient,
+    const std::function<Vec(const Vec&, const Vec&)>& hessian_vec,
+    const std::function<Vec(const Vec&)>& project,
+    const NewtonOptions& options) {
+  UFC_EXPECTS(!x0.empty());
+  UFC_EXPECTS(value != nullptr && gradient != nullptr &&
+              hessian_vec != nullptr && project != nullptr);
+  UFC_EXPECTS(options.max_iterations > 0);
+  UFC_EXPECTS(options.tolerance > 0.0);
+  UFC_EXPECTS(options.fixed_point_step > 0.0);
+  UFC_EXPECTS(options.cg_max_iterations > 0);
+  UFC_EXPECTS(options.cg_tolerance > 0.0 && options.cg_tolerance < 1.0);
+  UFC_EXPECTS(options.damping >= 0.0);
+  UFC_EXPECTS(options.max_backtracks > 0);
+  UFC_EXPECTS(options.armijo > 0.0 && options.armijo < 0.5);
+
+  NewtonResult result;
+  result.x = project(x0);
+  result.value = value(result.x);
+  const std::size_t n = result.x.size();
+
+  for (int k = 0; k < options.max_iterations; ++k) {
+    const Vec g = gradient(result.x);
+
+    // Fixed-point convergence test (shared characterization, see header).
+    Vec moved = result.x;
+    axpy(-options.fixed_point_step, g, moved);
+    const Vec fixed_point = project(moved);
+    result.residual = max_abs_diff(fixed_point, result.x);
+    if (result.residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    ++result.iterations;
+
+    // Truncated CG on (H + damping I) d = -g. d accumulates the Newton
+    // direction; r tracks (H + damping I) d + g.
+    Vec d(n, 0.0);
+    Vec r = g;
+    Vec p = r;
+    p *= -1.0;
+    const double g_norm = norm2(g);
+    double r_dot = dot(r, r);
+    bool have_direction = false;
+    for (int cg = 0; cg < options.cg_max_iterations; ++cg) {
+      Vec hp = hessian_vec(result.x, p);
+      axpy(options.damping, p, hp);
+      ++result.cg_iterations;
+      const double curvature = dot(p, hp);
+      if (!(curvature > 1e-16 * dot(p, p))) {
+        // Non-positive (or non-finite) curvature along p: keep whatever
+        // direction CG built so far; with none, fall back to steepest
+        // descent below.
+        break;
+      }
+      const double alpha = r_dot / curvature;
+      axpy(alpha, p, d);
+      axpy(alpha, hp, r);
+      have_direction = true;
+      const double r_dot_next = dot(r, r);
+      if (std::sqrt(r_dot_next) <= options.cg_tolerance * g_norm) break;
+      const double beta = r_dot_next / r_dot;
+      r_dot = r_dot_next;
+      for (std::size_t i = 0; i < n; ++i) p[i] = -r[i] + beta * p[i];
+    }
+    if (!have_direction) {
+      d = g;
+      d *= -options.fixed_point_step;
+    }
+
+    // Projected Armijo backtracking along d. The sufficient-decrease test
+    // measures the actually-taken (projected) displacement, so projection
+    // shrinkage cannot fake progress.
+    double t = 1.0;
+    bool stepped = false;
+    for (int b = 0; b < options.max_backtracks; ++b) {
+      Vec trial = result.x;
+      axpy(t, d, trial);
+      const Vec candidate = project(trial);
+      const double decrease = dot(g, candidate - result.x);
+      const double candidate_value = value(candidate);
+      if (std::isfinite(candidate_value) && decrease < 0.0 &&
+          candidate_value <= result.value + options.armijo * decrease) {
+        result.x = candidate;
+        result.value = candidate_value;
+        stepped = true;
+        break;
+      }
+      t *= 0.5;
+    }
+    if (!stepped) {
+      // The curvature model failed this iterate (typically a kink of a
+      // piecewise-smooth objective): take the plain projected-gradient step
+      // if it descends at all, otherwise report the stall.
+      const double fallback_value = value(fixed_point);
+      if (!(std::isfinite(fallback_value) && fallback_value < result.value))
+        break;
+      result.x = fixed_point;
+      result.value = fallback_value;
+    }
+  }
+  return result;
+}
+
+}  // namespace ufc

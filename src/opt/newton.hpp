@@ -1,0 +1,64 @@
+// Projected truncated-Newton method for smooth convex minimization over a
+// convex set with a projection oracle.
+//
+// The solver never forms a Hessian: each outer iteration runs (truncated)
+// conjugate gradients on damped Hessian-vector products to approximate the
+// Newton direction, then takes a projected Armijo backtracking step. CG is
+// truncated on a relative-residual test (the classic inexact-Newton
+// forcing term) and bails to the steepest-descent direction if the very
+// first product exposes non-positive curvature, so piecewise-smooth
+// objectives with locally flat pieces (the reduced UFC objective — see
+// admm/centralized.cpp — is one) degrade to projected gradient instead of
+// diverging.
+//
+// Convergence is declared on the projected fixed-point residual
+//   || x - Proj(x - step * grad(x)) ||_inf  <=  tolerance,
+// the same characterization kkt.hpp and the centralized optimality checker
+// use, so "converged" means the same thing across backends.
+#pragma once
+
+#include <functional>
+
+#include "math/vector.hpp"
+
+namespace ufc {
+
+struct NewtonOptions {
+  int max_iterations = 60;  ///< Outer Newton iterations.
+  /// Fixed-point residual threshold (inf-norm, caller's units).
+  double tolerance = 1e-6;
+  /// Step inside the fixed-point residual map (also the fallback projected-
+  /// gradient step when curvature fails).
+  double fixed_point_step = 1e-3;
+  int cg_max_iterations = 64;  ///< Inner CG cap per outer iteration.
+  /// Inexact-Newton forcing term: CG stops at ||r|| <= cg_tolerance * ||g||.
+  double cg_tolerance = 0.1;
+  /// Levenberg-style damping added to every Hessian-vector product; keeps
+  /// CG positive definite on flat pieces of piecewise-smooth objectives.
+  double damping = 1e-8;
+  int max_backtracks = 30;     ///< Armijo halvings before giving up on a step.
+  double armijo = 1e-4;        ///< Sufficient-decrease fraction.
+};
+
+struct NewtonResult {
+  Vec x;
+  double value = 0.0;      ///< Objective at x.
+  double residual = 0.0;   ///< Final fixed-point residual (inf-norm).
+  int iterations = 0;      ///< Outer iterations taken.
+  int cg_iterations = 0;   ///< Total inner CG iterations (the Hv count).
+  bool converged = false;
+};
+
+/// Minimizes `value` over the set represented by `project`, starting from
+/// `x0` (projected first). `gradient` must be the exact gradient where the
+/// objective is differentiable; `hessian_vec(x, v)` must return an
+/// approximation of H(x) v (finite-difference curvature is fine — CG only
+/// needs the products to be symmetric-ish and bounded).
+NewtonResult projected_newton(
+    const Vec& x0, const std::function<double(const Vec&)>& value,
+    const std::function<Vec(const Vec&)>& gradient,
+    const std::function<Vec(const Vec&, const Vec&)>& hessian_vec,
+    const std::function<Vec(const Vec&)>& project,
+    const NewtonOptions& options = {});
+
+}  // namespace ufc

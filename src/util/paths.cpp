@@ -1,0 +1,18 @@
+#include "util/paths.hpp"
+
+#include <filesystem>
+
+#include "util/contract.hpp"
+
+namespace ufc::util {
+
+std::string output_path(const Config& config, const std::string& name) {
+  UFC_EXPECTS(!name.empty());
+  const std::string dir = config.get_string("output.dir", "");
+  const std::filesystem::path file(name);
+  if (dir.empty() || file.is_absolute()) return name;
+  std::filesystem::create_directories(dir);
+  return (std::filesystem::path(dir) / file).string();
+}
+
+}  // namespace ufc::util

@@ -1,0 +1,27 @@
+// Output-path routing for driver artifacts.
+//
+// Every file a driver writes (CSV series, manifests) resolves through
+// output_path(), so one INI option relocates all of them:
+//
+//   [output]
+//   dir = results/run7   ; created on demand; default "" = current directory
+//   csv = series.csv     ; per-command file name override
+//
+// Before this seam each command defaulted to a bare file name in the
+// process working directory, which is how stray ufc_simulate.csv files
+// ended up scattered around checkouts.
+#pragma once
+
+#include <string>
+
+#include "util/config.hpp"
+
+namespace ufc::util {
+
+/// Joins `config`'s output.dir (created, including parents, when missing)
+/// with `name`. Absolute `name`s are returned untouched; with no output.dir
+/// the name resolves relative to the working directory, the historical
+/// behavior.
+std::string output_path(const Config& config, const std::string& name);
+
+}  // namespace ufc::util

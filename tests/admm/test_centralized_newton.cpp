@@ -1,0 +1,104 @@
+// The "newton" centralized backend (projected truncated Newton over the
+// reduced routing objective) and the method registry: agreement with the
+// subgradient reference, the warm-start hand-off into ADM-G, and the
+// registry's rejection contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "admm/admg.hpp"
+#include "admm/centralized.hpp"
+#include "helpers.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::admm {
+namespace {
+
+using ::ufc::testing::make_random_problem;
+using ::ufc::testing::make_tiny_problem;
+
+TEST(CentralizedRegistry, UnknownMethodListsTheAlternatives) {
+  CentralizedOptions options;
+  options.method = "interior-point";
+  try {
+    solve_centralized(make_tiny_problem(), options);
+    FAIL() << "expected a ContractViolation";
+  } catch (const ContractViolation& violation) {
+    const std::string message = violation.what();
+    EXPECT_NE(message.find("unknown centralized method"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("newton"), std::string::npos) << message;
+    EXPECT_NE(message.find("subgradient"), std::string::npos) << message;
+  }
+}
+
+TEST(CentralizedRegistry, ListsBothBackends) {
+  EXPECT_EQ(centralized_registry().names(),
+            (std::vector<std::string>{"newton", "subgradient"}));
+}
+
+TEST(CentralizedNewton, AgreesWithTheSubgradientReference) {
+  const UfcProblem problems[] = {
+      make_tiny_problem(),
+      make_random_problem(31, 6, 3),
+      make_random_problem(32, 10, 4),
+  };
+  for (const UfcProblem& problem : problems) {
+    CentralizedOptions newton;
+    newton.method = "newton";
+    const CentralizedResult second_order = solve_centralized(problem, newton);
+    const CentralizedResult reference = solve_centralized(problem, {});
+    double scale = 0.0;
+    for (double a : problem.arrivals) scale += a;
+    // The oracle must match (or beat — it certifies a fixed point, the
+    // subgradient reference only runs its budget) the reference objective.
+    EXPECT_GT(second_order.objective, reference.objective - 0.02 * scale);
+    EXPECT_LE(constraint_violation(problem, second_order.solution.lambda,
+                                   second_order.solution.mu),
+              1e-6);
+  }
+}
+
+TEST(CentralizedNewton, CertifiesConvergenceOnTheTinyProblem) {
+  CentralizedOptions options;
+  options.method = "newton";
+  const CentralizedResult result =
+      solve_centralized(make_tiny_problem(), options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(
+      routing_optimality_residual(make_tiny_problem(), result.solution.lambda),
+      1e-4);
+}
+
+TEST(CentralizedNewton, SeedsAdmgWarmStart) {
+  // The second-order oracle as a warm-start producer: seeding ADM-G from
+  // its plan must converge in fewer iterations than the cold start.
+  const UfcProblem problem = make_random_problem(41, 8, 3);
+
+  AdmgSolver cold(problem);
+  const AdmgReport cold_report = cold.solve();
+  ASSERT_TRUE(cold_report.converged);
+
+  CentralizedOptions newton;
+  newton.method = "newton";
+  // Run the oracle well past the kink plateau of the piecewise-smooth
+  // reduced objective; the tighter plan is what makes the KKT-derived
+  // multiplier seeds (docs/SOLVER_INGREDIENTS.md) land near the saddle.
+  newton.newton.tolerance = 1e-8;
+  const CentralizedResult oracle = solve_centralized(problem, newton);
+
+  AdmgSolver warm(problem);
+  warm.seed(oracle.solution);
+  const AdmgReport warm_report = warm.solve_warm();
+  EXPECT_TRUE(warm_report.converged);
+  EXPECT_LT(warm_report.iterations, cold_report.iterations);
+
+  double scale = 0.0;
+  for (double a : problem.arrivals) scale += a;
+  EXPECT_NEAR(warm_report.breakdown.ufc, cold_report.breakdown.ufc,
+              0.02 * scale);
+}
+
+}  // namespace
+}  // namespace ufc::admm

@@ -1,0 +1,44 @@
+// The [output] config section (util/paths.hpp): driver CSV outputs route
+// through one output-directory option instead of littering the cwd.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "util/config.hpp"
+#include "util/contract.hpp"
+#include "util/paths.hpp"
+
+namespace ufc::util {
+namespace {
+
+TEST(OutputPath, NoConfiguredDirectoryIsAPassThrough) {
+  EXPECT_EQ(output_path(Config{}, "ufc_simulate.csv"), "ufc_simulate.csv");
+}
+
+TEST(OutputPath, PrefixesAndCreatesTheConfiguredDirectory) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ufc_paths_test" / "nested";
+  std::filesystem::remove_all(dir.parent_path());
+  const Config config =
+      Config::parse("[output]\ndir = " + dir.string() + "\n");
+  const std::string resolved = output_path(config, "ufc_traces.csv");
+  EXPECT_EQ(resolved, (dir / "ufc_traces.csv").string());
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(OutputPath, AbsoluteNamesBypassTheDirectory) {
+  const Config config = Config::parse("[output]\ndir = somewhere\n");
+  const std::string absolute =
+      (std::filesystem::temp_directory_path() / "explicit.csv").string();
+  EXPECT_EQ(output_path(config, absolute), absolute);
+  EXPECT_FALSE(std::filesystem::exists("somewhere"));
+}
+
+TEST(OutputPath, EmptyNameThrows) {
+  EXPECT_THROW(output_path(Config{}, ""), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ufc::util
