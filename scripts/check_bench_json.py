@@ -152,6 +152,9 @@ def check_bench_document(doc, errors: Errors) -> None:
         if "iteration_frontier" in metrics:
             check_iteration_frontier(metrics["iteration_frontier"], errors,
                                      f"{where}.metrics.iteration_frontier")
+        if "controller" in metrics:
+            check_controller(metrics["controller"], errors,
+                             f"{where}.metrics.controller")
 
 
 TRANSPORTS = {"in_process", "unix", "tcp"}
@@ -234,11 +237,41 @@ def check_iteration_frontier(section, errors: Errors, where: str) -> None:
                           "baseline row")
 
 
+def check_controller(section, errors: Errors, where: str) -> None:
+    """The bench_controller section: warm-vs-cold receding-horizon totals
+    {ticks, budget_per_tick, warm_iterations, cold_iterations,
+    warm_budget_exhausted, cold_budget_exhausted, savings_ratio}. The
+    savings ratio must agree with the iteration totals it summarizes."""
+    if not isinstance(section, dict):
+        errors.add(where, "must be an object")
+        return
+    for key in ("ticks", "budget_per_tick"):
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            errors.add(where, f"{key!r} must be a positive integer")
+    for key in ("warm_iterations", "cold_iterations",
+                "warm_budget_exhausted", "cold_budget_exhausted"):
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.add(where, f"{key!r} must be a non-negative integer")
+    savings = section.get("savings_ratio")
+    if not is_number(savings) or isinstance(savings, str):
+        errors.add(where, '"savings_ratio" must be a finite number')
+        return
+    warm = section.get("warm_iterations")
+    cold = section.get("cold_iterations")
+    if isinstance(warm, int) and isinstance(cold, int) and cold > 0:
+        expected = 1.0 - warm / cold
+        if abs(savings - expected) > 1e-6:
+            errors.add(where, f'"savings_ratio" {savings} does not match '
+                              f"1 - warm/cold = {expected}")
+
+
 # --------------------------------------------------------------------------
 # ufc-run-v1
 # --------------------------------------------------------------------------
 RUN_COMMANDS = {"solve", "simulate", "sweep-price", "sweep-tax", "traces",
-                "distributed_demo"}
+                "distributed_demo", "controller_demo"}
 
 
 def check_run_document(doc, errors: Errors) -> None:
@@ -455,6 +488,57 @@ def self_test() -> int:
 
         def test_iteration_frontier_empty_list_fails(self):
             self.assertTrue(messages_for(self._frontier_doc([])))
+
+        def _controller_doc(self, section):
+            return {"schema": "ufc-bench-v1",
+                    "benchmarks": [{"name": "controller", "metrics": {
+                        "controller": section}}]}
+
+        def test_good_controller_section_passes(self):
+            doc = self._controller_doc(
+                {"ticks": 24, "budget_per_tick": 400,
+                 "warm_iterations": 470, "cold_iterations": 678,
+                 "warm_budget_exhausted": 0, "cold_budget_exhausted": 0,
+                 "savings_ratio": 1.0 - 470 / 678})
+            self.assertEqual(messages_for(doc), [])
+
+        def test_controller_nonpositive_ticks_fails(self):
+            doc = self._controller_doc(
+                {"ticks": 0, "budget_per_tick": 400,
+                 "warm_iterations": 1, "cold_iterations": 1,
+                 "warm_budget_exhausted": 0, "cold_budget_exhausted": 0,
+                 "savings_ratio": 0.0})
+            self.assertTrue(messages_for(doc))
+
+        def test_controller_negative_iterations_fails(self):
+            doc = self._controller_doc(
+                {"ticks": 24, "budget_per_tick": 400,
+                 "warm_iterations": -1, "cold_iterations": 1,
+                 "warm_budget_exhausted": 0, "cold_budget_exhausted": 0,
+                 "savings_ratio": 0.0})
+            self.assertTrue(messages_for(doc))
+
+        def test_controller_inconsistent_savings_ratio_fails(self):
+            doc = self._controller_doc(
+                {"ticks": 24, "budget_per_tick": 400,
+                 "warm_iterations": 470, "cold_iterations": 678,
+                 "warm_budget_exhausted": 0, "cold_budget_exhausted": 0,
+                 "savings_ratio": 0.9})
+            self.assertTrue(messages_for(doc))
+
+        def test_controller_nonfinite_savings_ratio_fails(self):
+            doc = self._controller_doc(
+                {"ticks": 24, "budget_per_tick": 400,
+                 "warm_iterations": 470, "cold_iterations": 678,
+                 "warm_budget_exhausted": 0, "cold_budget_exhausted": 0,
+                 "savings_ratio": "nan"})
+            self.assertTrue(messages_for(doc))
+
+        def test_controller_demo_run_command_accepted(self):
+            doc = dict(GOOD_RUN)
+            doc["command"] = "controller_demo"
+            del doc["strategies"]
+            self.assertEqual(messages_for(doc), [])
 
         def test_negative_counter_fails(self):
             doc = dict(GOOD_RUN)

@@ -21,6 +21,13 @@ docs/ARCHITECTURE.md "Layer DAG" and docs/STATIC_ANALYSIS.md):
                     code that needs timing goes through util::monotonic_now()
                     so every clock dependency is reviewable in one place and
                     can never leak into iterate arithmetic.
+  no-wall-clock-in-ctrl-tick
+                    src/ctrl (the receding-horizon controller) may not read
+                    any clock at all — not even the sanctioned
+                    util/clock.hpp / obs/timer.hpp monotonic seam. Tick
+                    deadlines are iteration budgets by design, which is what
+                    keeps N-tick controller runs bit-reproducible and makes
+                    the budget-resume identity testable exactly.
   ordered-containers
                     No std::unordered_{map,set,multimap,multiset} in src/admm
                     or src/net: iteration order is implementation-defined and
@@ -107,11 +114,11 @@ SOURCE_ROOTS = ("src", "tests", "bench", "examples")
 # A layer may include itself and exactly the layers listed here (its direct
 # dependencies; transitive closure is intentional repetition — an edge is
 # only legal if it is declared, whether or not it is reachable). Bottom to
-# top: util -> math -> {opt, model} -> traces -> admm -> net -> obs -> sim,
-# with src/ufc.hpp as the umbrella only examples/tests may include.
+# top: util -> math -> {opt, model} -> traces -> admm -> net -> obs -> sim
+# -> ctrl, with src/ufc.hpp as the umbrella only examples/tests may include.
 # ---------------------------------------------------------------------------
 LAYER_ORDER = ["util", "math", "opt", "model", "traces", "admm", "net", "obs",
-               "sim"]
+               "sim", "ctrl"]
 LAYER_DEPS: dict[str, set[str]] = {
     "util": set(),
     "math": {"util"},
@@ -125,6 +132,9 @@ LAYER_DEPS: dict[str, set[str]] = {
     # obs-layering rule, here enforced graph-wide).
     "obs": {"model", "util"},
     "sim": {"obs", "admm", "traces", "model", "math", "opt", "util"},
+    # The receding-horizon controller service sits on top of everything it
+    # orchestrates; nothing may include it back (it is the top layer).
+    "ctrl": {"sim", "obs", "admm", "traces", "model", "util"},
 }
 OBS_SEAM_HEADERS = {
     "src/admm/solve_core.hpp",   # driver-independent result types
@@ -388,6 +398,42 @@ def check_wall_clock(tree: Tree) -> list[Finding]:
                     "raw clock read outside src/obs and the util/clock.hpp "
                     "seam; use util::monotonic_now()/MonotonicTimer so every "
                     "clock dependency stays reviewable in one place"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: no-wall-clock-in-ctrl-tick
+# ---------------------------------------------------------------------------
+# The generic wall-clock rule already keeps raw std::chrono out of src/ctrl;
+# this rule goes one step further: the controller layer may not consume even
+# the sanctioned monotonic seam (util/clock.hpp, obs/timer.hpp). Tick
+# deadlines in ctrl are iteration budgets by design — a clock read anywhere
+# in the tick path would make N-tick runs irreproducible and break the
+# budget-resume bit-identity the controller tests pin (docs/CONTROLLER.md).
+CTRL_CLOCK_HEADERS = ("util/clock.hpp", "obs/timer.hpp")
+CTRL_CLOCK_IDENT_RE = re.compile(
+    r"\b(?:monotonic_now|MonotonicTimer|ScopedTimer|MonotonicTick)\b")
+
+
+def check_ctrl_wall_clock(tree: Tree) -> list[Finding]:
+    findings = []
+    for source in tree.files.values():
+        if not source.rel.startswith("src/ctrl/"):
+            continue
+        banned_includes = {index for index, header, _ in source.includes
+                           if header in CTRL_CLOCK_HEADERS}
+        for i, line in enumerate(source.lines):
+            code = _strip_comments_and_strings(line)
+            if i not in banned_includes and not CTRL_CLOCK_IDENT_RE.search(code):
+                continue
+            if _suppressed(source.lines, i, "no-wall-clock-in-ctrl-tick"):
+                continue
+            findings.append(Finding(
+                source.rel, i + 1, "no-wall-clock-in-ctrl-tick",
+                "the controller layer must not read any clock — not even the "
+                "util/clock.hpp monotonic seam: tick deadlines are iteration "
+                "budgets, which is what keeps N-tick controller runs "
+                "bit-reproducible"))
     return findings
 
 
@@ -1056,6 +1102,9 @@ RULES = {
     "include-cycle": (None, "file-level include graph is acyclic"),
     "dangling-include": (None, "every project include resolves to a file"),
     "wall-clock": (check_wall_clock, "no raw clock reads outside obs + util/clock seam"),
+    "no-wall-clock-in-ctrl-tick": (check_ctrl_wall_clock,
+                                   "src/ctrl never reads a clock, not even "
+                                   "the monotonic seam"),
     "ordered-containers": (check_ordered_containers, "no unordered containers in admm/net"),
     "rng-discipline": (check_rng_discipline, "std:: random engines only inside util/rng"),
     "global-state": (check_global_state, "no mutable namespace-scope state in solver layers"),

@@ -89,6 +89,23 @@ class LayeringTests(unittest.TestCase):
         self.assertEqual(rules_of(findings), ["include-layering"])
         self.assertIn("seam", findings[0].message)
 
+    def test_ctrl_may_include_sim_and_admm(self):
+        findings = self._layering({
+            "src/ctrl/controller.hpp": '#include "admm/admg.hpp"\n'
+                                       '#include "sim/session.hpp"\n',
+            "src/admm/admg.hpp": "#pragma once\n",
+            "src/sim/session.hpp": "#pragma once\n",
+        })
+        self.assertEqual(findings, [])
+
+    def test_sim_must_not_include_ctrl(self):
+        findings = self._layering({
+            "src/sim/session.cpp": '#include "ctrl/controller.hpp"\n',
+            "src/ctrl/controller.hpp": "#pragma once\n",
+        })
+        self.assertEqual(rules_of(findings), ["include-layering"])
+        self.assertIn("back-edge", findings[0].message)
+
     def test_undeclared_directory_fails(self):
         findings = self._layering({
             "src/magic/widget.hpp": "#pragma once\n",
@@ -149,6 +166,52 @@ class ConstructBanTests(unittest.TestCase):
                     "auto t = std::chrono::steady_clock::now();"
                     "  // ufc-analyze: allow(wall-clock)\n"})
             self.assertEqual(ua.check_wall_clock(tree), [])
+
+    def test_ctrl_chrono_caught_by_generic_wall_clock(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tree = make_tree(tmp, {"src/ctrl/controller.cpp": self.CHRONO})
+            self.assertEqual(rules_of(ua.check_wall_clock(tree)),
+                             ["wall-clock"])
+
+    def test_ctrl_clock_seam_include_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tree = make_tree(tmp, {
+                "src/ctrl/controller.cpp": '#include "util/clock.hpp"\n',
+                "src/util/clock.hpp": "#pragma once\n"})
+            self.assertEqual(rules_of(ua.check_ctrl_wall_clock(tree)),
+                             ["no-wall-clock-in-ctrl-tick"])
+
+    def test_ctrl_timer_identifier_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tree = make_tree(tmp, {
+                "src/ctrl/scheduler.cpp":
+                    "const double t0 = util::monotonic_now();\n"})
+            self.assertEqual(rules_of(ua.check_ctrl_wall_clock(tree)),
+                             ["no-wall-clock-in-ctrl-tick"])
+
+    def test_ctrl_timer_name_in_comment_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tree = make_tree(tmp, {
+                "src/ctrl/controller.hpp":
+                    "#pragma once\n// never call monotonic_now() here\n"})
+            self.assertEqual(ua.check_ctrl_wall_clock(tree), [])
+
+    def test_clock_seam_outside_ctrl_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tree = make_tree(tmp, {
+                "src/sim/sweep.cpp":
+                    '#include "util/clock.hpp"\n'
+                    "const double t0 = util::monotonic_now();\n",
+                "src/util/clock.hpp": "#pragma once\n"})
+            self.assertEqual(ua.check_ctrl_wall_clock(tree), [])
+
+    def test_ctrl_clock_suppression(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tree = make_tree(tmp, {
+                "src/ctrl/scheduler.cpp":
+                    "// ufc-analyze: allow(no-wall-clock-in-ctrl-tick)\n"
+                    "const double t0 = util::monotonic_now();\n"})
+            self.assertEqual(ua.check_ctrl_wall_clock(tree), [])
 
     def test_unordered_container_in_net_fails(self):
         with tempfile.TemporaryDirectory() as tmp:

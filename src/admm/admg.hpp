@@ -49,10 +49,33 @@ class AdmgSolver {
   /// and duals are an excellent initial point (see the warm-start bench).
   AdmgReport solve_warm();
 
+  /// solve_warm under a per-call iteration budget (the receding-horizon
+  /// tick: src/ctrl re-solves every tick with `max_iterations` capped at the
+  /// tick deadline). Returns the best-so-far iterate with report.status
+  /// telling Converged from BudgetExhausted; the executor keeps that
+  /// iterate, so the next call resumes exactly where this one stopped.
+  /// Under the default ingredient composition the budget seam never touches
+  /// the iteration arithmetic: N budgeted calls of k iterations produce
+  /// iterates bit-identical to one (N*k)-iteration solve_warm.
+  AdmgReport solve_budgeted(int max_iterations);
+
+  /// Back to the paper's cold start (all variables zero); the next
+  /// solve_warm behaves like solve(). The receding-horizon cold-restart
+  /// baseline re-solves every tick from here.
+  void reset() { exec_.reset(); }
+
   /// Swaps in a new slot's problem while keeping the iterate as the warm
   /// start. Dimensions (M, N) must match; the workload normalization is
   /// kept from construction so iterates remain directly comparable.
   void set_problem(const UfcProblem& problem) { exec_.set_problem(problem); }
+
+  /// Applies a sparse tick update to the live problem (engine.hpp
+  /// ProblemUpdate): validates the batch, mutates the problem in place,
+  /// invalidates screening/certification caches and projects the warm
+  /// iterate back into the primal box if a capacity shrank under it.
+  void apply_update(const ProblemUpdate& update) {
+    exec_.apply_update(update);
+  }
 
   /// Seeds the iterate from a caller-unit solution (e.g. a centralized
   /// oracle's plan): routing and its copy take solution.lambda normalized,

@@ -300,9 +300,14 @@ void InProcessExecutor::clamp_iterate(std::span<double> values) const {
   double* mu = values.data() + 3 * mn;
   double* nu = mu + n_;
   for (std::size_t j = 0; j < n_; ++j) {
-    mu[j] = std::max(0.0, mu[j]);
-    nu[j] = std::clamp(nu[j], 0.0,
+    // mu_j is fuel-cell generation, bounded by the installed capacity
+    // mu_max_j; nu_j is grid draw, bounded below only. (An earlier revision
+    // had these two swapped, which let an extrapolated mu_j sail past a
+    // shrunken capacity while truncating legitimate grid draw — pinned by
+    // ProblemUpdateTest.ClampProjectsMuToCapacityAndNuToZero.)
+    mu[j] = std::clamp(mu[j], 0.0,
                        problem_.datacenters[j].fuel_cell_capacity_mw);
+    nu[j] = std::max(0.0, nu[j]);
   }
 }
 
@@ -905,6 +910,101 @@ void InProcessExecutor::set_problem(const UfcProblem& problem) {
   screen_ready_ = false;
   screen_verified_ = false;
   steps_since_full_ = 0;
+  // The new slot may have shrunk a fuel-cell cap below the warm mu_j (an
+  // outage at a slot boundary): project rather than iterate from an
+  // infeasible point the block solvers' contracts do not cover.
+  repair_iterate_bounds();
+}
+
+void InProcessExecutor::apply_update(const ProblemUpdate& update) {
+  // Validate the whole batch before touching anything: a malformed entry
+  // must never leave the live problem half-updated under a warm solver.
+  for (const auto& [i, value] : update.arrivals) {
+    UFC_EXPECTS(i < m_);
+    UFC_EXPECTS(std::isfinite(value) && value >= 0.0);
+  }
+  for (const auto* batch :
+       {&update.grid_prices, &update.carbon_rates, &update.fuel_cell_caps}) {
+    for (const auto& [j, value] : *batch) {
+      UFC_EXPECTS(j < n_);
+      UFC_EXPECTS(std::isfinite(value) && value >= 0.0);
+    }
+  }
+  if (options_.pinning == BlockPinning::PinNu) {
+    // The FuelCell strategy's construction invariant: capacity covers the
+    // peak demand. A tick must not silently break it.
+    for (const auto& [j, value] : update.fuel_cell_caps) {
+      const double peak =
+          problem_.demand_mw(j, problem_.datacenters[j].servers);
+      UFC_EXPECTS(value >= peak - 1e-9);
+    }
+  }
+  // Aggregate feasibility, checked against a scratch copy (duplicate
+  // indices are allowed, last writer wins — same as replaying the entries).
+  std::vector<double> new_arrivals = original_.arrivals;
+  for (const auto& [i, value] : update.arrivals) new_arrivals[i] = value;
+  double total = 0.0;
+  for (double a : new_arrivals) total += a;
+  UFC_EXPECTS(total <= original_.total_server_capacity() + 1e-9);
+
+  // Commit. Arrivals are workload quantities (divided by sigma in the
+  // normalized problem); prices, carbon rates and fuel-cell caps are $/MWh,
+  // kg/MWh and MW — invariant under the workload normalization.
+  original_.arrivals = std::move(new_arrivals);
+  for (const auto& [i, value] : update.arrivals) {
+    (void)value;
+    problem_.arrivals[i] = original_.arrivals[i] / sigma_;
+  }
+  for (const auto& [j, value] : update.grid_prices) {
+    original_.datacenters[j].grid_price = value;
+    problem_.datacenters[j].grid_price = value;
+  }
+  for (const auto& [j, value] : update.carbon_rates) {
+    original_.datacenters[j].carbon_rate = value;
+    problem_.datacenters[j].carbon_rate = value;
+  }
+  for (const auto& [j, value] : update.fuel_cell_caps) {
+    original_.datacenters[j].fuel_cell_capacity_mw = value;
+    problem_.datacenters[j].fuel_cell_capacity_mw = value;
+  }
+
+  // Invalidate everything that described the pre-update problem: residual
+  // scales, the convergence-certification gate (stepped_), the active-set
+  // supports and the cached post-correction column sums. set_problem/restore
+  // already guaranteed this; a live mutation path without the same
+  // invalidation is exactly where stale-screening bugs hide.
+  update_residual_scales();
+  stepped_ = false;
+  post_sums_fresh_ = false;
+  screen_ready_ = false;
+  screen_verified_ = false;
+  steps_since_full_ = 0;
+  // A shrunken cap can leave the warm mu_j outside the new primal box.
+  repair_iterate_bounds();
+}
+
+void InProcessExecutor::repair_iterate_bounds() {
+  bool feasible = true;
+  for (std::size_t j = 0; j < n_ && feasible; ++j) {
+    const double cap = problem_.datacenters[j].fuel_cell_capacity_mw;
+    feasible = mu_[j] >= 0.0 && mu_[j] <= cap && nu_[j] >= 0.0;
+  }
+  if (feasible) {
+    const auto nonnegative = [](std::span<const double> values) {
+      for (const double v : values)
+        if (v < 0.0) return false;
+      return true;
+    };
+    feasible = nonnegative(lambda_.raw()) && nonnegative(a_.raw());
+  }
+  if (feasible) return;
+  // Route the infeasible warm iterate through the same projection the
+  // acceleration safeguard uses; set_iterate then invalidates the caches
+  // that described the unprojected point.
+  std::vector<double> flat(iterate_size());
+  copy_iterate(flat);
+  clamp_iterate(flat);
+  set_iterate(flat);
 }
 
 bool InProcessExecutor::iterate_finite() const {
@@ -1168,6 +1268,10 @@ SolveCore AdmgEngine::solve(BlockExecutor& executor, int first_iteration) {
   core.copy_residual = copy;
   core.acceleration_fallbacks = acceleration_->fallbacks();
   core.final_penalty = rho;
+  core.status = core.watchdog_verdict != WatchdogVerdict::Healthy
+                    ? SolveStatus::WatchdogTripped
+                : core.converged ? SolveStatus::Converged
+                                 : SolveStatus::BudgetExhausted;
 
   if (core.watchdog_verdict != WatchdogVerdict::Healthy) {
     log::warn("ADM-G watchdog tripped (",
@@ -1201,7 +1305,7 @@ SolveCore AdmgEngine::solve(BlockExecutor& executor, int first_iteration) {
       evaluate(executor.original_problem(), core.solution.lambda,
                core.solution.mu);
 
-  if (!core.converged) {
+  if (!core.converged && options_.warn_on_unconverged) {
     log::warn("ADM-G did not converge in ", core.iterations,
               " iterations (balance residual ", core.balance_residual,
               ", copy residual ", core.copy_residual, ")");

@@ -128,6 +128,11 @@ struct AdmgOptions {
   /// Record per-iteration residuals/objective (costs one evaluate() per
   /// iteration; cheap at paper scale).
   bool record_trace = true;
+  /// Log a warning when the solve ends unconverged. Budgeted drivers
+  /// (AdmgSolver::solve_budgeted, src/ctrl) turn this off: running out of a
+  /// deliberate per-tick budget is an expected outcome reported through
+  /// SolveStatus, not a solver-health event worth a log line per tick.
+  bool warn_on_unconverged = true;
   /// Worker threads for the per-front-end and per-datacenter passes of each
   /// step (the count includes the calling thread). 1 = serial (default);
   /// 0 = std::thread::hardware_concurrency(). Iterates are bit-identical
@@ -182,6 +187,25 @@ UfcProblem scale_workload_units(const UfcProblem& problem, double sigma);
 /// without copying it (the per-slot warm-start path swaps problems every
 /// simulated hour, where the copy was measurable).
 void scale_workload_units_in_place(UfcProblem& problem, double sigma);
+
+/// A sparse batch of problem-data changes applied between warm-started
+/// solves — the receding-horizon tick vocabulary (src/ctrl). Indices address
+/// the construction-time dimensions; values are caller units (servers, $/MWh,
+/// kg/MWh, MW). Every entry must be finite and non-negative, and the updated
+/// problem must stay feasible (total arrivals within total capacity) —
+/// apply_update contract-checks all of it before touching the live problem,
+/// so a malformed tick never leaves the solver half-updated.
+struct ProblemUpdate {
+  std::vector<std::pair<std::size_t, double>> arrivals;        ///< i -> A_i.
+  std::vector<std::pair<std::size_t, double>> grid_prices;     ///< j -> p_j.
+  std::vector<std::pair<std::size_t, double>> carbon_rates;    ///< j -> C_j.
+  std::vector<std::pair<std::size_t, double>> fuel_cell_caps;  ///< j -> mu_max_j.
+
+  bool empty() const {
+    return arrivals.empty() && grid_prices.empty() && carbon_rates.empty() &&
+           fuel_cell_caps.empty();
+  }
+};
 
 // ---------------------------------------------------------------------------
 // Gaussian back substitution correction steps (paper step 2, backward order).
@@ -361,6 +385,15 @@ class InProcessExecutor : public BlockExecutor {
   /// start. Dimensions (M, N) must match; the workload normalization is
   /// kept from construction so iterates remain directly comparable.
   void set_problem(const UfcProblem& problem);
+  /// Applies a sparse tick update to the live problem in place (the
+  /// streaming analogue of set_problem: no full-problem copy, no
+  /// re-validation of untouched rows). The warm iterate carries over; every
+  /// cache that described the pre-update problem — active-set supports, the
+  /// convergence-certification gate, the maintained column sums, residual
+  /// scales — is invalidated, and an iterate left outside the new primal box
+  /// (a fuel-cell cap shrinking below the warm mu_j) is routed through the
+  /// clamp_iterate feasibility projection before the next step.
+  void apply_update(const ProblemUpdate& update);
 
   // Read access to the current iterate (post-correction), in *normalized*
   // workload units.
@@ -422,6 +455,11 @@ class InProcessExecutor : public BlockExecutor {
   };
 
   void update_residual_scales();
+  /// Projects the warm iterate through clamp_iterate when a problem change
+  /// left it outside the primal box (set_problem / apply_update with a
+  /// shrunken fuel-cell cap). No-op — and no cache invalidation — while the
+  /// iterate is already feasible.
+  void repair_iterate_bounds();
   void run_full_datacenter_pass();
   void run_screened_lambda_pass();
   void run_screened_datacenter_pass();

@@ -17,6 +17,25 @@
 
 namespace ufc::admm {
 
+/// Why a solve returned. Budgeted (receding-horizon) drivers branch on this
+/// instead of re-deriving it from `converged` + `watchdog_verdict`: a
+/// BudgetExhausted report is a usable best-so-far iterate the caller is
+/// expected to resume from next tick, a WatchdogTripped one is not.
+enum class SolveStatus {
+  Converged,        ///< Residual gate passed within the iteration budget.
+  BudgetExhausted,  ///< Ran out of iterations; iterate is best-so-far.
+  WatchdogTripped,  ///< Cut short by the solver-health watchdog.
+};
+
+constexpr const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::BudgetExhausted: return "budget_exhausted";
+    case SolveStatus::WatchdogTripped: return "watchdog_tripped";
+  }
+  return "unknown";
+}
+
 /// Per-iteration diagnostics.
 struct AdmgTrace {
   std::vector<double> balance_residual;  ///< max_j |alpha+beta*sum a-mu-nu|, MW.
@@ -32,6 +51,10 @@ struct SolveCore {
   UfcBreakdown breakdown;       ///< Evaluated at the returned solution.
   int iterations = 0;
   bool converged = false;
+  /// Why the solve returned (mirrors converged/watchdog_verdict; see
+  /// SolveStatus). Defaults to BudgetExhausted so a zero-iteration report
+  /// never reads as a certificate.
+  SolveStatus status = SolveStatus::BudgetExhausted;
   double balance_residual = 0.0;  ///< Final scaled-residual inputs, raw units.
   double copy_residual = 0.0;
   /// Healthy unless the solve was cut short by the watchdog.

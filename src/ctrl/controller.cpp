@@ -1,0 +1,46 @@
+#include "ctrl/controller.hpp"
+
+#include "util/contract.hpp"
+
+namespace ufc::ctrl {
+
+Controller::Controller(const UfcProblem& problem, ControllerOptions options)
+    : options_(std::move(options)),
+      solver_(problem, options_.admg),
+      tick_iterations_(obs::default_iteration_boundaries()) {
+  UFC_EXPECTS(options_.max_iters_per_tick > 0);
+}
+
+TickReport Controller::tick(const admm::ProblemUpdate& update) {
+  TickReport out;
+  out.tick = ticks_;
+  if (!update.empty()) solver_.apply_update(update);
+  if (options_.cold_restart) solver_.reset();
+  out.report = solver_.solve_budgeted(options_.max_iters_per_tick);
+
+  ++ticks_;
+  total_iterations_ += out.report.iterations;
+  tick_iterations_.observe(static_cast<double>(out.report.iterations));
+  if (out.report.status == admm::SolveStatus::Converged) {
+    ++converged_ticks_;
+  } else {
+    ++budget_exhausted_ticks_;
+  }
+  return out;
+}
+
+void Controller::record_metrics(obs::MetricsRegistry& out,
+                                const std::string& prefix) const {
+  out.counter(prefix + ".ticks").add(static_cast<std::uint64_t>(ticks_));
+  out.counter(prefix + ".iterations")
+      .add(static_cast<std::uint64_t>(total_iterations_));
+  out.counter(prefix + ".converged_ticks")
+      .add(static_cast<std::uint64_t>(converged_ticks_));
+  out.counter(prefix + ".budget_exhausted")
+      .add(static_cast<std::uint64_t>(budget_exhausted_ticks_));
+  out.histogram(prefix + ".tick_iterations",
+                obs::default_iteration_boundaries())
+      .merge(tick_iterations_);
+}
+
+}  // namespace ufc::ctrl

@@ -1,0 +1,219 @@
+#include "ctrl/stream.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <string_view>
+#include <utility>
+
+#include "sim/session.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::ctrl {
+
+namespace {
+
+/// Diffs `next` against `prev` into a sparse update. Exact comparison is
+/// intentional: both states come from the same deterministic generator, so
+/// an unchanged entry is bitwise unchanged and a changed one should be
+/// forwarded verbatim, not tolerance-filtered.
+admm::ProblemUpdate diff_problems(const UfcProblem& prev,
+                                  const UfcProblem& next) {
+  UFC_EXPECTS(prev.num_front_ends() == next.num_front_ends());
+  UFC_EXPECTS(prev.num_datacenters() == next.num_datacenters());
+  admm::ProblemUpdate update;
+  for (std::size_t i = 0; i < prev.num_front_ends(); ++i) {
+    if (next.arrivals[i] != prev.arrivals[i])
+      update.arrivals.emplace_back(i, next.arrivals[i]);
+  }
+  for (std::size_t j = 0; j < prev.num_datacenters(); ++j) {
+    const DatacenterSpec& before = prev.datacenters[j];
+    const DatacenterSpec& after = next.datacenters[j];
+    if (after.grid_price != before.grid_price)
+      update.grid_prices.emplace_back(j, after.grid_price);
+    if (after.carbon_rate != before.carbon_rate)
+      update.carbon_rates.emplace_back(j, after.carbon_rate);
+    if (after.fuel_cell_capacity_mw != before.fuel_cell_capacity_mw)
+      update.fuel_cell_caps.emplace_back(j, after.fuel_cell_capacity_mw);
+  }
+  return update;
+}
+
+}  // namespace
+
+ScenarioTickSource::ScenarioTickSource(traces::Scenario scenario,
+                                       std::vector<sim::FuelCellOutage> outages)
+    : scenario_(std::move(scenario)), outages_(std::move(outages)) {
+  UFC_EXPECTS(scenario_.hours() >= 1);
+  base_ = scenario_.problem_at(0);
+  sim::apply_outages(base_, outages_, 0);
+  base_.validate();
+  prev_ = base_;
+}
+
+std::optional<admm::ProblemUpdate> ScenarioTickSource::next() {
+  if (next_hour_ >= scenario_.hours()) return std::nullopt;
+  UfcProblem current = scenario_.problem_at(next_hour_);
+  sim::apply_outages(current, outages_, next_hour_);
+  admm::ProblemUpdate update = diff_problems(prev_, current);
+  prev_ = std::move(current);
+  ++next_hour_;
+  return update;
+}
+
+SyntheticTickSource::SyntheticTickSource(UfcProblem base, Options options)
+    : base_(std::move(base)), options_(options), rng_(options.seed) {
+  base_.validate();
+  UFC_EXPECTS(options_.ticks >= 0);
+  for (const double amplitude :
+       {options_.workload_amplitude, options_.price_amplitude,
+        options_.carbon_amplitude}) {
+    UFC_EXPECTS(amplitude >= 0.0 && amplitude < 1.0);
+  }
+  // Worst-case excursion certificate: every tick scales arrivals by at most
+  // (1 + workload_amplitude), so feasibility at the extreme covers the whole
+  // stream.
+  UFC_EXPECTS(base_.total_arrivals() * (1.0 + options_.workload_amplitude) <=
+              base_.total_server_capacity());
+}
+
+double SyntheticTickSource::jitter(double amplitude) {
+  return 1.0 + amplitude * rng_.uniform(-1.0, 1.0);
+}
+
+std::optional<admm::ProblemUpdate> SyntheticTickSource::next() {
+  if (emitted_ >= options_.ticks) return std::nullopt;
+  ++emitted_;
+  admm::ProblemUpdate update;
+  if (options_.workload_amplitude > 0.0) {
+    for (std::size_t i = 0; i < base_.num_front_ends(); ++i) {
+      update.arrivals.emplace_back(
+          i, base_.arrivals[i] * jitter(options_.workload_amplitude));
+    }
+  }
+  if (options_.price_amplitude > 0.0) {
+    for (std::size_t j = 0; j < base_.num_datacenters(); ++j) {
+      update.grid_prices.emplace_back(
+          j,
+          base_.datacenters[j].grid_price * jitter(options_.price_amplitude));
+    }
+  }
+  if (options_.carbon_amplitude > 0.0) {
+    for (std::size_t j = 0; j < base_.num_datacenters(); ++j) {
+      update.carbon_rates.emplace_back(
+          j,
+          base_.datacenters[j].carbon_rate * jitter(options_.carbon_amplitude));
+    }
+  }
+  return update;
+}
+
+namespace {
+
+// Streaming CSV ingestion is a trust boundary: every field goes through
+// std::from_chars with full-match and range checking, and values are
+// additionally required to be finite and non-negative (from_chars happily
+// parses "nan" and "inf"). A bad row is a ContractViolation, never a clamp.
+
+constexpr int kMaxTick = 1 << 20;  ///< Allocation guard for the result.
+
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+int parse_tick_field(std::string_view field) {
+  int tick = 0;
+  const char* end = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(field.data(), end, tick);
+  UFC_EXPECTS(ec == std::errc{} && ptr == end);
+  UFC_EXPECTS(tick >= 0 && tick <= kMaxTick);
+  return tick;
+}
+
+std::size_t parse_index_field(std::string_view field, std::size_t bound) {
+  std::uint64_t index = 0;
+  const char* end = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(field.data(), end, index);
+  UFC_EXPECTS(ec == std::errc{} && ptr == end);
+  UFC_EXPECTS(index < bound);
+  return static_cast<std::size_t>(index);
+}
+
+double parse_value_field(std::string_view field) {
+  double value = 0.0;
+  const char* end = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(field.data(), end, value);
+  UFC_EXPECTS(ec == std::errc{} && ptr == end);
+  UFC_EXPECTS(std::isfinite(value) && value >= 0.0);
+  return value;
+}
+
+}  // namespace
+
+std::vector<admm::ProblemUpdate> read_tick_stream(std::istream& in,
+                                                  std::size_t front_ends,
+                                                  std::size_t datacenters) {
+  UFC_EXPECTS(front_ends > 0 && datacenters > 0);
+  std::string line;
+  UFC_EXPECTS(static_cast<bool>(std::getline(in, line)));
+  UFC_EXPECTS(strip_cr(line) == "tick,kind,index,value");
+
+  std::vector<admm::ProblemUpdate> updates;
+  int last_tick = -1;
+  while (std::getline(in, line)) {
+    const std::string_view row = strip_cr(line);
+    if (row.empty()) continue;  // Tolerate a trailing blank line.
+    const std::vector<std::string_view> fields = split_fields(row);
+    UFC_EXPECTS(fields.size() == 4);
+
+    const int tick = parse_tick_field(fields[0]);
+    UFC_EXPECTS(tick >= last_tick);  // Sorted stream; gaps are fine.
+    last_tick = tick;
+    if (static_cast<std::size_t>(tick) >= updates.size())
+      updates.resize(static_cast<std::size_t>(tick) + 1);
+    admm::ProblemUpdate& update = updates[static_cast<std::size_t>(tick)];
+
+    const std::string_view kind = fields[1];
+    const double value = parse_value_field(fields[3]);
+    if (kind == "arrival") {
+      update.arrivals.emplace_back(parse_index_field(fields[2], front_ends),
+                                   value);
+    } else if (kind == "grid_price") {
+      update.grid_prices.emplace_back(parse_index_field(fields[2], datacenters),
+                                      value);
+    } else if (kind == "carbon_rate") {
+      update.carbon_rates.emplace_back(
+          parse_index_field(fields[2], datacenters), value);
+    } else if (kind == "fuel_cell_cap") {
+      update.fuel_cell_caps.emplace_back(
+          parse_index_field(fields[2], datacenters), value);
+    } else {
+      UFC_EXPECTS(false);  // Unknown kind.
+    }
+  }
+  return updates;
+}
+
+std::vector<admm::ProblemUpdate> read_tick_stream_file(
+    const std::string& path, std::size_t front_ends, std::size_t datacenters) {
+  std::ifstream in(path);
+  UFC_EXPECTS(static_cast<bool>(in));
+  return read_tick_stream(in, front_ends, datacenters);
+}
+
+}  // namespace ufc::ctrl

@@ -1,0 +1,126 @@
+// Tick streams: the ingestion side of the receding-horizon controller.
+//
+// A TickSource produces one sparse admm::ProblemUpdate per control tick —
+// the delta between consecutive problem states, never a full re-build — so
+// the controller can mutate a *live* solver between budgeted re-solves and
+// keep its iterate as the warm start. Three sources cover the use cases:
+//
+//   ScenarioTickSource   deterministic replay of a traces::Scenario (plus
+//                        the sim fault model): tick t emits the hour t-1 ->
+//                        t delta of arrivals, prices, carbon rates and
+//                        outage-driven fuel-cell capacity transitions.
+//   SyntheticTickSource  seeded multiplicative jitter around a base
+//                        problem; every tick is derived from the base (not
+//                        the previous tick), so excursions stay bounded and
+//                        the constructor can certify feasibility up front.
+//   read_tick_stream     CSV ingestion (tick,kind,index,value rows) with
+//                        hard validation: NaN/Inf, negatives, short rows,
+//                        unknown kinds, out-of-range indices and decreasing
+//                        ticks all throw ufc::ContractViolation — malformed
+//                        telemetry must never be silently clamped into a
+//                        plausible-looking problem.
+//
+// No wall-clock anywhere: a tick is a logical step, and pacing (if any) is
+// the caller's business. This keeps every stream bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "admm/engine.hpp"
+#include "model/problem.hpp"
+#include "sim/simulator.hpp"
+#include "traces/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace ufc::ctrl {
+
+/// A stream of per-tick sparse problem updates.
+class TickSource {
+ public:
+  virtual ~TickSource() = default;
+
+  /// The problem state before any tick — what the consumer should construct
+  /// its solver from. Stable across the stream's lifetime.
+  virtual const UfcProblem& base_problem() const = 0;
+
+  /// The next tick's update (possibly empty: the tick happened but nothing
+  /// changed), or nullopt once the stream is exhausted.
+  virtual std::optional<admm::ProblemUpdate> next() = 0;
+};
+
+/// Replays a generated scenario (and its outage schedule) as a tick stream:
+/// the base problem is hour 0 with outages applied, and tick t diffs hour t
+/// against hour t-1, emitting only the entries that actually changed.
+/// Capacity transitions at outage window boundaries ride the same diff, so
+/// the stream reproduces exactly what sim::SolveSession would solve per slot.
+class ScenarioTickSource final : public TickSource {
+ public:
+  explicit ScenarioTickSource(traces::Scenario scenario,
+                              std::vector<sim::FuelCellOutage> outages = {});
+
+  const UfcProblem& base_problem() const override { return base_; }
+  std::optional<admm::ProblemUpdate> next() override;
+
+ private:
+  traces::Scenario scenario_;
+  std::vector<sim::FuelCellOutage> outages_;
+  UfcProblem base_;  ///< Hour 0, outages applied.
+  UfcProblem prev_;  ///< Hour next_hour_ - 1, outages applied.
+  int next_hour_ = 1;
+};
+
+/// Seeded jitter around a fixed base problem: tick values are
+/// base * (1 + amplitude * u) with u uniform in [-1, 1), drawn from an
+/// ufc::Rng owned by the source. Deterministic in (seed, options); two
+/// sources with equal configuration emit identical streams.
+class SyntheticTickSource final : public TickSource {
+ public:
+  struct Options {
+    std::uint64_t seed = 42;
+    int ticks = 168;                  ///< Stream length.
+    double workload_amplitude = 0.2;  ///< Relative jitter on arrivals.
+    double price_amplitude = 0.3;     ///< Relative jitter on grid prices.
+    double carbon_amplitude = 0.0;    ///< Relative jitter on carbon rates.
+  };
+
+  /// Validates the base problem and requires every amplitude in [0, 1) with
+  /// the worst-case workload excursion still within total server capacity,
+  /// so no emitted tick can ever be infeasible.
+  SyntheticTickSource(UfcProblem base, Options options);
+
+  const UfcProblem& base_problem() const override { return base_; }
+  std::optional<admm::ProblemUpdate> next() override;
+
+ private:
+  double jitter(double amplitude);
+
+  UfcProblem base_;
+  Options options_;
+  Rng rng_;
+  int emitted_ = 0;
+};
+
+/// Parses a tick-stream CSV into one ProblemUpdate per tick. Format: a
+/// `tick,kind,index,value` header followed by data rows, where kind is one
+/// of arrival | grid_price | carbon_rate | fuel_cell_cap, index addresses a
+/// front-end (arrival, < front_ends) or a datacenter (the rest,
+/// < datacenters), and value is a finite non-negative double. Rows must be
+/// sorted by non-decreasing tick; ticks without rows become empty updates,
+/// so the result has last_tick + 1 entries. Every malformed input — short or
+/// long rows, unknown kinds, NaN/Inf/negative values, out-of-range indices,
+/// decreasing ticks — throws ufc::ContractViolation; nothing is clamped.
+std::vector<admm::ProblemUpdate> read_tick_stream(std::istream& in,
+                                                  std::size_t front_ends,
+                                                  std::size_t datacenters);
+
+/// read_tick_stream on a file path; throws ContractViolation when the file
+/// cannot be opened.
+std::vector<admm::ProblemUpdate> read_tick_stream_file(const std::string& path,
+                                                       std::size_t front_ends,
+                                                       std::size_t datacenters);
+
+}  // namespace ufc::ctrl

@@ -51,6 +51,7 @@ JsonValue solve_core_json(const admm::SolveCore& core) {
   JsonValue out = JsonValue::object();
   out.set("iterations", JsonValue(core.iterations));
   out.set("converged", JsonValue(core.converged));
+  out.set("status", JsonValue(admm::to_string(core.status)));
   out.set("balance_residual", JsonValue(core.balance_residual));
   out.set("copy_residual", JsonValue(core.copy_residual));
   out.set("watchdog_verdict", JsonValue(verdict_name(core.watchdog_verdict)));

@@ -125,4 +125,11 @@ const std::vector<double>& default_time_boundaries() {
   return boundaries;
 }
 
+const std::vector<double>& default_iteration_boundaries() {
+  static const std::vector<double> boundaries = {1.0,   2.0,   5.0,    10.0,
+                                                 20.0,  50.0,  100.0,  200.0,
+                                                 500.0, 1000.0, 2000.0};
+  return boundaries;
+}
+
 }  // namespace ufc::obs

@@ -109,4 +109,10 @@ class MetricsRegistry {
 /// in seconds: 1us .. 10s in decade steps {1e-6, 1e-5, ..., 10}.
 const std::vector<double>& default_time_boundaries();
 
+/// 1-2-5 boundaries for per-solve iteration counts {1, 2, 5, ..., 2000},
+/// used by the controller's per-tick iteration histograms: every driver
+/// bucketing iteration counts shares one boundary set, so the histograms
+/// merge across tenants and runs.
+const std::vector<double>& default_iteration_boundaries();
+
 }  // namespace ufc::obs

@@ -4,8 +4,6 @@
 
 namespace ufc::sim {
 
-namespace {
-
 void apply_outages(UfcProblem& problem,
                    const std::vector<FuelCellOutage>& outages, int hour) {
   for (const auto& outage : outages) {
@@ -15,8 +13,6 @@ void apply_outages(UfcProblem& problem,
       problem.datacenters[outage.datacenter].fuel_cell_capacity_mw = 0.0;
   }
 }
-
-}  // namespace
 
 SolveSession::SolveSession(admm::Strategy strategy,
                            const SimulatorOptions& options)

@@ -14,6 +14,14 @@
 
 namespace ufc::sim {
 
+/// Applies every outage window covering `hour` to the slot problem (the
+/// affected fuel cells produce nothing: mu_max_j = 0). Shared by the per-slot
+/// solve path below and the ctrl layer's scenario tick stream, so both replay
+/// the same fault model. Throws ContractViolation on an out-of-range
+/// datacenter or an inverted window.
+void apply_outages(UfcProblem& problem,
+                   const std::vector<FuelCellOutage>& outages, int hour);
+
 class SolveSession {
  public:
   SolveSession(admm::Strategy strategy, const SimulatorOptions& options);

@@ -8,6 +8,7 @@
 //   traces/ — calibrated synthetic (or CSV-loaded) workload/price/carbon data
 //   net/    — the message-passing protocol runtime
 //   sim/    — week-scale simulation, sweeps and extensions
+//   ctrl/   — the online receding-horizon controller service
 #pragma once
 
 #include "admm/admg.hpp"
@@ -15,6 +16,9 @@
 #include "admm/centralized.hpp"
 #include "admm/rightsizing.hpp"
 #include "admm/strategy.hpp"
+#include "ctrl/controller.hpp"
+#include "ctrl/scheduler.hpp"
+#include "ctrl/stream.hpp"
 #include "model/battery.hpp"
 #include "model/breakdown.hpp"
 #include "model/emission.hpp"

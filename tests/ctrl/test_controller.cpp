@@ -1,0 +1,198 @@
+// The single-tenant receding-horizon controller.
+//
+// The acceptance property of the whole tentpole lives here: N control ticks
+// at a budget of k iterations on an unchanged problem produce solver state
+// bit-identical to one (N*k)-iteration solve — serially and with solver
+// threads — so a tick deadline only ever decides WHEN iterations happen,
+// never WHAT they compute. The remaining tests pin the status lifecycle
+// (BudgetExhausted ticks resume, Converged ticks certify), the cold-restart
+// baseline's amnesia and the metrics export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "admm/admg.hpp"
+#include "admm/engine.hpp"
+#include "admm/solve_core.hpp"
+#include "ctrl/controller.hpp"
+#include "helpers.hpp"
+#include "obs/metrics.hpp"
+#include "util/contract.hpp"
+
+namespace ufc::ctrl {
+namespace {
+
+using ::ufc::testing::make_random_problem;
+using ::ufc::testing::make_tiny_problem;
+
+/// Tolerance far below reach, so every tick spends its whole budget and the
+/// chunked-vs-one-shot trajectories stay comparable step for step.
+ControllerOptions never_converge_options(int budget) {
+  ControllerOptions options;
+  options.max_iters_per_tick = budget;
+  options.admg.tolerance = 1e-12;
+  options.admg.record_trace = false;
+  options.admg.warn_on_unconverged = false;
+  return options;
+}
+
+TEST(Controller, RejectsNonPositiveBudget) {
+  ControllerOptions options;
+  options.max_iters_per_tick = 0;
+  EXPECT_THROW(Controller(make_tiny_problem(), options), ContractViolation);
+}
+
+TEST(Controller, BudgetedTicksBitIdenticalToOneLongSolve) {
+  const UfcProblem problem = make_random_problem(23, 5, 3);
+  constexpr int kTicks = 6;
+  constexpr int kBudget = 5;
+
+  Controller controller(problem, never_converge_options(kBudget));
+  const admm::ProblemUpdate no_change;
+  for (int t = 0; t < kTicks; ++t) {
+    const TickReport tick = controller.tick(no_change);
+    EXPECT_EQ(tick.tick, t);
+    EXPECT_EQ(tick.report.iterations, kBudget);
+    EXPECT_EQ(tick.report.status, admm::SolveStatus::BudgetExhausted);
+  }
+  EXPECT_EQ(controller.ticks(), kTicks);
+  EXPECT_EQ(controller.total_iterations(), kTicks * kBudget);
+
+  admm::AdmgOptions one_shot = never_converge_options(kBudget).admg;
+  one_shot.max_iterations = kTicks * kBudget;
+  admm::AdmgSolver reference(problem, one_shot);
+  reference.solve();
+
+  EXPECT_EQ(controller.solver().checkpoint(), reference.checkpoint());
+}
+
+TEST(Controller, BudgetedTicksBitIdenticalUnderSolverThreads) {
+  const UfcProblem problem = make_random_problem(29, 8, 4);
+  constexpr int kTicks = 4;
+  constexpr int kBudget = 6;
+
+  ControllerOptions options = never_converge_options(kBudget);
+  options.admg.threads = 4;
+  Controller controller(problem, options);
+  const admm::ProblemUpdate no_change;
+  for (int t = 0; t < kTicks; ++t) controller.tick(no_change);
+
+  admm::AdmgOptions one_shot = options.admg;
+  one_shot.max_iterations = kTicks * kBudget;
+  admm::AdmgSolver reference(problem, one_shot);
+  reference.solve();
+
+  EXPECT_EQ(controller.solver().checkpoint(), reference.checkpoint());
+}
+
+TEST(Controller, ResumesAcrossTicksUntilConverged) {
+  ControllerOptions options;
+  options.max_iters_per_tick = 5;
+  options.admg.record_trace = false;
+  Controller controller(make_tiny_problem(), options);
+
+  const admm::ProblemUpdate no_change;
+  int ticks_to_converge = 0;
+  admm::SolveStatus last = admm::SolveStatus::BudgetExhausted;
+  for (int t = 0; t < 400 && last != admm::SolveStatus::Converged; ++t) {
+    last = controller.tick(no_change).report.status;
+    ++ticks_to_converge;
+  }
+  ASSERT_EQ(last, admm::SolveStatus::Converged);
+  // The tiny problem needs more than one 5-iteration tick, so the early
+  // ticks must have reported best-so-far and resumed.
+  EXPECT_GT(ticks_to_converge, 1);
+  EXPECT_EQ(controller.budget_exhausted_ticks(), ticks_to_converge - 1);
+  EXPECT_EQ(controller.converged_ticks(), 1);
+  EXPECT_TRUE(controller.solver().is_converged());
+
+  // Once converged on a static problem, the next tick certifies again
+  // almost for free — the warm iterate is already at the optimum.
+  const TickReport after = controller.tick(no_change);
+  EXPECT_EQ(after.report.status, admm::SolveStatus::Converged);
+  EXPECT_LE(after.report.iterations, 2);
+}
+
+TEST(Controller, ColdRestartForgetsTheWarmIterate) {
+  ControllerOptions options = never_converge_options(8);
+  options.cold_restart = true;
+  Controller cold(make_tiny_problem(), options);
+
+  const admm::ProblemUpdate no_change;
+  cold.tick(no_change);
+  const std::vector<std::byte> after_first = cold.solver().checkpoint();
+  cold.tick(no_change);
+  // Every tick re-runs the identical 8 iterations from the cold start, so
+  // the state after tick 2 equals the state after tick 1 bitwise.
+  EXPECT_EQ(cold.solver().checkpoint(), after_first);
+
+  // The warm controller keeps moving: same second tick, different state.
+  options.cold_restart = false;
+  Controller warm(make_tiny_problem(), options);
+  warm.tick(no_change);
+  warm.tick(no_change);
+  EXPECT_NE(warm.solver().checkpoint(), after_first);
+}
+
+TEST(Controller, AppliesUpdatesBeforeSolving) {
+  ControllerOptions options;
+  options.max_iters_per_tick = 2000;
+  options.admg.record_trace = false;
+  Controller controller(make_tiny_problem(), options);
+
+  admm::ProblemUpdate repricing;
+  repricing.grid_prices.emplace_back(0, 55.0);
+  const TickReport tick = controller.tick(repricing);
+  EXPECT_EQ(tick.report.status, admm::SolveStatus::Converged);
+  EXPECT_DOUBLE_EQ(controller.solver().problem().datacenters[0].grid_price,
+                   55.0);
+
+  // The converged tick solved the UPDATED problem: a cold solve of the same
+  // mutation agrees on the objective.
+  UfcProblem mutated = make_tiny_problem();
+  mutated.datacenters[0].grid_price = 55.0;
+  admm::AdmgOptions cold;
+  cold.record_trace = false;
+  const admm::AdmgReport reference = admm::solve_admg(mutated, cold);
+  ASSERT_TRUE(reference.converged);
+  EXPECT_NEAR(tick.report.breakdown.ufc, reference.breakdown.ufc,
+              1e-3 * std::abs(reference.breakdown.ufc));
+}
+
+TEST(Controller, RecordMetricsExportsLifetimeTotals) {
+  ControllerOptions options = never_converge_options(4);
+  Controller controller(make_tiny_problem(), options);
+  const admm::ProblemUpdate no_change;
+  controller.tick(no_change);
+  controller.tick(no_change);
+  controller.tick(no_change);
+
+  obs::MetricsRegistry registry;
+  controller.record_metrics(registry, "ctrl.tenant.alpha");
+
+  const obs::Counter* ticks = registry.find_counter("ctrl.tenant.alpha.ticks");
+  ASSERT_NE(ticks, nullptr);
+  EXPECT_EQ(ticks->value(), 3u);
+  const obs::Counter* iterations =
+      registry.find_counter("ctrl.tenant.alpha.iterations");
+  ASSERT_NE(iterations, nullptr);
+  EXPECT_EQ(iterations->value(), 12u);
+  const obs::Counter* exhausted =
+      registry.find_counter("ctrl.tenant.alpha.budget_exhausted");
+  ASSERT_NE(exhausted, nullptr);
+  EXPECT_EQ(exhausted->value(), 3u);
+  const obs::Counter* converged =
+      registry.find_counter("ctrl.tenant.alpha.converged_ticks");
+  ASSERT_NE(converged, nullptr);
+  EXPECT_EQ(converged->value(), 0u);
+  const obs::Histogram* histogram =
+      registry.find_histogram("ctrl.tenant.alpha.tick_iterations");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 12.0);
+}
+
+}  // namespace
+}  // namespace ufc::ctrl
